@@ -1,0 +1,95 @@
+// Command permbench regenerates the paper's evaluation tables (Figure 6:
+// TPC-H strategies across database sizes; Figures 7–9: synthetic sweeps).
+//
+// Examples:
+//
+//	permbench -fig 6                     # TPC-H, default four scales
+//	permbench -fig 6 -scales 0.05,0.5 -queries 4,11,15 -timeout 10s
+//	permbench -fig 7 -sizes 10,100,1000 -instances 5
+//	permbench -fig all -timeout 5s       # everything, quick cutoff
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"perm/internal/bench"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9 or all")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-cell timeout (the paper's 6h rule, scaled); slower cells print >timeout")
+		instances = flag.Int("instances", 3, "random query instances averaged per cell (the paper used 100)")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		scales    = flag.String("scales", "", "figure 6 database scales, comma-separated (default 0.05,0.5,5,50)")
+		queries   = flag.String("queries", "", "figure 6 TPC-H query numbers, comma-separated (default: all nine)")
+		sizes     = flag.String("sizes", "", "figures 7-9 sweep sizes, comma-separated (default 10,50,100,500,1000)")
+	)
+	flag.Parse()
+
+	r := bench.New(os.Stdout, *timeout, *instances)
+
+	f6 := bench.DefaultFig6()
+	f6.Seed = *seed
+	if *scales != "" {
+		f6.Scales = nil
+		for _, s := range strings.Split(*scales, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fatalf("invalid scale %q: %v", s, err)
+			}
+			f6.Scales = append(f6.Scales, v)
+		}
+	}
+	if *queries != "" {
+		for _, s := range strings.Split(*queries, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatalf("invalid query number %q: %v", s, err)
+			}
+			f6.Queries = append(f6.Queries, v)
+		}
+	}
+
+	sc := bench.DefaultSynth()
+	sc.Seed = *seed
+	if *sizes != "" {
+		sc.Sizes = nil
+		for _, s := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatalf("invalid size %q: %v", s, err)
+			}
+			sc.Sizes = append(sc.Sizes, v)
+		}
+	}
+
+	fmt.Printf("permbench: timeout=%v instances=%d seed=%d\n", *timeout, *instances, *seed)
+	switch *fig {
+	case "6":
+		r.Figure6(f6)
+	case "7":
+		r.Figure7(sc)
+	case "8":
+		r.Figure8(sc)
+	case "9":
+		r.Figure9(sc)
+	case "all":
+		r.Figure6(f6)
+		r.Figure7(sc)
+		r.Figure8(sc)
+		r.Figure9(sc)
+	default:
+		fatalf("unknown figure %q (want 6, 7, 8, 9 or all)", *fig)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "permbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+package perm_test
+
+import (
+	"fmt"
+	"log"
+
+	"perm"
+)
+
+// Example reproduces query q1 of the paper's Figure 3: the provenance of a
+// selection with an ANY sublink.
+func Example() {
+	db := perm.Open()
+	if err := db.Register("r", []string{"a", "b"}, [][]any{{1, 1}, {2, 1}, {3, 2}}); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Register("s", []string{"c", "d"}, [][]any{{1, 3}, {2, 4}, {4, 5}}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Query(`SELECT PROVENANCE * FROM r WHERE a = ANY (SELECT c FROM s)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row)
+	}
+	// Output:
+	// [1 1 1 1 1 3]
+	// [2 1 2 1 2 4]
+}
+
+// ExampleDB_Query_strategy selects a specific rewrite strategy and shows
+// that the restricted strategies refuse correlated sublinks.
+func ExampleDB_Query_strategy() {
+	db := perm.Open()
+	_ = db.Register("r", []string{"a", "b"}, [][]any{{1, 1}})
+	_ = db.Register("s", []string{"c"}, [][]any{{1}})
+
+	correlated := `SELECT PROVENANCE a FROM r WHERE a = ANY (SELECT c FROM s WHERE c = b)`
+	if _, err := db.Query(correlated, perm.WithStrategy(perm.Left)); err != nil {
+		fmt.Println("Left refuses correlated sublinks")
+	}
+	res, err := db.Query(correlated, perm.WithStrategy(perm.Gen))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(res.Rows), "provenance row(s) under Gen")
+	// Output:
+	// Left refuses correlated sublinks
+	// 1 provenance row(s) under Gen
+}
+
+// ExampleDB_Advise ranks the strategies with the provenance-aware cost
+// model before running anything.
+func ExampleDB_Advise() {
+	db := perm.Open()
+	_ = db.Register("r", []string{"a"}, [][]any{{1}, {2}})
+	_ = db.Register("s", []string{"c"}, [][]any{{2}})
+
+	advice, err := db.Advise(`SELECT a FROM r WHERE a = ANY (SELECT c FROM s)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cheapest:", advice[0].Strategy)
+	fmt.Println("most expensive applicable:", advice[len(advice)-1].Strategy)
+	// Output:
+	// cheapest: Unn
+	// most expensive applicable: Gen
+}
+
+// ExampleDB_Exec_views stores a query as a view and asks for provenance
+// through it; the provenance traces to the base relations behind the view.
+func ExampleDB_Exec_views() {
+	db := perm.Open()
+	_ = db.Register("r", []string{"a", "b"}, [][]any{{1, 1}, {2, 1}, {3, 2}})
+	if _, err := db.Exec(`CREATE VIEW small AS SELECT a, b FROM r WHERE a <= 2`); err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Query(`SELECT PROVENANCE a FROM small ORDER BY a`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range res.Provenance {
+		fmt.Println("source:", g.Relation)
+	}
+	fmt.Println("rows:", len(res.Rows))
+	// Output:
+	// source: r
+	// rows: 2
+}

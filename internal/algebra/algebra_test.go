@@ -1,0 +1,210 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"perm/internal/schema"
+	"perm/internal/types"
+)
+
+func scanR() *Scan { return NewScan("r", "", schema.New("r", "a", "b")) }
+func scanS() *Scan { return NewScan("s", "", schema.New("s", "c")) }
+
+func TestScanAliasRequalifies(t *testing.T) {
+	s := NewScan("r", "x", schema.New("r", "a"))
+	if s.Schema().Attrs[0].Qual != "x" {
+		t.Errorf("schema = %s", s.Schema())
+	}
+	if s.String() != "r AS x" {
+		t.Errorf("String = %q", s.String())
+	}
+	plain := scanR()
+	if plain.Alias != "r" || plain.String() != "r" {
+		t.Errorf("default alias = %q", plain.Alias)
+	}
+}
+
+func TestSchemasCompose(t *testing.T) {
+	j := &Join{L: scanR(), R: scanS(), Cond: BoolConst(true)}
+	if j.Schema().Len() != 3 {
+		t.Errorf("join schema = %s", j.Schema())
+	}
+	p := NewProject(j, Col(Attr("a"), "x"), Col(IntConst(1), "one"))
+	if got := p.Schema().String(); got != "(x, one)" {
+		t.Errorf("project schema = %s", got)
+	}
+	agg := &Aggregate{Child: scanR(),
+		Group: []GroupExpr{{E: Attr("b"), As: "b"}},
+		Aggs:  []AggExpr{{Fn: AggSum, Arg: Attr("a"), As: "s"}}}
+	if got := agg.Schema().String(); got != "(b, s)" {
+		t.Errorf("aggregate schema = %s", got)
+	}
+	so := &SetOp{Kind: Union, L: scanR(), R: scanR()}
+	if so.Schema().Len() != 2 {
+		t.Errorf("setop schema = %s", so.Schema())
+	}
+	o := &Order{Child: scanR(), Keys: []SortKey{{E: Attr("a")}}}
+	l := &Limit{Child: o, N: 1}
+	if l.Schema().Len() != 2 || len(o.Children()) != 1 {
+		t.Error("order/limit schema propagation broken")
+	}
+	v := &Values{Sch: schema.New("", "x"), Rows: []Row{NullRow(1)}}
+	if v.Schema().Len() != 1 || v.Children() != nil {
+		t.Error("values schema broken")
+	}
+}
+
+func TestConj(t *testing.T) {
+	if got := Conj(); !ExprEqual(got, BoolConst(true)) {
+		t.Errorf("empty Conj = %v", got)
+	}
+	a, b := Attr("a"), Attr("b")
+	if got := Conj(a); !ExprEqual(got, a) {
+		t.Errorf("single Conj = %v", got)
+	}
+	got := Conj(a, nil, b)
+	if !ExprEqual(got, And{L: a, R: b}) {
+		t.Errorf("Conj skips nils wrong: %v", got)
+	}
+}
+
+func TestCollectSublinksOutermostOnly(t *testing.T) {
+	inner := Sublink{Kind: ExistsSublink, Query: scanS()}
+	mid := &Select{Child: scanS(), Cond: inner}
+	outer := Sublink{Kind: AnySublink, Op: types.CmpEq, Test: Attr("a"), Query: mid}
+	cond := And{L: outer, R: Cmp{Op: types.CmpGt, L: Attr("b"), R: IntConst(0)}}
+	got := CollectSublinks(cond)
+	if len(got) != 1 || got[0].Kind != AnySublink {
+		t.Fatalf("collected %d sublinks: %v", len(got), got)
+	}
+	if !HasSublink(cond) || HasSublink(Attr("a")) {
+		t.Error("HasSublink misreports")
+	}
+}
+
+func TestMapExprRebuilds(t *testing.T) {
+	e := Or{L: Cmp{Op: types.CmpEq, L: Attr("a"), R: IntConst(1)}, R: Not{E: Attr("x")}}
+	got := MapExpr(e, func(x Expr) Expr {
+		if a, ok := x.(AttrRef); ok && a.Name == "a" {
+			return Attr("z")
+		}
+		return x
+	})
+	want := Or{L: Cmp{Op: types.CmpEq, L: Attr("z"), R: IntConst(1)}, R: Not{E: Attr("x")}}
+	if !ExprEqual(got, want) {
+		t.Errorf("MapExpr = %v", got)
+	}
+	// Original untouched (immutability).
+	if !ExprEqual(e.L, Cmp{Op: types.CmpEq, L: Attr("a"), R: IntConst(1)}) {
+		t.Error("MapExpr mutated the source")
+	}
+}
+
+func TestExprEqual(t *testing.T) {
+	q := scanS()
+	cases := []struct {
+		a, b Expr
+		want bool
+	}{
+		{Attr("a"), Attr("a"), true},
+		{Attr("a"), QAttr("r", "a"), false},
+		{IntConst(1), IntConst(1), true},
+		{IntConst(1), FloatConst(1), true}, // =n semantics on constants
+		{NullConst(), NullConst(), true},
+		{NullConst(), IntConst(0), false},
+		{And{L: Attr("a"), R: Attr("b")}, And{L: Attr("a"), R: Attr("b")}, true},
+		{And{L: Attr("a"), R: Attr("b")}, Or{L: Attr("a"), R: Attr("b")}, false},
+		{Sublink{Kind: ExistsSublink, Query: q}, Sublink{Kind: ExistsSublink, Query: q}, true},
+		{Sublink{Kind: ExistsSublink, Query: q}, Sublink{Kind: ExistsSublink, Query: scanS()}, false},
+		{IsNull{E: Attr("a")}, IsNull{E: Attr("a")}, true},
+		{NullEq{L: Attr("a"), R: Attr("b")}, NullEq{L: Attr("a"), R: Attr("b")}, true},
+	}
+	for i, c := range cases {
+		if got := ExprEqual(c.a, c.b); got != c.want {
+			t.Errorf("case %d: ExprEqual(%v, %v) = %v", i, c.a, c.b, got)
+		}
+	}
+}
+
+func TestWalkVisitsSublinkQueries(t *testing.T) {
+	sub := &Select{Child: scanS(), Cond: BoolConst(true)}
+	q := &Select{Child: scanR(), Cond: Sublink{Kind: ExistsSublink, Query: sub}}
+	var scans int
+	Walk(q, func(op Op) bool {
+		if _, ok := op.(*Scan); ok {
+			scans++
+		}
+		return true
+	})
+	if scans != 2 {
+		t.Errorf("Walk found %d scans, want 2 (incl. sublink)", scans)
+	}
+	// Walk visits an operator's condition sublinks before its children, so
+	// the sublink's scan precedes the input scan.
+	base := BaseRelations(q)
+	if len(base) != 2 || base[0].Name != "s" || base[1].Name != "r" {
+		t.Errorf("BaseRelations = %v", base)
+	}
+}
+
+func TestFreeVarsShadowing(t *testing.T) {
+	// σ_{c = b}(S) has free b; wrapping it in a sublink whose enclosing
+	// operator provides b binds it.
+	inner := &Select{Child: scanS(), Cond: Cmp{Op: types.CmpEq, L: Attr("c"), R: Attr("b")}}
+	fv := FreeVars(inner)
+	if len(fv) != 1 || fv[0].Name != "b" {
+		t.Fatalf("free vars = %v", fv)
+	}
+	outer := &Select{Child: scanR(), Cond: Sublink{Kind: ExistsSublink, Query: inner}}
+	if IsCorrelated(outer) {
+		t.Error("outer plan should bind b")
+	}
+	// A reference no schema provides stays free all the way up.
+	bad := &Select{Child: scanS(), Cond: Cmp{Op: types.CmpEq, L: Attr("c"), R: Attr("zz")}}
+	outerBad := &Select{Child: scanR(), Cond: Sublink{Kind: ExistsSublink, Query: bad}}
+	if !IsCorrelated(outerBad) {
+		t.Error("unresolvable reference should remain free")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	q := &Select{
+		Child: scanR(),
+		Cond:  Sublink{Kind: AllSublink, Op: types.CmpLt, Test: Attr("a"), Query: scanS()},
+	}
+	s := q.String()
+	for _, want := range []string{"σ", "ALL", "a <"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	ind := Indent(&Project{Child: q, Cols: []ProjExpr{KeepCol("a")}, Distinct: true})
+	for _, want := range []string{"ProjectDistinct", "Select", "Scan r"} {
+		if !strings.Contains(ind, want) {
+			t.Errorf("Indent missing %q:\n%s", want, ind)
+		}
+	}
+	if got := (Sublink{Kind: ExistsSublink, Query: scanS()}).String(); !strings.Contains(got, "EXISTS") {
+		t.Errorf("EXISTS string = %q", got)
+	}
+	if got := (ProjExpr{E: Attr("a"), As: "b"}).String(); got != "a→b" {
+		t.Errorf("rename string = %q", got)
+	}
+	if got := KeepCol("a").String(); got != "a" {
+		t.Errorf("keep string = %q", got)
+	}
+}
+
+func TestKindAndFnStrings(t *testing.T) {
+	if AnySublink.String() != "ANY" || AllSublink.String() != "ALL" ||
+		ExistsSublink.String() != "EXISTS" || ScalarSublink.String() != "SCALAR" {
+		t.Error("SublinkKind names wrong")
+	}
+	if AggSum.String() != "sum" || AggCountStar.String() != "count" || AggAvg.String() != "avg" {
+		t.Error("AggFn names wrong")
+	}
+	if Union.String() != "UNION" || Intersect.String() != "INTERSECT" || Except.String() != "EXCEPT" {
+		t.Error("SetOpKind names wrong")
+	}
+}

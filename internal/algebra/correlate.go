@@ -1,0 +1,78 @@
+package algebra
+
+import "perm/internal/schema"
+
+// FreeVars returns the attribute references in op (including inside sublink
+// queries) that cannot be resolved against any schema available within op
+// itself — i.e. the correlated references that must be bound by an
+// enclosing query. A plan with no free variables is uncorrelated: the Left,
+// Move and Unn strategies require that of every sublink they rewrite.
+func FreeVars(op Op) []AttrRef {
+	return freeVarsOp(op)
+}
+
+// IsCorrelated reports whether the plan has at least one free attribute
+// reference.
+func IsCorrelated(op Op) bool { return len(freeVarsOp(op)) > 0 }
+
+func freeVarsOp(op Op) []AttrRef {
+	if op == nil {
+		return nil
+	}
+	var out []AttrRef
+	in := exprInputSchema(op)
+	for _, e := range operatorExprs(op) {
+		out = append(out, freeVarsExpr(e, in)...)
+	}
+	for _, c := range op.Children() {
+		out = append(out, freeVarsOp(c)...)
+	}
+	return out
+}
+
+// exprInputSchema is the schema the operator's expressions are evaluated
+// over — the (concatenated) input, not the output.
+func exprInputSchema(op Op) schema.Schema {
+	switch o := op.(type) {
+	case *Select:
+		return o.Child.Schema()
+	case *Project:
+		return o.Child.Schema()
+	case *Join:
+		return o.L.Schema().Concat(o.R.Schema())
+	case *LeftJoin:
+		return o.L.Schema().Concat(o.R.Schema())
+	case *Aggregate:
+		return o.Child.Schema()
+	case *Order:
+		return o.Child.Schema()
+	default:
+		return schema.Schema{}
+	}
+}
+
+func freeVarsExpr(e Expr, sch schema.Schema) []AttrRef {
+	var out []AttrRef
+	WalkExpr(e, func(x Expr) bool {
+		switch v := x.(type) {
+		case AttrRef:
+			if idx, ambiguous := sch.Lookup(v.Qual, v.Name); idx < 0 && !ambiguous {
+				out = append(out, v)
+			}
+		case Sublink:
+			// The sublink query's free variables may be bound by this
+			// operator's input; only the remainder escapes further out.
+			for _, fv := range freeVarsOp(v.Query) {
+				if idx, ambiguous := sch.Lookup(fv.Qual, fv.Name); idx < 0 && !ambiguous {
+					out = append(out, fv)
+				}
+			}
+			if v.Test != nil {
+				out = append(out, freeVarsExpr(v.Test, sch)...)
+			}
+			return false
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,367 @@
+// Package algebra defines the extended relational algebra of Figure 1 in
+// Glavic & Alonso (EDBT 2009): bag-semantics operators (selection,
+// bag/set projection, cross product, joins, aggregation, set operations)
+// plus the sublink constructs ANY, ALL, EXISTS and scalar subqueries, which
+// may appear in selection, projection and join conditions and may be
+// correlated with and nested inside enclosing queries.
+//
+// Trees are immutable once constructed: rewrites build new nodes and may
+// freely share subtrees.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"perm/internal/types"
+)
+
+// Expr is a scalar expression over attributes, constants, functions and
+// sublinks. Expressions evaluate to a types.Value; conditions are
+// expressions of boolean result interpreted under three-valued logic.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// AttrRef references an attribute by (optional) qualifier and name. Inside
+// a sublink query a reference that does not resolve against the sublink's
+// own input resolves against enclosing scopes — that is a correlation.
+type AttrRef struct {
+	Qual string
+	Name string
+}
+
+func (AttrRef) exprNode() {}
+
+// String renders the reference as [qual.]name.
+func (a AttrRef) String() string {
+	if a.Qual == "" {
+		return a.Name
+	}
+	return a.Qual + "." + a.Name
+}
+
+// Attr is shorthand for an unqualified attribute reference.
+func Attr(name string) AttrRef { return AttrRef{Name: name} }
+
+// QAttr is shorthand for a qualified attribute reference.
+func QAttr(qual, name string) AttrRef { return AttrRef{Qual: qual, Name: name} }
+
+// Const is a literal value.
+type Const struct {
+	Val types.Value
+}
+
+func (Const) exprNode() {}
+
+// String renders the literal; strings are single-quoted like SQL.
+func (c Const) String() string {
+	if c.Val.Kind() == types.KindString {
+		return "'" + c.Val.Str() + "'"
+	}
+	return c.Val.String()
+}
+
+// IntConst is shorthand for an integer literal.
+func IntConst(i int64) Const { return Const{Val: types.NewInt(i)} }
+
+// StrConst is shorthand for a string literal.
+func StrConst(s string) Const { return Const{Val: types.NewString(s)} }
+
+// FloatConst is shorthand for a float literal.
+func FloatConst(f float64) Const { return Const{Val: types.NewFloat(f)} }
+
+// BoolConst is shorthand for a boolean literal.
+func BoolConst(b bool) Const { return Const{Val: types.NewBool(b)} }
+
+// NullConst is the NULL literal.
+func NullConst() Const { return Const{Val: types.Null()} }
+
+// Cmp is a binary comparison producing a three-valued boolean.
+type Cmp struct {
+	Op   types.CmpOp
+	L, R Expr
+}
+
+func (Cmp) exprNode() {}
+
+func (c Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+// NullEq is the paper's =n operator: two-valued equality that treats two
+// NULLs as equal. Introduced by the Gen strategy's Csub+ condition.
+type NullEq struct {
+	L, R Expr
+}
+
+func (NullEq) exprNode() {}
+
+func (n NullEq) String() string { return fmt.Sprintf("%s =n %s", n.L, n.R) }
+
+// Arith is binary arithmetic with NULL propagation.
+type Arith struct {
+	Op   types.ArithOp
+	L, R Expr
+}
+
+func (Arith) exprNode() {}
+
+func (a Arith) String() string { return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R) }
+
+// And is three-valued conjunction; the empty conjunction is true.
+type And struct {
+	L, R Expr
+}
+
+func (And) exprNode() {}
+
+func (a And) String() string { return fmt.Sprintf("(%s AND %s)", a.L, a.R) }
+
+// Or is three-valued disjunction.
+type Or struct {
+	L, R Expr
+}
+
+func (Or) exprNode() {}
+
+func (o Or) String() string { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
+
+// Not is three-valued negation.
+type Not struct {
+	E Expr
+}
+
+func (Not) exprNode() {}
+
+func (n Not) String() string { return fmt.Sprintf("NOT (%s)", n.E) }
+
+// IsNull tests a value for NULL (two-valued).
+type IsNull struct {
+	E Expr
+}
+
+func (IsNull) exprNode() {}
+
+func (i IsNull) String() string { return fmt.Sprintf("(%s IS NULL)", i.E) }
+
+// Conj folds a list of conditions into a right-leaning AND chain; the empty
+// list is the constant true.
+func Conj(conds ...Expr) Expr {
+	var out Expr
+	for i := len(conds) - 1; i >= 0; i-- {
+		if conds[i] == nil {
+			continue
+		}
+		if out == nil {
+			out = conds[i]
+		} else {
+			out = And{L: conds[i], R: out}
+		}
+	}
+	if out == nil {
+		return BoolConst(true)
+	}
+	return out
+}
+
+// SublinkKind distinguishes the four sublink constructs of the algebra.
+type SublinkKind uint8
+
+// The sublink kinds. A scalar sublink (the paper's plain "Tsub" sublink)
+// must produce at most one tuple with exactly one attribute; its value is
+// that attribute (or NULL for an empty result).
+const (
+	AnySublink SublinkKind = iota
+	AllSublink
+	ExistsSublink
+	ScalarSublink
+)
+
+// String names the kind.
+func (k SublinkKind) String() string {
+	switch k {
+	case AnySublink:
+		return "ANY"
+	case AllSublink:
+		return "ALL"
+	case ExistsSublink:
+		return "EXISTS"
+	case ScalarSublink:
+		return "SCALAR"
+	default:
+		return fmt.Sprintf("sublink(%d)", uint8(k))
+	}
+}
+
+// Sublink is the algebraic construct Csub: a nested query Tsub embedded in
+// an expression. For ANY and ALL, Test and Op form the comparison
+// "Test Op ANY/ALL (Query)"; EXISTS and scalar sublinks use neither.
+type Sublink struct {
+	Kind  SublinkKind
+	Op    types.CmpOp // comparison operator for ANY/ALL
+	Test  Expr        // the attribute expression A for ANY/ALL
+	Query Op          // the sublink query Tsub
+}
+
+func (Sublink) exprNode() {}
+
+func (s Sublink) String() string {
+	switch s.Kind {
+	case AnySublink, AllSublink:
+		return fmt.Sprintf("%s %s %s (%s)", s.Test, s.Op, s.Kind, s.Query)
+	case ExistsSublink:
+		return fmt.Sprintf("EXISTS (%s)", s.Query)
+	default:
+		return fmt.Sprintf("(%s)", s.Query)
+	}
+}
+
+// HasSublink reports whether the expression tree contains any sublink.
+func HasSublink(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		if _, ok := x.(Sublink); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// CollectSublinks returns every sublink in the expression, outermost first,
+// left to right. Sublinks nested inside a collected sublink's query are not
+// included — they belong to the inner query and are rewritten recursively.
+func CollectSublinks(e Expr) []Sublink {
+	var out []Sublink
+	WalkExpr(e, func(x Expr) bool {
+		if s, ok := x.(Sublink); ok {
+			out = append(out, s)
+			return false // do not descend into the sublink's Test/Query
+		}
+		return true
+	})
+	return out
+}
+
+// WalkExpr visits e and its sub-expressions in pre-order. If fn returns
+// false for a node, its children are not visited. Sublink queries are not
+// descended into (they are operators, not expressions), but the Test
+// expression of ANY/ALL is.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case Cmp:
+		WalkExpr(x.L, fn)
+		WalkExpr(x.R, fn)
+	case NullEq:
+		WalkExpr(x.L, fn)
+		WalkExpr(x.R, fn)
+	case Arith:
+		WalkExpr(x.L, fn)
+		WalkExpr(x.R, fn)
+	case And:
+		WalkExpr(x.L, fn)
+		WalkExpr(x.R, fn)
+	case Or:
+		WalkExpr(x.L, fn)
+		WalkExpr(x.R, fn)
+	case Not:
+		WalkExpr(x.E, fn)
+	case IsNull:
+		WalkExpr(x.E, fn)
+	case Sublink:
+		if x.Test != nil {
+			WalkExpr(x.Test, fn)
+		}
+	}
+}
+
+// MapExpr rebuilds the expression bottom-up, replacing each node with
+// fn(node) after its children have been mapped. fn receives every node and
+// returns its replacement (commonly the node unchanged). Sublink queries are
+// not rewritten; Test expressions are.
+func MapExpr(e Expr, fn func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case Cmp:
+		return fn(Cmp{Op: x.Op, L: MapExpr(x.L, fn), R: MapExpr(x.R, fn)})
+	case NullEq:
+		return fn(NullEq{L: MapExpr(x.L, fn), R: MapExpr(x.R, fn)})
+	case Arith:
+		return fn(Arith{Op: x.Op, L: MapExpr(x.L, fn), R: MapExpr(x.R, fn)})
+	case And:
+		return fn(And{L: MapExpr(x.L, fn), R: MapExpr(x.R, fn)})
+	case Or:
+		return fn(Or{L: MapExpr(x.L, fn), R: MapExpr(x.R, fn)})
+	case Not:
+		return fn(Not{E: MapExpr(x.E, fn)})
+	case IsNull:
+		return fn(IsNull{E: MapExpr(x.E, fn)})
+	case Sublink:
+		s := x
+		s.Test = MapExpr(x.Test, fn)
+		return fn(s)
+	default:
+		return fn(e)
+	}
+}
+
+// ExprEqual reports structural equality of two expressions. Sublinks compare
+// by pointer-identity of their Query operators plus kind/op/test; this is
+// exactly what the Move strategy needs to replace occurrences of a sublink
+// it collected from the same tree.
+func ExprEqual(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	switch x := a.(type) {
+	case AttrRef:
+		y, ok := b.(AttrRef)
+		return ok && x == y
+	case Const:
+		y, ok := b.(Const)
+		return ok && types.NullEq(x.Val, y.Val) && x.Val.IsNull() == y.Val.IsNull()
+	case Cmp:
+		y, ok := b.(Cmp)
+		return ok && x.Op == y.Op && ExprEqual(x.L, y.L) && ExprEqual(x.R, y.R)
+	case NullEq:
+		y, ok := b.(NullEq)
+		return ok && ExprEqual(x.L, y.L) && ExprEqual(x.R, y.R)
+	case Arith:
+		y, ok := b.(Arith)
+		return ok && x.Op == y.Op && ExprEqual(x.L, y.L) && ExprEqual(x.R, y.R)
+	case And:
+		y, ok := b.(And)
+		return ok && ExprEqual(x.L, y.L) && ExprEqual(x.R, y.R)
+	case Or:
+		y, ok := b.(Or)
+		return ok && ExprEqual(x.L, y.L) && ExprEqual(x.R, y.R)
+	case Not:
+		y, ok := b.(Not)
+		return ok && ExprEqual(x.E, y.E)
+	case IsNull:
+		y, ok := b.(IsNull)
+		return ok && ExprEqual(x.E, y.E)
+	case Sublink:
+		y, ok := b.(Sublink)
+		return ok && x.Kind == y.Kind && x.Op == y.Op && x.Query == y.Query && ExprEqual(x.Test, y.Test)
+	default:
+		return false
+	}
+}
+
+// exprList renders a comma-separated expression list.
+func exprList[E fmt.Stringer](es []E) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}

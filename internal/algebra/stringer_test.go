@@ -1,0 +1,125 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"perm/internal/schema"
+	"perm/internal/types"
+)
+
+// TestIndentAllOperators exercises the plan renderer over every operator
+// kind — this is the CLI's \explain surface.
+func TestIndentAllOperators(t *testing.T) {
+	r := scanR()
+	s := scanS()
+	plan := &Limit{
+		N: 5,
+		Child: &Order{
+			Keys: []SortKey{{E: Attr("a"), Desc: true}, {E: Attr("b")}},
+			Child: &SetOp{
+				Kind: Except, Bag: true,
+				L: &Aggregate{
+					Child: &LeftJoin{
+						L:    &Join{L: r, R: s, Cond: Cmp{Op: types.CmpEq, L: Attr("a"), R: Attr("c")}},
+						R:    NewScan("s", "s2", schema.New("s", "c")),
+						Cond: NullEq{L: Attr("c"), R: QAttr("s2", "c")},
+					},
+					Group: []GroupExpr{{E: Attr("a"), As: "a"}},
+					Aggs:  []AggExpr{{Fn: AggCountStar, As: "n"}, {Fn: AggSum, Arg: Attr("b"), As: "s", Distinct: true}},
+				},
+				R: NewProject(&Select{
+					Child: &Cross{L: scanR(), R: &Values{Sch: schema.New("", "x"), Rows: []Row{NullRow(1)}}},
+					Cond:  IsNull{E: Attr("x")},
+				}, Col(Attr("a"), "a"), Col(IntConst(0), "n")),
+			},
+		},
+	}
+	out := Indent(plan)
+	for _, want := range []string{"Limit 5", "Order", "SetOp EXCEPT bag=true", "Aggregate",
+		"LeftJoin", "Join", "Cross", "Select", "Project", "Scan r", "VALUES", "sum(DISTINCT b)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Indent missing %q:\n%s", want, out)
+		}
+	}
+	// One-line String forms of the same operators.
+	str := plan.String()
+	for _, want := range []string{"limit[5]", "sort[", "EXCEPT", "α["} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String missing %q: %s", want, str)
+		}
+	}
+}
+
+func TestExprStringForms(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{StrConst("hi"), "'hi'"},
+		{NullConst(), "NULL"},
+		{BoolConst(true), "true"},
+		{FloatConst(1.5), "1.5"},
+		{Arith{Op: types.OpMul, L: Attr("a"), R: IntConst(2)}, "(a * 2)"},
+		{NullEq{L: Attr("a"), R: Attr("b")}, "a =n b"},
+		{IsNull{E: Attr("a")}, "(a IS NULL)"},
+		{Not{E: Attr("a")}, "NOT (a)"},
+		{And{L: Attr("a"), R: Attr("b")}, "(a AND b)"},
+		{Or{L: Attr("a"), R: Attr("b")}, "(a OR b)"},
+		{Sublink{Kind: ScalarSublink, Query: scanS()}, "(s)"},
+		{Sublink{Kind: AnySublink, Op: types.CmpLe, Test: Attr("a"), Query: scanS()}, "a <= ANY (s)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("%T String = %q, want %q", c.e, got, c.want)
+		}
+	}
+}
+
+func TestSortKeyAndGroupStrings(t *testing.T) {
+	if got := (SortKey{E: Attr("a"), Desc: true}).String(); got != "a DESC" {
+		t.Errorf("SortKey = %q", got)
+	}
+	if got := (SortKey{E: Attr("a")}).String(); got != "a" {
+		t.Errorf("SortKey asc = %q", got)
+	}
+	if got := (GroupExpr{E: Attr("a"), As: "g"}).String(); got != "a→g" {
+		t.Errorf("GroupExpr = %q", got)
+	}
+}
+
+func TestMapExprCoversAllNodes(t *testing.T) {
+	// Identity MapExpr over every expression node kind must reproduce an
+	// ExprEqual tree.
+	exprs := []Expr{
+		Cmp{Op: types.CmpLt, L: Attr("a"), R: IntConst(1)},
+		NullEq{L: Attr("a"), R: NullConst()},
+		Arith{Op: types.OpDiv, L: Attr("a"), R: IntConst(2)},
+		And{L: BoolConst(true), R: BoolConst(false)},
+		Or{L: BoolConst(true), R: BoolConst(false)},
+		Not{E: BoolConst(true)},
+		IsNull{E: Attr("a")},
+		Sublink{Kind: AllSublink, Op: types.CmpGe, Test: Attr("a"), Query: scanS()},
+	}
+	for _, e := range exprs {
+		got := MapExpr(e, func(x Expr) Expr { return x })
+		if !ExprEqual(got, e) {
+			t.Errorf("identity MapExpr changed %v to %v", e, got)
+		}
+	}
+	if MapExpr(nil, func(x Expr) Expr { return x }) != nil {
+		t.Error("MapExpr(nil) should be nil")
+	}
+}
+
+func TestWalkExprEarlyStop(t *testing.T) {
+	e := And{L: Attr("a"), R: Attr("b")}
+	var visited int
+	WalkExpr(e, func(x Expr) bool {
+		visited++
+		return false // do not descend
+	})
+	if visited != 1 {
+		t.Errorf("early stop visited %d nodes", visited)
+	}
+}

@@ -1,0 +1,182 @@
+// Package bench is the experiment harness that regenerates the evaluation
+// of Glavic & Alonso (EDBT 2009): Figure 6 (TPC-H, four database sizes,
+// per-strategy query runtimes) and Figures 7–9 (synthetic workload, varying
+// input/sublink relation sizes).
+//
+// The harness follows the paper's methodology: each (query, strategy) cell
+// averages several random instances of the query template; cells whose
+// execution exceeds the timeout are excluded (the paper used a six-hour
+// cutoff; an in-process reproduction uses seconds), and strategy/query
+// combinations the strategy cannot rewrite are reported "n/a".
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"perm/internal/catalog"
+	"perm/internal/eval"
+	"perm/internal/opt"
+	"perm/internal/rewrite"
+	"perm/internal/sql"
+)
+
+// Runner holds the harness configuration.
+type Runner struct {
+	// Timeout is the per-measurement cutoff (the paper's 6-hour rule,
+	// scaled to an in-process engine).
+	Timeout time.Duration
+	// Instances is the number of random query instances averaged per cell
+	// (the paper used 100).
+	Instances int
+	// Optimize applies the logical optimizer to every plan (on by default
+	// through New; switch off for ablation runs).
+	Optimize bool
+	// MaxRows caps materialized rows per execution; exceeding it excludes
+	// the cell exactly like a timeout (the Gen strategy's CrossBase can
+	// exhaust memory long before any clock fires).
+	MaxRows int
+	// Out receives the rendered tables.
+	Out io.Writer
+}
+
+// DefaultMaxRows bounds one execution to roughly a gigabyte of tuples.
+const DefaultMaxRows = 2_000_000
+
+// New returns a Runner with the given defaults.
+func New(out io.Writer, timeout time.Duration, instances int) *Runner {
+	return &Runner{Timeout: timeout, Instances: instances, Optimize: true, MaxRows: DefaultMaxRows, Out: out}
+}
+
+// Measurement is one table cell.
+type Measurement struct {
+	// Mean is the average wall-clock time per instance.
+	Mean time.Duration
+	// Rows is the average output cardinality.
+	Rows int
+	// Excluded marks a timeout, NA an inapplicable strategy, Err a failure.
+	Excluded bool
+	NA       bool
+	Err      error
+}
+
+// String renders the cell the way the tables print it.
+func (m Measurement) String() string {
+	switch {
+	case m.NA:
+		return "n/a"
+	case m.Excluded:
+		return ">timeout"
+	case m.Err != nil:
+		return "error"
+	default:
+		return fmtDuration(m.Mean)
+	}
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// Baseline is the pseudo-strategy for running the query without provenance.
+const Baseline = "base"
+
+// Measure runs the given SQL instances under one strategy name (Baseline,
+// "Gen", "Left", "Move", "Unn") and returns the averaged cell.
+func (r *Runner) Measure(cat *catalog.Catalog, instances []string, strategy string) Measurement {
+	var total time.Duration
+	var rows int
+	for _, text := range instances {
+		tr, err := sql.Compile(cat, text)
+		if err != nil {
+			return Measurement{Err: err}
+		}
+		plan := tr.Plan
+		if strategy != Baseline {
+			strat, err := rewrite.ParseStrategy(strategy)
+			if err != nil {
+				return Measurement{Err: err}
+			}
+			res, err := rewrite.Rewrite(plan, strat)
+			if errors.Is(err, rewrite.ErrNotApplicable) {
+				return Measurement{NA: true}
+			}
+			if err != nil {
+				return Measurement{Err: err}
+			}
+			plan = res.Plan
+		}
+		if r.Optimize {
+			plan = opt.Optimize(plan)
+		}
+		remaining := r.Timeout - total
+		if remaining <= 0 {
+			return Measurement{Excluded: true}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), remaining)
+		ev := eval.New(cat).WithContext(ctx)
+		ev.MaxRows = r.MaxRows
+		start := time.Now()
+		out, err := ev.Eval(plan)
+		elapsed := time.Since(start)
+		cancel()
+		if err != nil {
+			if errors.Is(err, eval.ErrCanceled) || errors.Is(err, eval.ErrBudget) {
+				return Measurement{Excluded: true}
+			}
+			return Measurement{Err: err}
+		}
+		total += elapsed
+		rows += out.Card()
+	}
+	n := len(instances)
+	if n == 0 {
+		return Measurement{Err: errors.New("bench: no instances")}
+	}
+	return Measurement{Mean: total / time.Duration(n), Rows: rows / n}
+}
+
+// table renders one aligned text table.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(t.header)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"perm/internal/synth"
+	"perm/internal/tpch"
+)
+
+func TestMeasureBaselineAndStrategies(t *testing.T) {
+	w := synth.Workload{InputSize: 100, SublinkSize: 30, Seed: 2}
+	cat := w.Catalog()
+	r := New(nil, 5*time.Second, 2)
+	instances := []string{w.Q1(0), w.Q1(1)}
+	base := r.Measure(cat, instances, Baseline)
+	if base.Err != nil || base.NA || base.Excluded {
+		t.Fatalf("baseline: %+v", base)
+	}
+	gen := r.Measure(cat, instances, "Gen")
+	if gen.Err != nil || gen.NA {
+		t.Fatalf("gen: %+v", gen)
+	}
+	unn := r.Measure(cat, instances, "Unn")
+	if unn.Err != nil || unn.NA {
+		t.Fatalf("unn: %+v", unn)
+	}
+	// q2 under Unn is not applicable.
+	na := r.Measure(cat, []string{w.Q2(0)}, "Unn")
+	if !na.NA {
+		t.Fatalf("q2/Unn should be n/a: %+v", na)
+	}
+	if na.String() != "n/a" {
+		t.Errorf("cell rendering = %q", na.String())
+	}
+}
+
+func TestMeasureTimeoutExcludes(t *testing.T) {
+	w := synth.Workload{InputSize: 2000, SublinkSize: 2000, Seed: 2}
+	cat := w.Catalog()
+	r := New(nil, time.Millisecond, 1)
+	m := r.Measure(cat, []string{w.Q2(0)}, "Gen")
+	if !m.Excluded {
+		t.Fatalf("1ms budget should exclude Gen at size 2000: %+v", m)
+	}
+	if m.String() != ">timeout" {
+		t.Errorf("cell rendering = %q", m.String())
+	}
+}
+
+func TestMeasureBadSQL(t *testing.T) {
+	w := synth.Workload{InputSize: 10, SublinkSize: 10, Seed: 2}
+	r := New(nil, time.Second, 1)
+	if m := r.Measure(w.Catalog(), []string{"SELEC nope"}, Baseline); m.Err == nil {
+		t.Fatal("bad SQL should error")
+	}
+	if m := r.Measure(w.Catalog(), []string{"SELECT * FROM r1"}, "Bogus"); m.Err == nil {
+		t.Fatal("bad strategy should error")
+	}
+}
+
+func TestFigure6SmallRun(t *testing.T) {
+	var sb strings.Builder
+	r := New(&sb, 3*time.Second, 1)
+	r.Figure6(Fig6Config{Scales: []float64{0.05}, Queries: []int{4, 11}, Seed: 1})
+	out := sb.String()
+	for _, want := range []string{"Figure 6(a)", "Q4", "Q11", "baseline", "Gen"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Q4 is correlated: Left column must be n/a.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "Q4") && !strings.Contains(line, "n/a") {
+			t.Errorf("Q4 row should contain n/a for Left/Move: %q", line)
+		}
+	}
+}
+
+func TestFigure7SmallRun(t *testing.T) {
+	var sb strings.Builder
+	r := New(&sb, 3*time.Second, 1)
+	r.Figure7(SynthConfig{Sizes: []int{10, 50}, FixedSublink: 20, Seed: 1})
+	out := sb.String()
+	for _, want := range []string{"Figure 7", "q1", "q2", "Unn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDurationFormatting(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Microsecond:  "500µs",
+		2500 * time.Microsecond: "2.5ms",
+		1500 * time.Millisecond: "1.50s",
+	}
+	for d, want := range cases {
+		if got := fmtDuration(d); got != want {
+			t.Errorf("fmtDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+// TestShapePreserved is the harness-level sanity check of the paper's
+// headline ordering on a moderate instance: Unn is the fastest provenance
+// strategy for q1 and Gen the slowest.
+func TestShapePreserved(t *testing.T) {
+	w := synth.Workload{InputSize: 400, SublinkSize: 150, Seed: 3}
+	cat := w.Catalog()
+	r := New(nil, 30*time.Second, 3)
+	instances := []string{w.Q1(0), w.Q1(1), w.Q1(2)}
+	gen := r.Measure(cat, instances, "Gen")
+	unn := r.Measure(cat, instances, "Unn")
+	if gen.Err != nil || unn.Err != nil {
+		t.Fatalf("gen %+v unn %+v", gen, unn)
+	}
+	if unn.Mean >= gen.Mean {
+		t.Errorf("expected Unn (%v) faster than Gen (%v)", unn.Mean, gen.Mean)
+	}
+}
+
+func TestTPCHFigure6UncorrelatedStrategies(t *testing.T) {
+	cat, _ := tpch.Generate(tpch.Config{SF: 0.1, Seed: 1})
+	r := New(nil, 10*time.Second, 1)
+	q, err := tpch.QueryByNum(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := []string{q.Instance(1)}
+	left := r.Measure(cat, inst, "Left")
+	move := r.Measure(cat, inst, "Move")
+	if left.Err != nil || left.NA || move.Err != nil || move.NA {
+		t.Fatalf("Q11 Left/Move should run: %+v %+v", left, move)
+	}
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+
+	"perm/internal/synth"
+	"perm/internal/tpch"
+)
+
+// Fig6Config parameterizes the TPC-H experiment of Figure 6. The paper ran
+// database sizes 1 MB, 10 MB, 100 MB and 1 GB; the reproduction expresses
+// sizes as generator scale factors with the same ×10 spacing.
+type Fig6Config struct {
+	// Scales are the four database sizes (generator scale factors).
+	Scales []float64
+	// Queries restricts the run to specific TPC-H query numbers (all nine
+	// sublink queries when empty).
+	Queries []int
+	// Seed drives data generation and instance parameters.
+	Seed int64
+}
+
+// DefaultFig6 mirrors the paper's four ×10-spaced database sizes.
+func DefaultFig6() Fig6Config {
+	return Fig6Config{Scales: []float64{0.05, 0.5, 5, 50}, Seed: 1}
+}
+
+// Figure6 runs the TPC-H experiment: per database size, the average
+// runtime of every sublink query under the baseline (no provenance), the
+// Gen strategy, and — for the uncorrelated queries 11, 15 and 16 — the
+// Left and Move strategies.
+func (r *Runner) Figure6(cfg Fig6Config) {
+	queries := tpch.SublinkQueries()
+	if len(cfg.Queries) > 0 {
+		var filtered []tpch.Query
+		for _, q := range queries {
+			for _, num := range cfg.Queries {
+				if q.Num == num {
+					filtered = append(filtered, q)
+				}
+			}
+		}
+		queries = filtered
+	}
+	labels := []rune{'a', 'b', 'c', 'd'}
+	for si, sf := range cfg.Scales {
+		label := "?"
+		if si < len(labels) {
+			label = string(labels[si])
+		}
+		cat, counts := tpch.Generate(tpch.Config{SF: sf, Seed: cfg.Seed})
+		fmt.Fprintf(r.Out, "\nFigure 6(%s): TPC-H scale %g (lineitem %d rows, orders %d, part %d)\n",
+			label, sf, counts.Lineitem, counts.Orders, counts.Part)
+		tb := &table{header: []string{"query", "baseline", "Gen", "Left", "Move"}}
+		for _, q := range queries {
+			instances := make([]string, r.Instances)
+			for i := range instances {
+				instances[i] = q.Instance(cfg.Seed + int64(i))
+			}
+			row := []string{fmt.Sprintf("Q%d", q.Num)}
+			for _, strat := range []string{Baseline, "Gen", "Left", "Move"} {
+				row = append(row, r.Measure(cat, instances, strat).String())
+			}
+			tb.add(row...)
+		}
+		tb.render(r.Out)
+	}
+}
+
+// SynthConfig parameterizes the synthetic experiments of Figures 7–9.
+type SynthConfig struct {
+	// Sizes is the sweep axis (input sizes for Figure 7, sublink sizes for
+	// Figure 8, both for Figure 9).
+	Sizes []int
+	// FixedInput and FixedSublink pin the non-swept relation size.
+	FixedInput   int
+	FixedSublink int
+	// Seed drives data and parameters.
+	Seed int64
+}
+
+// DefaultSynth scales the paper's 10…500000-row sweeps down to sizes an
+// interpreting executor covers within the timeout; the shape of the curves
+// (Unn ≪ Left ≈ Move ≪ Gen, Gen superlinear in the sublink size) is
+// preserved. Pass explicit sizes for larger sweeps.
+func DefaultSynth() SynthConfig {
+	return SynthConfig{
+		Sizes:        []int{10, 50, 100, 500, 1000},
+		FixedInput:   500,
+		FixedSublink: 100,
+		Seed:         1,
+	}
+}
+
+// synthStrategies: q1 admits all strategies, q2 all but Unn (§4.2.2). The
+// UnnX column is this reproduction's extension (it covers q2's ALL
+// sublink, which the paper left to future work).
+var synthStrategies = []string{Baseline, "Gen", "Left", "Move", "Unn", "UnnX"}
+
+// Figure7 varies the size of the selection's input relation with the
+// sublink relation size fixed.
+func (r *Runner) Figure7(cfg SynthConfig) {
+	fmt.Fprintf(r.Out, "\nFigure 7: varying input relation size (sublink relation fixed at %d)\n", cfg.FixedSublink)
+	r.synthSweep(cfg, func(size int) synth.Workload {
+		return synth.Workload{InputSize: size, SublinkSize: cfg.FixedSublink, Seed: cfg.Seed}
+	})
+}
+
+// Figure8 varies the sublink relation size with the input size fixed.
+func (r *Runner) Figure8(cfg SynthConfig) {
+	fmt.Fprintf(r.Out, "\nFigure 8: varying sublink relation size (input relation fixed at %d)\n", cfg.FixedInput)
+	r.synthSweep(cfg, func(size int) synth.Workload {
+		return synth.Workload{InputSize: cfg.FixedInput, SublinkSize: size, Seed: cfg.Seed}
+	})
+}
+
+// Figure9 varies both relation sizes together.
+func (r *Runner) Figure9(cfg SynthConfig) {
+	fmt.Fprintf(r.Out, "\nFigure 9: varying both relation sizes\n")
+	r.synthSweep(cfg, func(size int) synth.Workload {
+		return synth.Workload{InputSize: size, SublinkSize: size, Seed: cfg.Seed}
+	})
+}
+
+func (r *Runner) synthSweep(cfg SynthConfig, mk func(size int) synth.Workload) {
+	for qi, queryName := range []string{"q1 (a = ANY)", "q2 (a < ALL)"} {
+		fmt.Fprintf(r.Out, "\n%s\n", queryName)
+		tb := &table{header: append([]string{"size"}, synthStrategies...)}
+		for _, size := range cfg.Sizes {
+			w := mk(size)
+			cat := w.Catalog()
+			instances := make([]string, r.Instances)
+			for i := range instances {
+				if qi == 0 {
+					instances[i] = w.Q1(int64(i))
+				} else {
+					instances[i] = w.Q2(int64(i))
+				}
+			}
+			row := []string{fmt.Sprintf("%d", size)}
+			for _, strat := range synthStrategies {
+				row = append(row, r.Measure(cat, instances, strat).String())
+			}
+			tb.add(row...)
+		}
+		tb.render(r.Out)
+	}
+}

@@ -1,0 +1,82 @@
+// Package catalog implements the in-memory database: a named collection of
+// base relations with schemas, plus CSV import/export so the CLI tools can
+// persist generated workloads. It stands in for the storage layer of the
+// PostgreSQL instance Perm was built on.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"perm/internal/rel"
+	"perm/internal/schema"
+)
+
+// Catalog is a thread-safe registry of base relations.
+type Catalog struct {
+	mu   sync.RWMutex
+	rels map[string]*rel.Relation
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{rels: map[string]*rel.Relation{}}
+}
+
+// Register installs (or replaces) a base relation under name. The relation's
+// schema is re-qualified with the relation name so that unaliased scans
+// resolve qualified references.
+func (c *Catalog) Register(name string, r *rel.Relation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r.Schema = r.Schema.WithQual(name)
+	c.rels[name] = r
+}
+
+// Relation returns the base relation registered under name.
+func (c *Catalog) Relation(name string) (*rel.Relation, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	return r, nil
+}
+
+// Schema returns the schema of a registered relation.
+func (c *Catalog) Schema(name string) (schema.Schema, error) {
+	r, err := c.Relation(name)
+	if err != nil {
+		return schema.Schema{}, err
+	}
+	return r.Schema, nil
+}
+
+// Has reports whether name is registered.
+func (c *Catalog) Has(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.rels[name]
+	return ok
+}
+
+// Drop removes a relation; dropping an absent relation is a no-op.
+func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.rels, name)
+}
+
+// Names returns the registered relation names in sorted order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.rels))
+	for n := range c.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,124 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"perm/internal/rel"
+	"perm/internal/schema"
+	"perm/internal/types"
+)
+
+func TestRegisterAndLookup(t *testing.T) {
+	c := New()
+	r := rel.FromTuples(schema.New("", "a"), rel.Tuple{types.NewInt(1)})
+	c.Register("r", r)
+	got, err := c.Relation("r")
+	if err != nil || got.Card() != 1 {
+		t.Fatalf("lookup: %v", err)
+	}
+	if got.Schema.Attrs[0].Qual != "r" {
+		t.Errorf("registration should qualify the schema: %s", got.Schema)
+	}
+	if _, err := c.Relation("nope"); err == nil {
+		t.Error("unknown relation should error")
+	}
+	sch, err := c.Schema("r")
+	if err != nil || sch.Len() != 1 {
+		t.Errorf("Schema: %s, %v", sch, err)
+	}
+	if !c.Has("r") || c.Has("nope") {
+		t.Error("Has misreports")
+	}
+}
+
+func TestNamesSortedAndDrop(t *testing.T) {
+	c := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		c.Register(n, rel.New(schema.New("", "x")))
+	}
+	got := c.Names()
+	if len(got) != 3 || got[0] != "alpha" || got[2] != "zeta" {
+		t.Errorf("Names = %v", got)
+	}
+	c.Drop("mid")
+	c.Drop("mid") // idempotent
+	if c.Has("mid") || len(c.Names()) != 2 {
+		t.Error("Drop failed")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := "a,b,c,d\n1,2.5,hello,true\nNULL,,x,false\n"
+	r, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Card() != 2 || r.Schema.Len() != 4 {
+		t.Fatalf("parsed %s", r)
+	}
+	want := rel.Tuple{types.NewInt(1), types.NewFloat(2.5), types.NewString("hello"), types.NewBool(true)}
+	if r.Count(want) != 1 {
+		t.Errorf("typed row missing: %s", r)
+	}
+	nullRow := rel.Tuple{types.Null(), types.Null(), types.NewString("x"), types.NewBool(false)}
+	if r.Count(nullRow) != 1 {
+		t.Errorf("null row missing: %s", r)
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(r) {
+		t.Errorf("round trip lost data:\n%s\nvs\n%s", r, back)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail on header")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged row should fail")
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := map[string]types.Value{
+		"42":    types.NewInt(42),
+		"-7":    types.NewInt(-7),
+		"3.14":  types.NewFloat(3.14),
+		"TRUE":  types.NewBool(true),
+		"False": types.NewBool(false),
+		"null":  types.Null(),
+		"":      types.Null(),
+		"text":  types.NewString("text"),
+	}
+	for in, want := range cases {
+		got := ParseValue(in)
+		if got.Kind() != want.Kind() || (!got.IsNull() && !types.NullEq(got, want)) {
+			t.Errorf("ParseValue(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			c.Register("x", rel.New(schema.New("", "a")))
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		c.Names()
+		c.Has("x")
+		_, _ = c.Relation("x")
+	}
+	<-done
+}

@@ -1,0 +1,87 @@
+package catalog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"perm/internal/rel"
+	"perm/internal/schema"
+	"perm/internal/types"
+)
+
+// ReadCSV parses a relation from CSV. The first record is the header
+// (attribute names); values are typed by inference: "NULL" and "" become
+// NULL, integers and floats parse numerically, "true"/"false" become
+// booleans, everything else stays a string.
+func ReadCSV(r io.Reader) (*rel.Relation, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("catalog: reading CSV header: %w", err)
+	}
+	out := rel.New(schema.New("", header...))
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("catalog: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("catalog: CSV line %d has %d fields, header has %d", line, len(rec), len(header))
+		}
+		t := make(rel.Tuple, len(rec))
+		for i, field := range rec {
+			t[i] = ParseValue(field)
+		}
+		out.Add(t, 1)
+	}
+}
+
+// ParseValue infers the type of one CSV field.
+func ParseValue(field string) types.Value {
+	switch {
+	case field == "" || strings.EqualFold(field, "null"):
+		return types.Null()
+	case strings.EqualFold(field, "true"):
+		return types.NewBool(true)
+	case strings.EqualFold(field, "false"):
+		return types.NewBool(false)
+	}
+	if i, err := strconv.ParseInt(field, 10, 64); err == nil {
+		return types.NewInt(i)
+	}
+	if f, err := strconv.ParseFloat(field, 64); err == nil {
+		return types.NewFloat(f)
+	}
+	return types.NewString(field)
+}
+
+// WriteCSV serializes a relation to CSV (header plus one record per tuple,
+// duplicates expanded, deterministic order). NULL serializes as "NULL".
+func WriteCSV(w io.Writer, r *rel.Relation) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, r.Schema.Len())
+	for i, a := range r.Schema.Attrs {
+		header[i] = a.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("catalog: writing CSV header: %w", err)
+	}
+	for _, t := range r.SortedTuples() {
+		rec := make([]string, len(t))
+		for i, v := range t {
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("catalog: writing CSV record: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,185 @@
+package eval
+
+import (
+	"fmt"
+
+	"perm/internal/algebra"
+	"perm/internal/rel"
+	"perm/internal/types"
+)
+
+// aggState accumulates one aggregate function over one group, honouring bag
+// multiplicities and SQL NULL rules (non-count aggregates ignore NULL
+// inputs; count(*) counts every tuple).
+type aggState struct {
+	fn       algebra.AggFn
+	count    int64
+	sumI     int64
+	sumF     float64
+	isFloat  bool
+	minMax   types.Value
+	seen     bool
+	distinct map[string]struct{} // non-nil for DISTINCT aggregates
+}
+
+func (a *aggState) add(v types.Value, n int) error {
+	if a.fn == algebra.AggCountStar {
+		a.count += int64(n)
+		return nil
+	}
+	if v.IsNull() {
+		return nil
+	}
+	if a.distinct != nil {
+		key := string(v.AppendKey(nil))
+		if _, dup := a.distinct[key]; dup {
+			return nil
+		}
+		a.distinct[key] = struct{}{}
+		n = 1
+	}
+	a.count += int64(n)
+	switch a.fn {
+	case algebra.AggCount:
+		return nil
+	case algebra.AggSum, algebra.AggAvg:
+		if !v.IsNumeric() {
+			return fmt.Errorf("eval: %s over non-numeric value %s", a.fn, v.Kind())
+		}
+		if v.Kind() == types.KindFloat {
+			a.isFloat = true
+		}
+		a.sumI += v.Int() * int64(n)
+		a.sumF += v.Float() * float64(n)
+		a.seen = true
+		return nil
+	case algebra.AggMin:
+		if !a.seen {
+			a.minMax, a.seen = v, true
+			return nil
+		}
+		if cmp, ok := types.Compare(v, a.minMax); ok && cmp < 0 {
+			a.minMax = v
+		}
+		return nil
+	case algebra.AggMax:
+		if !a.seen {
+			a.minMax, a.seen = v, true
+			return nil
+		}
+		if cmp, ok := types.Compare(v, a.minMax); ok && cmp > 0 {
+			a.minMax = v
+		}
+		return nil
+	default:
+		return fmt.Errorf("eval: unknown aggregate %v", a.fn)
+	}
+}
+
+func (a *aggState) result() types.Value {
+	switch a.fn {
+	case algebra.AggCount, algebra.AggCountStar:
+		return types.NewInt(a.count)
+	case algebra.AggSum:
+		if !a.seen {
+			return types.Null()
+		}
+		if a.isFloat {
+			return types.NewFloat(a.sumF)
+		}
+		return types.NewInt(a.sumI)
+	case algebra.AggAvg:
+		if !a.seen {
+			return types.Null()
+		}
+		return types.NewFloat(a.sumF / float64(a.count))
+	case algebra.AggMin, algebra.AggMax:
+		if !a.seen {
+			return types.Null()
+		}
+		return a.minMax
+	default:
+		return types.Null()
+	}
+}
+
+func (e *Evaluator) evalAggregate(o *algebra.Aggregate, outer []frame) (*rel.Relation, error) {
+	in, err := e.eval(o.Child, outer)
+	if err != nil {
+		return nil, err
+	}
+	type group struct {
+		keys rel.Tuple
+		aggs []aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+
+	newGroup := func(keys rel.Tuple) *group {
+		g := &group{keys: keys, aggs: make([]aggState, len(o.Aggs))}
+		for i, a := range o.Aggs {
+			g.aggs[i].fn = a.Fn
+			if a.Distinct {
+				g.aggs[i].distinct = map[string]struct{}{}
+			}
+		}
+		return g
+	}
+
+	err = in.Each(func(t rel.Tuple, n int) error {
+		if err := e.tick(); err != nil {
+			return err
+		}
+		keys := make(rel.Tuple, len(o.Group))
+		for i, gx := range o.Group {
+			v, err := e.evalExpr(gx.E, in.Schema, t, outer)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		k := keys.Key()
+		g, ok := groups[k]
+		if !ok {
+			g = newGroup(keys)
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, ax := range o.Aggs {
+			var v types.Value
+			if ax.Arg != nil {
+				v, err = e.evalExpr(ax.Arg, in.Schema, t, outer)
+				if err != nil {
+					return err
+				}
+			}
+			if err := g.aggs[i].add(v, n); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// SQL semantics: with no GROUP BY, aggregation over an empty input
+	// still yields one tuple (count 0, other aggregates NULL).
+	if len(o.Group) == 0 && len(groups) == 0 {
+		g := newGroup(rel.Tuple{})
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	out := rel.New(o.Schema())
+	for _, k := range order {
+		g := groups[k]
+		row := make(rel.Tuple, 0, len(o.Group)+len(o.Aggs))
+		row = append(row, g.keys...)
+		for i := range g.aggs {
+			row = append(row, g.aggs[i].result())
+		}
+		out.Add(row, 1)
+	}
+	return out, nil
+}

@@ -1,0 +1,488 @@
+// Package eval is the bag-semantics executor of the Perm reproduction. It
+// interprets algebra plans (Figure 1 of Glavic & Alonso, EDBT 2009) over an
+// in-memory catalog, including correlated and nested sublinks in selection,
+// projection and join conditions.
+//
+// The executor materializes every operator's output as a counted bag. Like
+// the PostgreSQL executor Perm ran on, it caches the result of uncorrelated
+// subplans (evaluated once per query) and re-evaluates correlated subplans
+// for every outer binding — the cost asymmetry the paper's experiments
+// measure.
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"perm/internal/algebra"
+	"perm/internal/rel"
+	"perm/internal/schema"
+	"perm/internal/types"
+)
+
+// DB is the relation resolver the executor reads base relations from.
+// *catalog.Catalog implements it.
+type DB interface {
+	Relation(name string) (*rel.Relation, error)
+}
+
+// ErrCanceled is returned when the evaluation context is canceled (the
+// benchmark harness uses this for the paper's per-query timeout rule).
+var ErrCanceled = errors.New("eval: canceled")
+
+// ErrBudget is returned when evaluation materializes more rows than
+// MaxRows allows. The Gen strategy's CrossBase cross products can exceed
+// memory long before any timeout fires; the harness treats budget
+// exhaustion like a timeout (the paper's exclusion rule).
+var ErrBudget = errors.New("eval: row budget exceeded")
+
+// Evaluator executes algebra plans against a DB.
+type Evaluator struct {
+	db  DB
+	ctx context.Context
+
+	// DisableHashedAny turns off the hashed-subplan execution of
+	// uncorrelated = ANY sublinks — an ablation knob; PostgreSQL (and
+	// hence the paper's measurements) always hashes them.
+	DisableHashedAny bool
+
+	// MaxRows caps the total rows materialized across all operators of one
+	// Eval call; 0 means unlimited. Exceeding it returns ErrBudget.
+	MaxRows int
+	rows    int
+
+	// memo caches materialized results of uncorrelated sublink queries,
+	// keyed by plan-node identity. It lives for one top-level Eval call.
+	memo map[algebra.Op]*rel.Relation
+	// anyMemo caches hash sets for uncorrelated = ANY sublinks
+	// (PostgreSQL's hashed subplans).
+	anyMemo map[algebra.Op]*anySet
+	// free caches correlation analysis per plan node.
+	free map[algebra.Op]bool
+
+	ticks int
+}
+
+// New returns an evaluator over db.
+func New(db DB) *Evaluator {
+	return &Evaluator{db: db, ctx: context.Background()}
+}
+
+// WithContext returns a copy of the evaluator that checks ctx for
+// cancellation while executing.
+func (e *Evaluator) WithContext(ctx context.Context) *Evaluator {
+	cp := *e
+	cp.ctx = ctx
+	return &cp
+}
+
+// Eval executes the plan and returns its materialized result.
+func (e *Evaluator) Eval(op algebra.Op) (*rel.Relation, error) {
+	e.memo = map[algebra.Op]*rel.Relation{}
+	e.anyMemo = map[algebra.Op]*anySet{}
+	e.free = map[algebra.Op]bool{}
+	e.rows = 0
+	return e.eval(op, nil)
+}
+
+// frame is one level of the correlation scope stack: the schema and current
+// tuple of an enclosing operator's input.
+type frame struct {
+	sch schema.Schema
+	t   rel.Tuple
+}
+
+// tick periodically polls the context so multi-hour plans (the Gen strategy
+// at larger scales) can be aborted, mirroring the paper's 6-hour cutoff.
+func (e *Evaluator) tick() error {
+	e.ticks++
+	if e.ticks&0x3ff != 0 {
+		return nil
+	}
+	select {
+	case <-e.ctx.Done():
+		return fmt.Errorf("%w: %v", ErrCanceled, e.ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// add materializes one output row, charging it against the row budget.
+func (e *Evaluator) add(out *rel.Relation, t rel.Tuple, n int) error {
+	e.rows++
+	if e.MaxRows > 0 && e.rows > e.MaxRows {
+		return fmt.Errorf("%w (%d rows)", ErrBudget, e.MaxRows)
+	}
+	out.Add(t, n)
+	return nil
+}
+
+func (e *Evaluator) eval(op algebra.Op, outer []frame) (*rel.Relation, error) {
+	if err := e.tick(); err != nil {
+		return nil, err
+	}
+	switch o := op.(type) {
+	case *algebra.Scan:
+		base, err := e.db.Relation(o.Name)
+		if err != nil {
+			return nil, err
+		}
+		return base.WithSchema(o.Schema()), nil
+	case *algebra.Values:
+		out := rel.New(o.Sch)
+		for _, row := range o.Rows {
+			if len(row) != o.Sch.Len() {
+				return nil, fmt.Errorf("eval: VALUES row width %d, schema width %d", len(row), o.Sch.Len())
+			}
+			t := make(rel.Tuple, len(row))
+			for i, x := range row {
+				v, err := e.evalExpr(x, schema.Schema{}, nil, outer)
+				if err != nil {
+					return nil, err
+				}
+				t[i] = v
+			}
+			out.Add(t, 1)
+		}
+		return out, nil
+	case *algebra.Select:
+		return e.evalSelect(o, outer)
+	case *algebra.Project:
+		return e.evalProject(o, outer)
+	case *algebra.Cross:
+		return e.evalCross(o, outer)
+	case *algebra.Join:
+		return e.evalJoin(o, outer)
+	case *algebra.LeftJoin:
+		return e.evalLeftJoin(o, outer)
+	case *algebra.Aggregate:
+		return e.evalAggregate(o, outer)
+	case *algebra.SetOp:
+		return e.evalSetOp(o, outer)
+	case *algebra.Order:
+		// A bag has no intrinsic order; Order is honoured by Limit above it
+		// and by result presentation.
+		return e.eval(o.Child, outer)
+	case *algebra.Limit:
+		return e.evalLimit(o, outer)
+	default:
+		return nil, fmt.Errorf("eval: unsupported operator %T", op)
+	}
+}
+
+func (e *Evaluator) evalSelect(o *algebra.Select, outer []frame) (*rel.Relation, error) {
+	in, err := e.eval(o.Child, outer)
+	if err != nil {
+		return nil, err
+	}
+	out := rel.New(o.Schema())
+	err = in.Each(func(t rel.Tuple, n int) error {
+		if err := e.tick(); err != nil {
+			return err
+		}
+		keep, err := e.evalCond(o.Cond, in.Schema, t, outer)
+		if err != nil {
+			return err
+		}
+		if keep == types.True {
+			return e.add(out, t, n)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (e *Evaluator) evalProject(o *algebra.Project, outer []frame) (*rel.Relation, error) {
+	in, err := e.eval(o.Child, outer)
+	if err != nil {
+		return nil, err
+	}
+	out := rel.New(o.Schema())
+	err = in.Each(func(t rel.Tuple, n int) error {
+		if err := e.tick(); err != nil {
+			return err
+		}
+		row := make(rel.Tuple, len(o.Cols))
+		for i, c := range o.Cols {
+			v, err := e.evalExpr(c.E, in.Schema, t, outer)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		if o.Distinct {
+			return e.add(out, row, 1) // collapsed below
+		}
+		return e.add(out, row, n)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if o.Distinct {
+		out = out.Distinct()
+	}
+	return out, nil
+}
+
+func (e *Evaluator) evalCross(o *algebra.Cross, outer []frame) (*rel.Relation, error) {
+	l, err := e.eval(o.L, outer)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.eval(o.R, outer)
+	if err != nil {
+		return nil, err
+	}
+	out := rel.New(o.Schema())
+	err = l.Each(func(lt rel.Tuple, ln int) error {
+		return r.Each(func(rt rel.Tuple, rn int) error {
+			if err := e.tick(); err != nil {
+				return err
+			}
+			return e.add(out, lt.Concat(rt), ln*rn)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (e *Evaluator) evalJoin(o *algebra.Join, outer []frame) (*rel.Relation, error) {
+	l, err := e.eval(o.L, outer)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.eval(o.R, outer)
+	if err != nil {
+		return nil, err
+	}
+	if keys := splitEquiJoin(o.Cond, o.L.Schema(), o.R.Schema()); len(keys.lKeys) > 0 {
+		return e.hashJoin(o, l, r, keys, false, outer)
+	}
+	sch := o.Schema()
+	out := rel.New(sch)
+	err = l.Each(func(lt rel.Tuple, ln int) error {
+		return r.Each(func(rt rel.Tuple, rn int) error {
+			if err := e.tick(); err != nil {
+				return err
+			}
+			row := lt.Concat(rt)
+			keep, err := e.evalCond(o.Cond, sch, row, outer)
+			if err != nil {
+				return err
+			}
+			if keep == types.True {
+				return e.add(out, row, ln*rn)
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (e *Evaluator) evalLeftJoin(o *algebra.LeftJoin, outer []frame) (*rel.Relation, error) {
+	l, err := e.eval(o.L, outer)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.eval(o.R, outer)
+	if err != nil {
+		return nil, err
+	}
+	if keys := splitEquiJoin(o.Cond, o.L.Schema(), o.R.Schema()); len(keys.lKeys) > 0 {
+		return e.hashJoin(o, l, r, keys, true, outer)
+	}
+	sch := o.Schema()
+	out := rel.New(sch)
+	rightWidth := o.R.Schema().Len()
+	err = l.Each(func(lt rel.Tuple, ln int) error {
+		matched := false
+		err := r.Each(func(rt rel.Tuple, rn int) error {
+			if err := e.tick(); err != nil {
+				return err
+			}
+			row := lt.Concat(rt)
+			keep, err := e.evalCond(o.Cond, sch, row, outer)
+			if err != nil {
+				return err
+			}
+			if keep == types.True {
+				matched = true
+				return e.add(out, row, ln*rn)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if !matched {
+			return e.add(out, lt.Concat(rel.Nulls(rightWidth)), ln)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (e *Evaluator) evalSetOp(o *algebra.SetOp, outer []frame) (*rel.Relation, error) {
+	l, err := e.eval(o.L, outer)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.eval(o.R, outer)
+	if err != nil {
+		return nil, err
+	}
+	if l.Schema.Len() != r.Schema.Len() {
+		return nil, fmt.Errorf("eval: %s of width %d and width %d", o.Kind, l.Schema.Len(), r.Schema.Len())
+	}
+	out := rel.New(o.Schema())
+	switch o.Kind {
+	case algebra.Union:
+		if err := l.Each(func(t rel.Tuple, n int) error { return e.add(out, t, n) }); err != nil {
+			return nil, err
+		}
+		if err := r.Each(func(t rel.Tuple, n int) error { return e.add(out, t, n) }); err != nil {
+			return nil, err
+		}
+	case algebra.Intersect:
+		if err := l.Each(func(t rel.Tuple, n int) error {
+			if m := r.Count(t); m > 0 {
+				return e.add(out, t, min(n, m))
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	case algebra.Except:
+		if err := l.Each(func(t rel.Tuple, n int) error {
+			m := r.Count(t)
+			if o.Bag {
+				if n > m {
+					return e.add(out, t, n-m)
+				}
+			} else if m == 0 {
+				return e.add(out, t, n)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("eval: unknown set operation %v", o.Kind)
+	}
+	if !o.Bag {
+		out = out.Distinct()
+	}
+	return out, nil
+}
+
+func (e *Evaluator) evalLimit(o *algebra.Limit, outer []frame) (*rel.Relation, error) {
+	keys := []algebra.SortKey(nil)
+	child := o.Child
+	if ord, ok := child.(*algebra.Order); ok {
+		keys = ord.Keys
+		child = ord.Child
+	}
+	in, err := e.eval(child, outer)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := e.sortedRows(in, keys, outer)
+	if err != nil {
+		return nil, err
+	}
+	out := rel.New(o.Schema())
+	for i, t := range rows {
+		if i >= o.N {
+			break
+		}
+		out.Add(t, 1)
+	}
+	return out, nil
+}
+
+// sortedRows expands the bag and sorts by keys (stable; ties in key order
+// fall back to tuple key so output is deterministic).
+func (e *Evaluator) sortedRows(in *rel.Relation, keys []algebra.SortKey, outer []frame) ([]rel.Tuple, error) {
+	type sortRow struct {
+		t    rel.Tuple
+		keys rel.Tuple
+	}
+	var rows []sortRow
+	err := in.Each(func(t rel.Tuple, n int) error {
+		kv := make(rel.Tuple, len(keys))
+		for i, k := range keys {
+			v, err := e.evalExpr(k.E, in.Schema, t, outer)
+			if err != nil {
+				return err
+			}
+			kv[i] = v
+		}
+		for ; n > 0; n-- {
+			rows = append(rows, sortRow{t: t, keys: kv})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k := range keys {
+			cmp, ok := types.Compare(rows[i].keys[k], rows[j].keys[k])
+			if !ok {
+				// NULLs sort last, matching PostgreSQL's default.
+				in := rows[i].keys[k].IsNull()
+				jn := rows[j].keys[k].IsNull()
+				if in != jn {
+					return jn != keys[k].Desc
+				}
+				continue
+			}
+			if cmp != 0 {
+				if keys[k].Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+		}
+		return rows[i].t.Key() < rows[j].t.Key()
+	})
+	out := make([]rel.Tuple, len(rows))
+	for i, r := range rows {
+		out[i] = r.t
+	}
+	return out, nil
+}
+
+// SortTuples expands a materialized relation and sorts it by the given
+// keys — used by result presentation to honour a query's ORDER BY after
+// the bag has been materialized. Keys must be sublink-free.
+func SortTuples(in *rel.Relation, keys []algebra.SortKey) ([]rel.Tuple, error) {
+	e := New(nopDB{})
+	return e.sortedRows(in, keys, nil)
+}
+
+type nopDB struct{}
+
+func (nopDB) Relation(name string) (*rel.Relation, error) {
+	return nil, fmt.Errorf("eval: no database attached")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

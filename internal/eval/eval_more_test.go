@@ -1,0 +1,265 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+
+	"perm/internal/algebra"
+	"perm/internal/catalog"
+	"perm/internal/rel"
+	"perm/internal/schema"
+	"perm/internal/types"
+)
+
+func TestValuesOperator(t *testing.T) {
+	c := catalog.New()
+	op := &algebra.Values{
+		Sch: schema.New("", "x", "y"),
+		Rows: []algebra.Row{
+			{algebra.IntConst(1), algebra.StrConst("a")},
+			{algebra.NullConst(), algebra.StrConst("b")},
+		},
+	}
+	out := mustEval(t, c, op)
+	if out.Card() != 2 {
+		t.Fatalf("card = %d", out.Card())
+	}
+	if out.Count(rel.Tuple{types.Null(), types.NewString("b")}) != 1 {
+		t.Errorf("null row missing: %s", out)
+	}
+	// Width mismatch is an error.
+	bad := &algebra.Values{Sch: schema.New("", "x"), Rows: []algebra.Row{{algebra.IntConst(1), algebra.IntConst(2)}}}
+	if _, err := New(c).Eval(bad); err == nil {
+		t.Error("ragged VALUES row should error")
+	}
+}
+
+func TestLimitWithoutOrder(t *testing.T) {
+	c := figure3DB()
+	op := &algebra.Limit{Child: scan(t, c, "r"), N: 2}
+	out := mustEval(t, c, op)
+	if out.Card() != 2 {
+		t.Errorf("limit without order card = %d", out.Card())
+	}
+	zero := &algebra.Limit{Child: scan(t, c, "r"), N: 0}
+	if out := mustEval(t, c, zero); !out.Empty() {
+		t.Errorf("limit 0 = %s", out)
+	}
+}
+
+func TestOrderAloneIsBagIdentity(t *testing.T) {
+	c := figure3DB()
+	op := &algebra.Order{Child: scan(t, c, "r"), Keys: []algebra.SortKey{{E: algebra.Attr("a"), Desc: true}}}
+	out := mustEval(t, c, op)
+	base := mustEval(t, c, scan(t, c, "r"))
+	if !out.Equal(base.WithSchema(out.Schema)) {
+		t.Errorf("order changed bag content")
+	}
+}
+
+func TestHashJoinWithResidual(t *testing.T) {
+	c := figure3DB()
+	// a = c (hashable) AND b < d (residual).
+	cond := algebra.And{
+		L: algebra.Cmp{Op: types.CmpEq, L: algebra.Attr("a"), R: algebra.Attr("c")},
+		R: algebra.Cmp{Op: types.CmpLt, L: algebra.Attr("b"), R: algebra.Attr("d")},
+	}
+	op := &algebra.Join{L: scan(t, c, "r"), R: scan(t, c, "s"), Cond: cond}
+	out := mustEval(t, c, op)
+	want := rel.FromTuples(out.Schema, ints(1, 1, 1, 3), ints(2, 1, 2, 4))
+	if !out.Equal(want) {
+		t.Errorf("hash join with residual = %s", out)
+	}
+}
+
+func TestHashJoinNullKeysDoNotMatch(t *testing.T) {
+	c := catalog.New()
+	c.Register("l", rel.FromTuples(schema.New("", "a"), rel.Tuple{types.Null()}, ints(1)))
+	c.Register("m", rel.FromTuples(schema.New("", "b"), rel.Tuple{types.Null()}, ints(1)))
+	eq := &algebra.Join{L: scan(t, c, "l"), R: scan(t, c, "m"),
+		Cond: algebra.Cmp{Op: types.CmpEq, L: algebra.Attr("a"), R: algebra.Attr("b")}}
+	out := mustEval(t, c, eq)
+	if out.Card() != 1 {
+		t.Errorf("= join matched NULLs: %s", out)
+	}
+	// =n joins DO match NULLs.
+	neq := &algebra.Join{L: scan(t, c, "l"), R: scan(t, c, "m"),
+		Cond: algebra.NullEq{L: algebra.Attr("a"), R: algebra.Attr("b")}}
+	out = mustEval(t, c, neq)
+	if out.Card() != 2 {
+		t.Errorf("=n join should match NULL with NULL: %s", out)
+	}
+}
+
+func TestHashLeftJoinPadsUnmatched(t *testing.T) {
+	c := figure3DB()
+	cond := algebra.Cmp{Op: types.CmpEq, L: algebra.Attr("a"), R: algebra.Attr("c")}
+	op := &algebra.LeftJoin{L: scan(t, c, "r"), R: scan(t, c, "s"), Cond: cond}
+	out := mustEval(t, c, op)
+	padded := rel.Tuple{types.NewInt(3), types.NewInt(2), types.Null(), types.Null()}
+	if out.Card() != 3 || out.Count(padded) != 1 {
+		t.Errorf("hash left join = %s", out)
+	}
+}
+
+func TestSplitEquiJoinClassification(t *testing.T) {
+	lsch := schema.New("l", "a", "b")
+	rsch := schema.New("r", "c", "d")
+	cond := algebra.Conj(
+		algebra.Cmp{Op: types.CmpEq, L: algebra.QAttr("l", "a"), R: algebra.QAttr("r", "c")}, // key
+		algebra.NullEq{L: algebra.QAttr("r", "d"), R: algebra.QAttr("l", "b")},               // key (swapped)
+		algebra.Cmp{Op: types.CmpLt, L: algebra.QAttr("l", "a"), R: algebra.QAttr("r", "d")}, // residual
+		algebra.Cmp{Op: types.CmpEq, L: algebra.QAttr("l", "a"), R: algebra.QAttr("l", "b")}, // one-sided: residual
+	)
+	keys := splitEquiJoin(cond, lsch, rsch)
+	if len(keys.lKeys) != 2 {
+		t.Fatalf("extracted %d keys, want 2", len(keys.lKeys))
+	}
+	if !keys.nullEq[1] || keys.nullEq[0] {
+		t.Errorf("null-awareness flags = %v", keys.nullEq)
+	}
+	if keys.residual == nil {
+		t.Fatal("missing residual")
+	}
+	// Correlated expressions must not become keys.
+	correlated := algebra.Cmp{Op: types.CmpEq, L: algebra.QAttr("l", "a"), R: algebra.Attr("outer_x")}
+	keys = splitEquiJoin(correlated, lsch, rsch)
+	if len(keys.lKeys) != 0 {
+		t.Error("correlated reference extracted as key")
+	}
+}
+
+func TestSetOpWidthMismatch(t *testing.T) {
+	c := figure3DB()
+	op := &algebra.SetOp{Kind: algebra.Union, Bag: true,
+		L: scan(t, c, "r"),
+		R: algebra.NewProject(scan(t, c, "s"), algebra.KeepCol("c"))}
+	if _, err := New(c).Eval(op); err == nil {
+		t.Fatal("width mismatch should error")
+	}
+}
+
+func TestSortTuplesNullsLast(t *testing.T) {
+	s := schema.New("", "a")
+	r := rel.FromTuples(s, rel.Tuple{types.Null()}, ints(2), ints(1))
+	rows, err := SortTuples(r, []algebra.SortKey{{E: algebra.Attr("a")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows[0][0].IsNull() == false && rows[2][0].IsNull() {
+		// ascending: 1, 2, NULL (NULLs last)
+	}
+	if rows[0][0].IsNull() || rows[1][0].Int() != 2 || !rows[2][0].IsNull() {
+		t.Errorf("ascending with NULL = %v", rows)
+	}
+	desc, err := SortTuples(r, []algebra.SortKey{{E: algebra.Attr("a"), Desc: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !desc[0][0].IsNull() && desc[0][0].Int() != 2 {
+		t.Errorf("descending = %v", desc)
+	}
+}
+
+func TestAllSublinkUnknownSemantics(t *testing.T) {
+	// 2 < ALL {NULL, 3}: 2<3 true, 2<NULL unknown → Unknown → dropped.
+	c := catalog.New()
+	c.Register("r", rel.FromTuples(schema.New("", "a"), ints(2)))
+	c.Register("s", rel.FromTuples(schema.New("", "c"), rel.Tuple{types.Null()}, ints(3)))
+	sub := algebra.NewProject(scan(t, c, "s"), algebra.KeepCol("c"))
+	op := &algebra.Select{Child: scan(t, c, "r"),
+		Cond: algebra.Sublink{Kind: algebra.AllSublink, Op: types.CmpLt, Test: algebra.Attr("a"), Query: sub}}
+	out := mustEval(t, c, op)
+	if !out.Empty() {
+		t.Errorf("ALL with NULL element should be Unknown: %s", out)
+	}
+	// 5 < ALL {NULL, 3} is False (3 violates) regardless of the NULL.
+	c.Register("r2", rel.FromTuples(schema.New("", "a"), ints(5)))
+	op2 := &algebra.Select{Child: scan(t, c, "r2"),
+		Cond: algebra.Not{E: algebra.Sublink{Kind: algebra.AllSublink, Op: types.CmpLt, Test: algebra.Attr("a"), Query: sub}}}
+	out2 := mustEval(t, c, op2)
+	if out2.Card() != 1 {
+		t.Errorf("NOT(false ALL) should keep the tuple: %s", out2)
+	}
+}
+
+func TestHashedAnySemantics(t *testing.T) {
+	// Uncorrelated = ANY goes through the hashed path; verify its NULL
+	// semantics match the generic quantifier.
+	c := catalog.New()
+	c.Register("r", rel.FromTuples(schema.New("", "a"), ints(1), ints(9), rel.Tuple{types.Null()}))
+	c.Register("s", rel.FromTuples(schema.New("", "c"), rel.Tuple{types.Null()}, ints(1)))
+	sub := algebra.NewProject(scan(t, c, "s"), algebra.KeepCol("c"))
+	op := &algebra.Select{Child: scan(t, c, "r"),
+		Cond: algebra.Sublink{Kind: algebra.AnySublink, Op: types.CmpEq, Test: algebra.Attr("a"), Query: sub}}
+	out := mustEval(t, c, op)
+	// a=1 matches; a=9 vs {NULL,1} → Unknown (dropped, not false); a=NULL → Unknown.
+	if out.Card() != 1 || out.Count(ints(1)) != 1 {
+		t.Errorf("hashed ANY = %s", out)
+	}
+	// Empty subquery: always false, even for NULL test values.
+	c.Register("empty", rel.New(schema.New("", "c")))
+	subE := algebra.NewProject(scan(t, c, "empty"), algebra.KeepCol("c"))
+	opE := &algebra.Select{Child: scan(t, c, "r"),
+		Cond: algebra.Not{E: algebra.Sublink{Kind: algebra.AnySublink, Op: types.CmpEq, Test: algebra.Attr("a"), Query: subE}}}
+	outE := mustEval(t, c, opE)
+	if outE.Card() != 3 {
+		t.Errorf("NOT(x = ANY empty) should keep all: %s", outE)
+	}
+}
+
+func TestMaxRowsBudget(t *testing.T) {
+	c := figure3DB()
+	// 3×3×3×3 cross product = 81 rows materialized along the way.
+	var op algebra.Op = scan(t, c, "r")
+	for i := 0; i < 3; i++ {
+		op = &algebra.Cross{L: op, R: algebra.NewScan("r", string(rune('x'+i)), mustSchema(t, c, "r"))}
+	}
+	ev := New(c)
+	ev.MaxRows = 10
+	_, err := ev.Eval(op)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	// A generous budget succeeds, and the counter resets between calls.
+	ev.MaxRows = 10000
+	if _, err := ev.Eval(op); err != nil {
+		t.Fatalf("generous budget: %v", err)
+	}
+	if _, err := ev.Eval(op); err != nil {
+		t.Fatalf("budget should reset per Eval: %v", err)
+	}
+}
+
+func TestHashedAnyAblationAgrees(t *testing.T) {
+	c := figure3DB()
+	sub := algebra.NewProject(scan(t, c, "s"), algebra.KeepCol("c"))
+	op := &algebra.Select{Child: scan(t, c, "r"),
+		Cond: algebra.Sublink{Kind: algebra.AnySublink, Op: types.CmpEq, Test: algebra.Attr("a"), Query: sub}}
+	fast := mustEval(t, c, op)
+	slow := New(c)
+	slow.DisableHashedAny = true
+	out, err := slow.Eval(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(fast.WithSchema(out.Schema)) {
+		t.Errorf("hashed and generic ANY disagree:\n%s\nvs\n%s", fast, out)
+	}
+}
+
+func TestProjectionWithQualifiedOutput(t *testing.T) {
+	c := figure3DB()
+	op := &algebra.Project{Child: scan(t, c, "r"), Cols: []algebra.ProjExpr{
+		{E: algebra.Attr("a"), As: "a", Qual: "x"},
+	}}
+	out := mustEval(t, c, op)
+	if out.Schema.Attrs[0].Qual != "x" {
+		t.Errorf("qualified projection output lost: %s", out.Schema)
+	}
+	// Referencing it as x.a works one level up.
+	sel := &algebra.Select{Child: op, Cond: algebra.Cmp{Op: types.CmpEq, L: algebra.QAttr("x", "a"), R: algebra.IntConst(1)}}
+	if out := mustEval(t, c, sel); out.Card() != 1 {
+		t.Errorf("qualified reference failed: %s", out)
+	}
+}

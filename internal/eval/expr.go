@@ -1,0 +1,171 @@
+package eval
+
+import (
+	"fmt"
+
+	"perm/internal/algebra"
+	"perm/internal/rel"
+	"perm/internal/schema"
+	"perm/internal/types"
+)
+
+// evalCond evaluates a condition under three-valued logic. Boolean values
+// map to True/False, NULL maps to Unknown; anything else is a type error.
+func (e *Evaluator) evalCond(cond algebra.Expr, sch schema.Schema, t rel.Tuple, outer []frame) (types.TriBool, error) {
+	v, err := e.evalExpr(cond, sch, t, outer)
+	if err != nil {
+		return types.Unknown, err
+	}
+	return toTri(v)
+}
+
+func toTri(v types.Value) (types.TriBool, error) {
+	switch v.Kind() {
+	case types.KindNull:
+		return types.Unknown, nil
+	case types.KindBool:
+		return types.TriOf(v.Bool()), nil
+	default:
+		return types.Unknown, fmt.Errorf("eval: condition evaluated to %s, want boolean", v.Kind())
+	}
+}
+
+func triToValue(t types.TriBool) types.Value {
+	switch t {
+	case types.True:
+		return types.NewBool(true)
+	case types.False:
+		return types.NewBool(false)
+	default:
+		return types.Null()
+	}
+}
+
+// evalExpr evaluates a scalar expression for tuple t of schema sch, with
+// outer providing enclosing scopes for correlated attribute references
+// (innermost scope last).
+func (e *Evaluator) evalExpr(x algebra.Expr, sch schema.Schema, t rel.Tuple, outer []frame) (types.Value, error) {
+	switch ex := x.(type) {
+	case algebra.Const:
+		return ex.Val, nil
+	case algebra.AttrRef:
+		return resolveAttr(ex, sch, t, outer)
+	case algebra.Cmp:
+		l, err := e.evalExpr(ex.L, sch, t, outer)
+		if err != nil {
+			return types.Null(), err
+		}
+		r, err := e.evalExpr(ex.R, sch, t, outer)
+		if err != nil {
+			return types.Null(), err
+		}
+		return triToValue(ex.Op.Apply(l, r)), nil
+	case algebra.NullEq:
+		l, err := e.evalExpr(ex.L, sch, t, outer)
+		if err != nil {
+			return types.Null(), err
+		}
+		r, err := e.evalExpr(ex.R, sch, t, outer)
+		if err != nil {
+			return types.Null(), err
+		}
+		return types.NewBool(types.NullEq(l, r)), nil
+	case algebra.Arith:
+		l, err := e.evalExpr(ex.L, sch, t, outer)
+		if err != nil {
+			return types.Null(), err
+		}
+		r, err := e.evalExpr(ex.R, sch, t, outer)
+		if err != nil {
+			return types.Null(), err
+		}
+		return ex.Op.Apply(l, r)
+	case algebra.And:
+		// Short-circuit: False AND x is False without evaluating x. This
+		// matters for Gen-rewritten queries, whose conditions guard
+		// expensive sublinks behind cheap comparisons.
+		l, err := e.evalExpr(ex.L, sch, t, outer)
+		if err != nil {
+			return types.Null(), err
+		}
+		lt, err := toTri(l)
+		if err != nil {
+			return types.Null(), err
+		}
+		if lt == types.False {
+			return types.NewBool(false), nil
+		}
+		r, err := e.evalExpr(ex.R, sch, t, outer)
+		if err != nil {
+			return types.Null(), err
+		}
+		rt, err := toTri(r)
+		if err != nil {
+			return types.Null(), err
+		}
+		return triToValue(lt.And(rt)), nil
+	case algebra.Or:
+		l, err := e.evalExpr(ex.L, sch, t, outer)
+		if err != nil {
+			return types.Null(), err
+		}
+		lt, err := toTri(l)
+		if err != nil {
+			return types.Null(), err
+		}
+		if lt == types.True {
+			return types.NewBool(true), nil
+		}
+		r, err := e.evalExpr(ex.R, sch, t, outer)
+		if err != nil {
+			return types.Null(), err
+		}
+		rt, err := toTri(r)
+		if err != nil {
+			return types.Null(), err
+		}
+		return triToValue(lt.Or(rt)), nil
+	case algebra.Not:
+		v, err := e.evalExpr(ex.E, sch, t, outer)
+		if err != nil {
+			return types.Null(), err
+		}
+		tv, err := toTri(v)
+		if err != nil {
+			return types.Null(), err
+		}
+		return triToValue(tv.Not()), nil
+	case algebra.IsNull:
+		v, err := e.evalExpr(ex.E, sch, t, outer)
+		if err != nil {
+			return types.Null(), err
+		}
+		return types.NewBool(v.IsNull()), nil
+	case algebra.Sublink:
+		return e.evalSublink(ex, sch, t, outer)
+	default:
+		return types.Null(), fmt.Errorf("eval: unsupported expression %T", x)
+	}
+}
+
+// resolveAttr looks a reference up in the current scope first, then walks
+// the enclosing scopes innermost-out — SQL correlation semantics.
+func resolveAttr(ref algebra.AttrRef, sch schema.Schema, t rel.Tuple, outer []frame) (types.Value, error) {
+	idx, ambiguous := sch.Lookup(ref.Qual, ref.Name)
+	if ambiguous {
+		return types.Null(), fmt.Errorf("eval: ambiguous attribute reference %s in %s", ref, sch)
+	}
+	if idx >= 0 {
+		return t[idx], nil
+	}
+	for i := len(outer) - 1; i >= 0; i-- {
+		idx, ambiguous = outer[i].sch.Lookup(ref.Qual, ref.Name)
+		if ambiguous {
+			return types.Null(), fmt.Errorf("eval: ambiguous correlated reference %s in %s", ref, outer[i].sch)
+		}
+		if idx >= 0 {
+			return outer[i].t[idx], nil
+		}
+	}
+	return types.Null(), fmt.Errorf("eval: unknown attribute %s (scope %s, %d outer scopes)", ref, sch, len(outer))
+}

@@ -1,0 +1,182 @@
+package eval
+
+import (
+	"fmt"
+
+	"perm/internal/algebra"
+	"perm/internal/rel"
+	"perm/internal/schema"
+	"perm/internal/types"
+)
+
+// evalSublink evaluates the sublink Csub for one binding of the enclosing
+// operator's input tuple. ANY/ALL/EXISTS yield a (three-valued) boolean;
+// scalar sublinks yield the single attribute of their single result tuple,
+// or NULL for an empty result.
+func (e *Evaluator) evalSublink(s algebra.Sublink, sch schema.Schema, t rel.Tuple, outer []frame) (types.Value, error) {
+	scope := append(outer, frame{sch: sch, t: t})
+	sub, err := e.evalSubplan(s.Query, scope)
+	if err != nil {
+		return types.Null(), err
+	}
+	switch s.Kind {
+	case algebra.ExistsSublink:
+		return types.NewBool(!sub.Empty()), nil
+	case algebra.ScalarSublink:
+		if sub.Schema.Len() != 1 {
+			return types.Null(), fmt.Errorf("eval: scalar sublink produced %d attributes, want 1", sub.Schema.Len())
+		}
+		switch sub.Card() {
+		case 0:
+			return types.Null(), nil
+		case 1:
+			var out types.Value
+			_ = sub.Each(func(st rel.Tuple, n int) error { out = st[0]; return nil })
+			return out, nil
+		default:
+			return types.Null(), fmt.Errorf("eval: scalar sublink produced %d tuples, want at most 1", sub.Card())
+		}
+	case algebra.AnySublink, algebra.AllSublink:
+		a, err := e.evalExpr(s.Test, sch, t, outer)
+		if err != nil {
+			return types.Null(), err
+		}
+		if s.Kind == algebra.AnySublink && s.Op == types.CmpEq && !e.DisableHashedAny && !e.isCorrelated(s.Query) {
+			return e.hashedAny(s, a, sub)
+		}
+		return e.quantify(s, a, sub)
+	default:
+		return types.Null(), fmt.Errorf("eval: unknown sublink kind %v", s.Kind)
+	}
+}
+
+// quantify applies the ANY (existential) or ALL (universal) quantifier of
+// "a op ANY/ALL (sub)" under SQL three-valued logic: for ANY, True if any
+// comparison is True, else Unknown if any is Unknown, else False (empty sub
+// is False); dually for ALL (empty sub is True).
+func (e *Evaluator) quantify(s algebra.Sublink, a types.Value, sub *rel.Relation) (types.Value, error) {
+	if sub.Schema.Len() != 1 {
+		return types.Null(), fmt.Errorf("eval: %s sublink query produced %d attributes, want 1", s.Kind, sub.Schema.Len())
+	}
+	sawUnknown := false
+	if s.Kind == algebra.AnySublink {
+		found := false
+		_ = sub.Each(func(st rel.Tuple, n int) error {
+			switch s.Op.Apply(a, st[0]) {
+			case types.True:
+				found = true
+			case types.Unknown:
+				sawUnknown = true
+			}
+			return nil
+		})
+		if found {
+			return types.NewBool(true), nil
+		}
+		if sawUnknown {
+			return types.Null(), nil
+		}
+		return types.NewBool(false), nil
+	}
+	allTrue := true
+	_ = sub.Each(func(st rel.Tuple, n int) error {
+		switch s.Op.Apply(a, st[0]) {
+		case types.False:
+			allTrue = false
+		case types.Unknown:
+			sawUnknown = true
+		}
+		return nil
+	})
+	if !allTrue {
+		return types.NewBool(false), nil
+	}
+	if sawUnknown {
+		return types.Null(), nil
+	}
+	return types.NewBool(true), nil
+}
+
+// anySet is the hashed form of an uncorrelated = ANY sublink result.
+type anySet struct {
+	keys    map[string]bool
+	hasNull bool
+	empty   bool
+}
+
+// hashedAny answers "a = ANY (sub)" from a hash set built once per query —
+// PostgreSQL's hashed-subplan execution for uncorrelated IN/ANY, which the
+// paper's measurements implicitly rely on. Semantics match quantify: an
+// empty subquery yields false; a NULL test value or a NULL element that is
+// the only possible match yields unknown.
+func (e *Evaluator) hashedAny(s algebra.Sublink, a types.Value, sub *rel.Relation) (types.Value, error) {
+	set, ok := e.anyMemo[s.Query]
+	if !ok {
+		if sub.Schema.Len() != 1 {
+			return types.Null(), fmt.Errorf("eval: %s sublink query produced %d attributes, want 1", s.Kind, sub.Schema.Len())
+		}
+		set = &anySet{keys: map[string]bool{}, empty: sub.Empty()}
+		_ = sub.Each(func(st rel.Tuple, n int) error {
+			if st[0].IsNull() {
+				set.hasNull = true
+			} else {
+				set.keys[string(st[0].AppendKey(nil))] = true
+			}
+			return nil
+		})
+		if e.anyMemo != nil {
+			e.anyMemo[s.Query] = set
+		}
+	}
+	if set.empty {
+		return types.NewBool(false), nil
+	}
+	if a.IsNull() {
+		return types.Null(), nil
+	}
+	if set.keys[string(a.AppendKey(nil))] {
+		return types.NewBool(true), nil
+	}
+	if set.hasNull {
+		return types.Null(), nil
+	}
+	return types.NewBool(false), nil
+}
+
+// evalSubplan evaluates a sublink query. Uncorrelated queries are evaluated
+// once per top-level Eval and memoized (PostgreSQL's InitPlan behaviour);
+// correlated queries re-evaluate for every outer binding (SubPlan
+// behaviour). The distinction is what makes correlated provenance rewrites
+// inherently expensive, as §4 of the paper observes.
+func (e *Evaluator) evalSubplan(q algebra.Op, scope []frame) (*rel.Relation, error) {
+	if e.isCorrelated(q) {
+		return e.eval(q, scope)
+	}
+	if e.memo != nil {
+		if cached, ok := e.memo[q]; ok {
+			return cached, nil
+		}
+	}
+	out, err := e.eval(q, nil)
+	if err != nil {
+		return nil, err
+	}
+	if e.memo != nil {
+		e.memo[q] = out
+	}
+	return out, nil
+}
+
+// isCorrelated reports whether the plan has free attribute references,
+// caching the analysis per node.
+func (e *Evaluator) isCorrelated(q algebra.Op) bool {
+	if e.free == nil {
+		return len(algebra.FreeVars(q)) > 0
+	}
+	if v, ok := e.free[q]; ok {
+		return v
+	}
+	v := len(algebra.FreeVars(q)) > 0
+	e.free[q] = v
+	return v
+}

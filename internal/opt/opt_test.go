@@ -1,0 +1,251 @@
+package opt
+
+import (
+	"fmt"
+	"testing"
+
+	"perm/internal/algebra"
+	"perm/internal/catalog"
+	"perm/internal/eval"
+	"perm/internal/rel"
+	"perm/internal/rewrite"
+	"perm/internal/schema"
+	"perm/internal/sql"
+	"perm/internal/types"
+)
+
+func ints(vals ...int64) rel.Tuple {
+	t := make(rel.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = types.NewInt(v)
+	}
+	return t
+}
+
+func testDB() *catalog.Catalog {
+	c := catalog.New()
+	c.Register("r", rel.FromTuples(schema.New("", "a", "b"), ints(1, 1), ints(2, 1), ints(3, 2)))
+	c.Register("s", rel.FromTuples(schema.New("", "c", "d"), ints(1, 3), ints(2, 4), ints(4, 5)))
+	c.Register("u", rel.FromTuples(schema.New("", "e"), ints(3), ints(4)))
+	return c
+}
+
+// countOps counts operator node kinds in a plan (descending into sublinks).
+func countOps(op algebra.Op) map[string]int {
+	counts := map[string]int{}
+	algebra.Walk(op, func(o algebra.Op) bool {
+		counts[fmt.Sprintf("%T", o)]++
+		return true
+	})
+	return counts
+}
+
+func TestJoinExtraction(t *testing.T) {
+	c := testDB()
+	tr, err := sql.Compile(c, "SELECT a, d, e FROM r, s, u WHERE a = c AND d > e AND b = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := eval.New(c).Eval(tr.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimized := Optimize(tr.Plan)
+	after, err := eval.New(c).Eval(optimized)
+	if err != nil {
+		t.Fatalf("optimized plan failed: %v\n%s", err, algebra.Indent(optimized))
+	}
+	if !after.Equal(before.WithSchema(after.Schema)) {
+		t.Fatalf("optimizer changed semantics:\nbefore %s\nafter  %s", before, after)
+	}
+	counts := countOps(optimized)
+	if counts["*algebra.Join"] == 0 {
+		t.Errorf("expected a join after extraction:\n%s", algebra.Indent(optimized))
+	}
+}
+
+func TestPushdownKeepsCorrelatedPredicatesInPlace(t *testing.T) {
+	c := testDB()
+	// The sublink predicate must stay at the top; the join predicate moves.
+	q := "SELECT a FROM r, s WHERE a = c AND b = ANY (SELECT e FROM u WHERE e > d)"
+	tr, err := sql.Compile(c, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := eval.New(c).Eval(tr.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimized := Optimize(tr.Plan)
+	after, err := eval.New(c).Eval(optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Equal(before.WithSchema(after.Schema)) {
+		t.Fatalf("optimizer changed semantics of sublink query:\nbefore %s\nafter  %s", before, after)
+	}
+}
+
+// TestOptimizePreservesSemantics fuzzes the optimizer against the naive
+// plans over a set of query shapes, comparing bag-equality of results.
+func TestOptimizePreservesSemantics(t *testing.T) {
+	c := testDB()
+	queries := []string{
+		"SELECT * FROM r",
+		"SELECT a, c FROM r, s WHERE a = c",
+		"SELECT a, c, e FROM r, s, u WHERE a = c AND c = e",
+		"SELECT a, c, e FROM r, s, u WHERE a = c AND b < e",
+		"SELECT a FROM r, s WHERE a < c",
+		"SELECT b, sum(a) AS t FROM r, s WHERE a = c GROUP BY b",
+		"SELECT a FROM r WHERE a IN (SELECT c FROM s WHERE d > 3)",
+		"SELECT a FROM r WHERE EXISTS (SELECT * FROM s, u WHERE c = e AND c = a)",
+		"SELECT a FROM r LEFT JOIN s ON a = c WHERE b = 1",
+		"SELECT a FROM r UNION SELECT c FROM s",
+		"SELECT a FROM r WHERE a = (SELECT min(c) FROM s, u WHERE c = e)",
+	}
+	for _, q := range queries {
+		tr, err := sql.Compile(c, q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		before, err := eval.New(c).Eval(tr.Plan)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		optimized := Optimize(tr.Plan)
+		after, err := eval.New(c).Eval(optimized)
+		if err != nil {
+			t.Fatalf("%s (optimized): %v\n%s", q, err, algebra.Indent(optimized))
+		}
+		if !after.Equal(before.WithSchema(after.Schema)) {
+			t.Errorf("%s: optimizer changed result\nbefore %s\nafter  %s", q, before, after)
+		}
+	}
+}
+
+// TestPushdownThroughReorderProjection checks that selections commute with
+// the pass-through projections the provenance rewrite emits, so the join
+// extraction reaches the underlying cross products.
+func TestPushdownThroughReorderProjection(t *testing.T) {
+	c := testDB()
+	tr, err := sql.Compile(c, "SELECT a FROM r, s WHERE a = c AND d > 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rewrite.Rewrite(tr.Plan, rewrite.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimized := Optimize(res.Plan)
+	counts := countOps(optimized)
+	if counts["*algebra.Join"] == 0 {
+		t.Errorf("join extraction blocked by reorder projection:\n%s", algebra.Indent(optimized))
+	}
+	if counts["*algebra.Cross"] != 0 {
+		t.Errorf("cross product left behind:\n%s", algebra.Indent(optimized))
+	}
+	// Semantics preserved.
+	before, err := eval.New(c).Eval(res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := eval.New(c).Eval(optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Equal(before.WithSchema(after.Schema)) {
+		t.Error("pushdown changed semantics")
+	}
+}
+
+// TestPushdownThroughMoveProjection checks the partial rule: conjuncts over
+// pass-through columns sink below a projection that also computes sublink
+// columns (the Move strategy's inner projection).
+func TestPushdownThroughMoveProjection(t *testing.T) {
+	c := testDB()
+	tr, err := sql.Compile(c, "SELECT a FROM r, s WHERE a = c AND b = ANY (SELECT e FROM u)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rewrite.Rewrite(tr.Plan, rewrite.Move)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimized := Optimize(res.Plan)
+	if countOps(optimized)["*algebra.Join"] == 0 {
+		t.Errorf("a = c did not reach the cross product below the Move projection:\n%s", algebra.Indent(optimized))
+	}
+	before, err := eval.New(c).Eval(res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := eval.New(c).Eval(optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Equal(before.WithSchema(after.Schema)) {
+		t.Error("partial pushdown changed semantics")
+	}
+}
+
+// TestPushdownLeftJoin checks left-side-only conjuncts sink below a left
+// outer join.
+func TestPushdownLeftJoin(t *testing.T) {
+	c := testDB()
+	tr, err := sql.Compile(c, "SELECT a FROM r LEFT JOIN s ON a = c WHERE b = 1 AND a < 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := eval.New(c).Eval(tr.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimized := Optimize(tr.Plan)
+	after, err := eval.New(c).Eval(optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Equal(before.WithSchema(after.Schema)) {
+		t.Error("left join pushdown changed semantics")
+	}
+	// The top-level operator should no longer be the selection.
+	if _, isSel := optimized.(*algebra.Select); isSel {
+		t.Errorf("selection not pushed below left join:\n%s", algebra.Indent(optimized))
+	}
+}
+
+// TestOptimizeRewrittenPlans runs the optimizer over provenance-rewritten
+// plans of every strategy and checks result preservation — this is the
+// production path (rewrite, then plan, then execute, as in Perm).
+func TestOptimizeRewrittenPlans(t *testing.T) {
+	c := testDB()
+	queries := []string{
+		"SELECT a FROM r WHERE a = ANY (SELECT c FROM s)",
+		"SELECT a FROM r WHERE b < ALL (SELECT d FROM s WHERE c > 1)",
+		"SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE c > 2)",
+	}
+	for _, q := range queries {
+		tr, err := sql.Compile(c, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, strat := range []rewrite.Strategy{rewrite.Gen, rewrite.Left, rewrite.Move} {
+			res, err := rewrite.Rewrite(tr.Plan, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before, err := eval.New(c).Eval(res.Plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			optimized := Optimize(res.Plan)
+			after, err := eval.New(c).Eval(optimized)
+			if err != nil {
+				t.Fatalf("%s/%v optimized: %v", q, strat, err)
+			}
+			if !after.Equal(before.WithSchema(after.Schema)) {
+				t.Errorf("%s/%v: optimizer changed provenance result", q, strat)
+			}
+		}
+	}
+}

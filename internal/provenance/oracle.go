@@ -1,0 +1,465 @@
+// Package provenance provides two reference implementations of the paper's
+// provenance semantics that are independent of the query rewriter:
+//
+//   - an oracle computing the closed forms of Theorems 1–3 directly, under
+//     either Definition 1 (with the ind influence role) or Definition 2
+//     (the paper's extension, which eliminates ind);
+//   - a brute-force checker that verifies the conditions of Definitions 1
+//     and 2 — including maximality — by exhaustive substitution on tiny
+//     relations.
+//
+// Tests use the oracle to cross-check the rewrite strategies and the
+// checker to cross-check the oracle, closing the verification loop.
+package provenance
+
+import (
+	"fmt"
+
+	"perm/internal/algebra"
+	"perm/internal/catalog"
+	"perm/internal/eval"
+	"perm/internal/rel"
+	"perm/internal/schema"
+	"perm/internal/types"
+)
+
+// Definition selects which contribution definition the oracle computes.
+type Definition uint8
+
+// The two contribution definitions of §2.
+const (
+	// Definition1 is Cui & Widom's contribution definition applied to
+	// sublinks (§2.3–2.4): influence roles reqtrue/reqfalse/ind, where ind
+	// sublinks contribute their entire query result.
+	Definition1 Definition = iota
+	// Definition2 adds condition 3 (§2.5): the provenance must reproduce
+	// every sublink's result, which removes the ind role and the false
+	// positives it admits.
+	Definition2
+)
+
+// String names the definition.
+func (d Definition) String() string {
+	if d == Definition1 {
+		return "Definition 1"
+	}
+	return "Definition 2"
+}
+
+// TupleProvenance is the provenance of one result tuple: for every base
+// relation access, the contributing subset.
+type TupleProvenance struct {
+	// Result is the output tuple.
+	Result rel.Tuple
+	// Witness is the input tuple of the operator that produced Result (for
+	// projections over correlated sublinks the provenance is defined per
+	// input tuple, §2.6).
+	Witness rel.Tuple
+	// Sources maps a source label — the relation name for the operator's
+	// input, "sub<i>" for the i-th sublink — to the contributing subset.
+	Sources map[string]*rel.Relation
+}
+
+// Oracle computes provenance closed forms by direct evaluation.
+type Oracle struct {
+	cat *catalog.Catalog
+	def Definition
+	ev  *eval.Evaluator
+}
+
+// NewOracle returns an oracle over the catalog under the given definition.
+func NewOracle(cat *catalog.Catalog, def Definition) *Oracle {
+	return &Oracle{cat: cat, def: def, ev: eval.New(cat)}
+}
+
+// SelectionProvenance computes the provenance of every result tuple of
+// q = σ_C(Scan(T)), where C may contain (correlated) sublinks. It returns
+// one TupleProvenance per qualifying input tuple. The operator input's
+// contribution is keyed by the relation name; sublink i's contribution (the
+// subset Tsub_i* of the sublink query's result, per Figure 2 / Theorem 1
+// and its ALL/EXISTS/scalar analogues) is keyed "sub<i>".
+func (o *Oracle) SelectionProvenance(sel *algebra.Select) ([]TupleProvenance, error) {
+	sc, ok := sel.Child.(*algebra.Scan)
+	if !ok {
+		return nil, fmt.Errorf("provenance: oracle supports selections over base relations, got %T", sel.Child)
+	}
+	in, err := o.ev.Eval(sc)
+	if err != nil {
+		return nil, err
+	}
+	sublinks := algebra.CollectSublinks(sel.Cond)
+	var out []TupleProvenance
+	err = in.Each(func(t rel.Tuple, n int) error {
+		keep, err := o.evalCondition(sel.Cond, in.Schema, t)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			return nil
+		}
+		tp := TupleProvenance{
+			Result:  t,
+			Witness: t,
+			Sources: map[string]*rel.Relation{sc.Name: rel.FromTuples(in.Schema, t)},
+		}
+		for i, sl := range sublinks {
+			star, err := o.sublinkStar(sl, sel.Cond, in.Schema, t)
+			if err != nil {
+				return err
+			}
+			tp.Sources[subKey(i)] = star
+		}
+		out = append(out, tp)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ProjectionProvenance computes the provenance of q = Π_A(Scan(T)) per
+// input tuple (one TupleProvenance per input tuple; callers union them per
+// distinct result tuple for the uncorrelated case, per Theorem 2).
+func (o *Oracle) ProjectionProvenance(p *algebra.Project) ([]TupleProvenance, error) {
+	sc, ok := p.Child.(*algebra.Scan)
+	if !ok {
+		return nil, fmt.Errorf("provenance: oracle supports projections over base relations, got %T", p.Child)
+	}
+	in, err := o.ev.Eval(sc)
+	if err != nil {
+		return nil, err
+	}
+	var sublinks []algebra.Sublink
+	for _, c := range p.Cols {
+		sublinks = append(sublinks, algebra.CollectSublinks(c.E)...)
+	}
+	var out []TupleProvenance
+	err = in.Each(func(t rel.Tuple, n int) error {
+		row := make(rel.Tuple, len(p.Cols))
+		for i, c := range p.Cols {
+			v, err := o.evalExpr(c.E, in.Schema, t)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		tp := TupleProvenance{
+			Result:  row,
+			Witness: t,
+			Sources: map[string]*rel.Relation{sc.Name: rel.FromTuples(in.Schema, t)},
+		}
+		// In a projection every input tuple is kept, so the enclosing
+		// condition for role purposes is the projection expression itself;
+		// Definition 2 pins each sublink to its actual value, Definition 1
+		// treats sublinks whose value does not change the projected
+		// expression as ind. We follow Theorem 2: per input tuple, the
+		// sublink provenance is derived exactly as for selections.
+		for i, sl := range sublinks {
+			star, err := o.sublinkStarForValue(sl, in.Schema, t, p.Cols)
+			if err != nil {
+				return err
+			}
+			tp.Sources[subKey(i)] = star
+		}
+		out = append(out, tp)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func subKey(i int) string { return fmt.Sprintf("sub%d", i) }
+
+// evalCondition evaluates a condition for one tuple (True means keep).
+func (o *Oracle) evalCondition(cond algebra.Expr, sch schema.Schema, t rel.Tuple) (bool, error) {
+	v, err := o.evalExpr(cond, sch, t)
+	if err != nil {
+		return false, err
+	}
+	return !v.IsNull() && v.Kind() == types.KindBool && v.Bool(), nil
+}
+
+// evalExpr evaluates an expression for one tuple via a throwaway
+// single-tuple selection plan, reusing the engine's expression semantics.
+func (o *Oracle) evalExpr(e algebra.Expr, sch schema.Schema, t rel.Tuple) (types.Value, error) {
+	probe := &algebra.Project{
+		Child: &algebra.Values{Sch: sch, Rows: []algebra.Row{constRow(t)}},
+		Cols:  []algebra.ProjExpr{{E: e, As: "v"}},
+	}
+	out, err := eval.New(o.cat).Eval(probe)
+	if err != nil {
+		return types.Null(), err
+	}
+	var v types.Value
+	_ = out.Each(func(row rel.Tuple, n int) error { v = row[0]; return nil })
+	return v, nil
+}
+
+func constRow(t rel.Tuple) algebra.Row {
+	row := make(algebra.Row, len(t))
+	for i, v := range t {
+		row[i] = algebra.Const{Val: v}
+	}
+	return row
+}
+
+// sublinkResult materializes Tsub for one outer binding. The oracle
+// de-correlates the query by substituting the outer tuple's values for the
+// free attribute references — its own mechanism, independent of the
+// evaluator's scope stack, which is part of the point of having an oracle.
+func (o *Oracle) sublinkResult(sl algebra.Sublink, sch schema.Schema, t rel.Tuple) (*rel.Relation, error) {
+	bound := substituteOuter(sl.Query, sch, t)
+	return o.ev.Eval(bound)
+}
+
+// substituteOuter replaces every free attribute reference of q that resolves
+// in the outer schema with the corresponding constant of the outer tuple,
+// recursing into nested sublink queries. Caveat: the substitution is by
+// name, so oracle queries must not reuse a free reference's name for a
+// bound attribute in an inner scope (the test queries never do).
+func substituteOuter(q algebra.Op, outer schema.Schema, t rel.Tuple) algebra.Op {
+	free := map[algebra.AttrRef]types.Value{}
+	for _, fv := range algebra.FreeVars(q) {
+		if idx, amb := outer.Lookup(fv.Qual, fv.Name); idx >= 0 && !amb {
+			free[fv] = t[idx]
+		}
+	}
+	if len(free) == 0 {
+		return q
+	}
+	var substExpr func(e algebra.Expr) algebra.Expr
+	substExpr = func(e algebra.Expr) algebra.Expr {
+		return algebra.MapExpr(e, func(x algebra.Expr) algebra.Expr {
+			switch v := x.(type) {
+			case algebra.AttrRef:
+				if val, ok := free[v]; ok {
+					return algebra.Const{Val: val}
+				}
+			case algebra.Sublink:
+				v.Query = mapOpExprs(v.Query, substExpr)
+				return v
+			}
+			return x
+		})
+	}
+	return mapOpExprs(q, substExpr)
+}
+
+// mapOpExprs rebuilds a plan with fn applied to every operator expression.
+// Attribute references bound inside the plan shadow outer ones; this simple
+// substitution is sound because the oracle only substitutes references that
+// are free in the whole plan (FreeVars already accounts for shadowing).
+func mapOpExprs(op algebra.Op, fn func(algebra.Expr) algebra.Expr) algebra.Op {
+	switch q := op.(type) {
+	case *algebra.Scan, *algebra.Values:
+		return op
+	case *algebra.Select:
+		return &algebra.Select{Child: mapOpExprs(q.Child, fn), Cond: fn(q.Cond)}
+	case *algebra.Project:
+		cols := make([]algebra.ProjExpr, len(q.Cols))
+		for i, c := range q.Cols {
+			cols[i] = algebra.ProjExpr{E: fn(c.E), As: c.As, Qual: c.Qual}
+		}
+		return &algebra.Project{Child: mapOpExprs(q.Child, fn), Cols: cols, Distinct: q.Distinct}
+	case *algebra.Cross:
+		return &algebra.Cross{L: mapOpExprs(q.L, fn), R: mapOpExprs(q.R, fn)}
+	case *algebra.Join:
+		return &algebra.Join{L: mapOpExprs(q.L, fn), R: mapOpExprs(q.R, fn), Cond: fn(q.Cond)}
+	case *algebra.LeftJoin:
+		return &algebra.LeftJoin{L: mapOpExprs(q.L, fn), R: mapOpExprs(q.R, fn), Cond: fn(q.Cond)}
+	case *algebra.Aggregate:
+		gs := make([]algebra.GroupExpr, len(q.Group))
+		for i, g := range q.Group {
+			gs[i] = algebra.GroupExpr{E: fn(g.E), As: g.As}
+		}
+		as := make([]algebra.AggExpr, len(q.Aggs))
+		for i, a := range q.Aggs {
+			na := a
+			if a.Arg != nil {
+				na.Arg = fn(a.Arg)
+			}
+			as[i] = na
+		}
+		return &algebra.Aggregate{Child: mapOpExprs(q.Child, fn), Group: gs, Aggs: as}
+	case *algebra.SetOp:
+		return &algebra.SetOp{Kind: q.Kind, Bag: q.Bag, L: mapOpExprs(q.L, fn), R: mapOpExprs(q.R, fn)}
+	case *algebra.Order:
+		return &algebra.Order{Child: mapOpExprs(q.Child, fn), Keys: q.Keys}
+	case *algebra.Limit:
+		return &algebra.Limit{Child: mapOpExprs(q.Child, fn), N: q.N}
+	default:
+		return op
+	}
+}
+
+// sublinkStar computes Tsub* for one outer tuple per Theorem 1 and its
+// analogues (Figure 2), under the oracle's definition:
+//
+//	ANY:  reqtrue → Tsub^true;  reqfalse → Tsub;  ind → Tsub (Def 1 only)
+//	ALL:  reqfalse → Tsub^false; reqtrue → Tsub;  ind → Tsub (Def 1 only)
+//	EXISTS, scalar: Tsub
+//
+// Under Definition 2 the role is pinned by the sublink's actual value:
+// a true ANY behaves reqtrue, a false ANY reqfalse, etc.
+func (o *Oracle) sublinkStar(sl algebra.Sublink, cond algebra.Expr, sch schema.Schema, t rel.Tuple) (*rel.Relation, error) {
+	tsub, err := o.sublinkResult(sl, sch, t)
+	if err != nil {
+		return nil, err
+	}
+	switch sl.Kind {
+	case algebra.ExistsSublink, algebra.ScalarSublink:
+		return tsub, nil
+	}
+	val, err := o.sublinkValue(sl, sch, t)
+	if err != nil {
+		return nil, err
+	}
+	role, err := o.influenceRole(sl, cond, sch, t, val)
+	if err != nil {
+		return nil, err
+	}
+	return o.applyRole(sl, sch, t, tsub, role)
+}
+
+// role is the influence role of a sublink for one input tuple.
+type role uint8
+
+const (
+	reqtrue role = iota
+	reqfalse
+	ind
+)
+
+// influenceRole determines the role of sl in cond for tuple t. Under
+// Definition 2 the role follows the sublink's actual value; under
+// Definition 1 it is determined by whether the condition's value depends on
+// the sublink (forcing the sublink to true and to false and comparing).
+func (o *Oracle) influenceRole(sl algebra.Sublink, cond algebra.Expr, sch schema.Schema, t rel.Tuple, actual bool) (role, error) {
+	if o.def == Definition2 {
+		if actual {
+			return reqtrue, nil
+		}
+		return reqfalse, nil
+	}
+	forced := func(v bool) (bool, error) {
+		fc := algebra.MapExpr(cond, func(x algebra.Expr) algebra.Expr {
+			if s, ok := x.(algebra.Sublink); ok && algebra.ExprEqual(s, sl) {
+				return algebra.BoolConst(v)
+			}
+			return x
+		})
+		return o.evalCondition(fc, sch, t)
+	}
+	withTrue, err := forced(true)
+	if err != nil {
+		return ind, err
+	}
+	withFalse, err := forced(false)
+	if err != nil {
+		return ind, err
+	}
+	switch {
+	case withTrue && !withFalse:
+		return reqtrue, nil
+	case !withTrue && withFalse:
+		return reqfalse, nil
+	default:
+		return ind, nil
+	}
+}
+
+// sublinkValue evaluates the sublink's boolean value for tuple t.
+func (o *Oracle) sublinkValue(sl algebra.Sublink, sch schema.Schema, t rel.Tuple) (bool, error) {
+	return o.evalCondition(sl, sch, t)
+}
+
+// applyRole materializes Tsub* from the role per Figure 2.
+func (o *Oracle) applyRole(sl algebra.Sublink, sch schema.Schema, t rel.Tuple, tsub *rel.Relation, r role) (*rel.Relation, error) {
+	testVal, err := o.evalExpr(sl.Test, sch, t)
+	if err != nil {
+		return nil, err
+	}
+	filter := func(wantTrue bool) *rel.Relation {
+		out := rel.New(tsub.Schema)
+		_ = tsub.Each(func(st rel.Tuple, n int) error {
+			res := sl.Op.Apply(testVal, st[0])
+			if (res == types.True) == wantTrue && res != types.Unknown {
+				out.Add(st, n)
+			}
+			return nil
+		})
+		return out
+	}
+	switch sl.Kind {
+	case algebra.AnySublink:
+		if r == reqtrue {
+			return filter(true), nil // Tsub^true
+		}
+		return tsub, nil
+	case algebra.AllSublink:
+		if r == reqfalse {
+			return filter(false), nil // Tsub^false
+		}
+		return tsub, nil
+	default:
+		return tsub, nil
+	}
+}
+
+// sublinkStarForValue is sublinkStar for projection sublinks: there is no
+// enclosing condition, so Definition 1's role is computed against the
+// projected expressions (ind when forcing the sublink's value leaves every
+// projected value unchanged), and Definition 2 pins the actual value.
+func (o *Oracle) sublinkStarForValue(sl algebra.Sublink, sch schema.Schema, t rel.Tuple, cols []algebra.ProjExpr) (*rel.Relation, error) {
+	tsub, err := o.sublinkResult(sl, sch, t)
+	if err != nil {
+		return nil, err
+	}
+	switch sl.Kind {
+	case algebra.ExistsSublink, algebra.ScalarSublink:
+		return tsub, nil
+	}
+	val, err := o.sublinkValue(sl, sch, t)
+	if err != nil {
+		return nil, err
+	}
+	r := reqfalse
+	if val {
+		r = reqtrue
+	}
+	if o.def == Definition1 {
+		same := true
+		for _, c := range cols {
+			if !algebra.HasSublink(c.E) {
+				continue
+			}
+			force := func(v bool) (types.Value, error) {
+				fe := algebra.MapExpr(c.E, func(x algebra.Expr) algebra.Expr {
+					if s, ok := x.(algebra.Sublink); ok && algebra.ExprEqual(s, sl) {
+						return algebra.BoolConst(v)
+					}
+					return x
+				})
+				return o.evalExpr(fe, sch, t)
+			}
+			vt, err := force(true)
+			if err != nil {
+				return nil, err
+			}
+			vf, err := force(false)
+			if err != nil {
+				return nil, err
+			}
+			if !types.NullEq(vt, vf) || vt.IsNull() != vf.IsNull() {
+				same = false
+			}
+		}
+		if same {
+			r = ind
+		}
+	}
+	return o.applyRole(sl, sch, t, tsub, r)
+}

@@ -1,0 +1,262 @@
+// Package rel implements bag (multiset) relations: the data representation
+// executed by the engine. Tuples carry explicit multiplicities, matching the
+// counted-bag algebra of Figure 1 in Glavic & Alonso (EDBT 2009), where a
+// tuple's cardinality is written as a superscript (e.g. (1,2)³).
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"perm/internal/schema"
+	"perm/internal/types"
+)
+
+// Tuple is a row of values, positionally aligned with a Schema.
+type Tuple []types.Value
+
+// Key returns a self-delimiting byte-key for the tuple; two tuples share a
+// key iff they are equal under =n per attribute (the grouping equivalence).
+func (t Tuple) Key() string {
+	buf := make([]byte, 0, 16*len(t))
+	for _, v := range t {
+		buf = v.AppendKey(buf)
+	}
+	return string(buf)
+}
+
+// Clone returns a copy of the tuple that shares no storage with t.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Concat returns the concatenation (t, o) as a fresh tuple.
+func (t Tuple) Concat(o Tuple) Tuple {
+	c := make(Tuple, 0, len(t)+len(o))
+	c = append(c, t...)
+	c = append(c, o...)
+	return c
+}
+
+// String renders the tuple as (v1, v2, …).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Nulls returns a tuple of n NULLs — the null(R) extension tuple used by the
+// Gen strategy's CrossBase and by outer joins.
+func Nulls(n int) Tuple {
+	t := make(Tuple, n)
+	for i := range t {
+		t[i] = types.Null()
+	}
+	return t
+}
+
+// Relation is a bag of tuples over a schema. Distinct tuples are stored once
+// with an integer multiplicity. The zero Relation is an empty bag with an
+// empty schema; use New to attach a schema.
+type Relation struct {
+	Schema schema.Schema
+
+	tuples []Tuple
+	counts []int
+	index  map[string]int // tuple key -> slot in tuples/counts
+}
+
+// New returns an empty relation with the given schema.
+func New(s schema.Schema) *Relation {
+	return &Relation{Schema: s, index: map[string]int{}}
+}
+
+// FromTuples builds a relation from tuples, each with multiplicity 1.
+func FromTuples(s schema.Schema, ts ...Tuple) *Relation {
+	r := New(s)
+	for _, t := range ts {
+		r.Add(t, 1)
+	}
+	return r
+}
+
+// Add inserts n copies of t (merging with an existing slot). It panics if
+// the tuple width does not match the schema — that is always an engine bug,
+// not a data error. n may be negative (bag difference); slots never go below
+// zero.
+func (r *Relation) Add(t Tuple, n int) {
+	if len(t) != r.Schema.Len() {
+		panic(fmt.Sprintf("rel: tuple width %d does not match schema %s", len(t), r.Schema))
+	}
+	if n == 0 {
+		return
+	}
+	if r.index == nil {
+		r.index = map[string]int{}
+	}
+	k := t.Key()
+	if slot, ok := r.index[k]; ok {
+		r.counts[slot] += n
+		if r.counts[slot] < 0 {
+			r.counts[slot] = 0
+		}
+		return
+	}
+	if n < 0 {
+		return
+	}
+	r.index[k] = len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	r.counts = append(r.counts, n)
+}
+
+// NumSlots returns the number of distinct tuples (slots with any history;
+// some may have count 0 after bag difference).
+func (r *Relation) NumSlots() int { return len(r.tuples) }
+
+// Slot returns the i-th distinct tuple and its multiplicity. The returned
+// tuple must not be mutated.
+func (r *Relation) Slot(i int) (Tuple, int) { return r.tuples[i], r.counts[i] }
+
+// Count returns the multiplicity of t in the bag.
+func (r *Relation) Count(t Tuple) int {
+	if r.index == nil {
+		return 0
+	}
+	if slot, ok := r.index[t.Key()]; ok {
+		return r.counts[slot]
+	}
+	return 0
+}
+
+// Card returns the total cardinality including multiplicities.
+func (r *Relation) Card() int {
+	total := 0
+	for _, c := range r.counts {
+		total += c
+	}
+	return total
+}
+
+// Empty reports whether the bag contains no tuples.
+func (r *Relation) Empty() bool { return r.Card() == 0 }
+
+// Each calls fn for every distinct tuple with positive multiplicity,
+// stopping early if fn returns an error.
+func (r *Relation) Each(fn func(t Tuple, n int) error) error {
+	for i, t := range r.tuples {
+		if r.counts[i] <= 0 {
+			continue
+		}
+		if err := fn(t, r.counts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep-enough copy: slots are copied, tuples are shared
+// (tuples are immutable by convention).
+func (r *Relation) Clone() *Relation {
+	c := New(r.Schema)
+	for i, t := range r.tuples {
+		if r.counts[i] > 0 {
+			c.Add(t, r.counts[i])
+		}
+	}
+	return c
+}
+
+// WithSchema returns a view of the relation under a different schema of the
+// same width, sharing tuple storage. Used by scans to re-qualify attributes
+// with the scan alias.
+func (r *Relation) WithSchema(s schema.Schema) *Relation {
+	if s.Len() != r.Schema.Len() {
+		panic(fmt.Sprintf("rel: WithSchema width mismatch: %s vs %s", s, r.Schema))
+	}
+	return &Relation{Schema: s, tuples: r.tuples, counts: r.counts, index: r.index}
+}
+
+// Distinct returns the set version of the bag: every positive slot with
+// multiplicity 1.
+func (r *Relation) Distinct() *Relation {
+	c := New(r.Schema)
+	for i, t := range r.tuples {
+		if r.counts[i] > 0 {
+			c.Add(t, 1)
+		}
+	}
+	return c
+}
+
+// Equal reports whether two relations contain the same bag of tuples
+// (schemas are compared by width only; attribute names are metadata).
+func (r *Relation) Equal(o *Relation) bool {
+	if r.Schema.Len() != o.Schema.Len() {
+		return false
+	}
+	if r.Card() != o.Card() {
+		return false
+	}
+	for i, t := range r.tuples {
+		if r.counts[i] <= 0 {
+			continue
+		}
+		if o.Count(t) != r.counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualSet reports set-equality: both relations contain the same distinct
+// tuples, ignoring multiplicities.
+func (r *Relation) EqualSet(o *Relation) bool {
+	if r.Schema.Len() != o.Schema.Len() {
+		return false
+	}
+	for i, t := range r.tuples {
+		if r.counts[i] > 0 && o.Count(t) <= 0 {
+			return false
+		}
+	}
+	for i, t := range o.tuples {
+		if o.counts[i] > 0 && r.Count(t) <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedTuples returns the distinct positive tuples expanded by multiplicity
+// in a deterministic order — for tests and for stable CLI output.
+func (r *Relation) SortedTuples() []Tuple {
+	var out []Tuple
+	for i, t := range r.tuples {
+		for n := 0; n < r.counts[i]; n++ {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// String renders the relation as a small table, deterministically ordered.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(r.Schema.String())
+	b.WriteString(" {")
+	for i, t := range r.SortedTuples() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,211 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"perm/internal/algebra"
+	"perm/internal/types"
+)
+
+// The advisor is this reproduction's take on the paper's second future-work
+// item (§4.2.1: "we will explore making the query optimization cost-model
+// ... provenance-aware to improve performance"): a coarse cardinality-based
+// cost model over the rewritten plan shapes, used to rank the applicable
+// strategies for a query before running any of them.
+//
+// The model captures exactly the asymmetries the paper measured:
+//
+//   - Gen pays |T| × Π(|R_i|+1) × |Tsub| for each sublink — the CrossBase
+//     cross product probed by a nested EXISTS;
+//   - Left and Move pay |T| × |Tsub| — an outer join under a disjunctive
+//     condition no hash join can use;
+//   - Unn pays |T| + |Tsub| for equality patterns (hash join) and
+//     |T| × |Tsub| otherwise;
+//   - correlated sublink queries multiply by the outer cardinality because
+//     the executor re-evaluates them per binding.
+
+// Stats supplies base relation cardinalities to the cost model.
+type Stats interface {
+	// Card returns the (estimated) row count of a base relation; unknown
+	// relations may return any default.
+	Card(relation string) int
+}
+
+// StatsFunc adapts a function to the Stats interface.
+type StatsFunc func(relation string) int
+
+// Card implements Stats.
+func (f StatsFunc) Card(relation string) int { return f(relation) }
+
+// Advice is the advisor's estimate for one strategy.
+type Advice struct {
+	Strategy Strategy
+	// Applicable reports whether the strategy can rewrite the query at all.
+	Applicable bool
+	// Cost is a unitless work estimate (comparable across strategies for
+	// the same query, not across queries).
+	Cost float64
+	// Reason summarizes the dominant term or the inapplicability cause.
+	Reason string
+}
+
+// defaultSelectivity is the assumed fraction of tuples surviving a
+// selection — deliberately crude; the advisor ranks strategies, it does not
+// predict runtimes.
+const defaultSelectivity = 0.3
+
+// Advise estimates every strategy for q and returns the advice sorted by
+// cost, inapplicable strategies last.
+func Advise(q algebra.Op, stats Stats) []Advice {
+	a := &advisor{stats: stats}
+	out := []Advice{
+		a.advise(q, Gen),
+		a.advise(q, Left),
+		a.advise(q, Move),
+		a.advise(q, Unn),
+		a.advise(q, UnnX),
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Applicable != out[j].Applicable {
+			return out[i].Applicable
+		}
+		return out[i].Cost < out[j].Cost
+	})
+	return out
+}
+
+// Best returns the cheapest applicable strategy.
+func Best(q algebra.Op, stats Stats) (Strategy, error) {
+	advice := Advise(q, stats)
+	if len(advice) == 0 || !advice[0].Applicable {
+		return Gen, fmt.Errorf("rewrite: no applicable strategy")
+	}
+	return advice[0].Strategy, nil
+}
+
+type advisor struct {
+	stats Stats
+}
+
+// advise checks applicability by attempting the rewrite (cheap — plans are
+// small) and then costs the query's sublinks under the strategy.
+func (a *advisor) advise(q algebra.Op, s Strategy) Advice {
+	if _, err := Rewrite(q, s); err != nil {
+		return Advice{Strategy: s, Applicable: false, Cost: 0, Reason: err.Error()}
+	}
+	cost, reason := a.costOp(q, s)
+	return Advice{Strategy: s, Applicable: true, Cost: cost, Reason: reason}
+}
+
+// card estimates output cardinality of a plan.
+func (a *advisor) card(op algebra.Op) float64 {
+	switch o := op.(type) {
+	case *algebra.Scan:
+		c := a.stats.Card(o.Name)
+		if c < 1 {
+			c = 1
+		}
+		return float64(c)
+	case *algebra.Values:
+		return float64(len(o.Rows))
+	case *algebra.Select:
+		return a.card(o.Child) * defaultSelectivity
+	case *algebra.Project:
+		return a.card(o.Child)
+	case *algebra.Cross:
+		return a.card(o.L) * a.card(o.R)
+	case *algebra.Join:
+		return a.card(o.L) * a.card(o.R) * 0.1
+	case *algebra.LeftJoin:
+		v := a.card(o.L) * a.card(o.R) * 0.1
+		if l := a.card(o.L); v < l {
+			return l
+		}
+		return v
+	case *algebra.Aggregate:
+		if len(o.Group) == 0 {
+			return 1
+		}
+		return a.card(o.Child) * 0.2
+	case *algebra.SetOp:
+		return a.card(o.L) + a.card(o.R)
+	case *algebra.Order:
+		return a.card(o.Child)
+	case *algebra.Limit:
+		return float64(o.N)
+	default:
+		return 1
+	}
+}
+
+// costOp walks the plan and accumulates per-sublink strategy costs; the
+// dominant sublink names the reason.
+func (a *advisor) costOp(op algebra.Op, s Strategy) (float64, string) {
+	total := a.card(op) // traversal floor
+	reason := "no sublinks"
+	var visit func(o algebra.Op)
+	visit = func(o algebra.Op) {
+		var outer float64
+		var sublinks []algebra.Sublink
+		switch x := o.(type) {
+		case *algebra.Select:
+			outer = a.card(x.Child)
+			sublinks = algebra.CollectSublinks(x.Cond)
+		case *algebra.Project:
+			outer = a.card(x.Child)
+			for _, c := range x.Cols {
+				sublinks = append(sublinks, algebra.CollectSublinks(c.E)...)
+			}
+		case *algebra.Join:
+			outer = a.card(x.L) * a.card(x.R)
+			sublinks = algebra.CollectSublinks(x.Cond)
+		}
+		for _, sl := range sublinks {
+			c := a.costSublink(outer, sl, s)
+			if c > total {
+				total = c
+				reason = fmt.Sprintf("sublink %s dominates (%.3g work units)", sl.Kind, c)
+			} else {
+				total += c
+			}
+			visit(sl.Query)
+		}
+		for _, child := range o.Children() {
+			visit(child)
+		}
+	}
+	visit(op)
+	return total, reason
+}
+
+func (a *advisor) costSublink(outer float64, sl algebra.Sublink, s Strategy) float64 {
+	tsub := a.card(sl.Query)
+	correlated := algebra.IsCorrelated(sl.Query)
+	perBinding := 1.0
+	if correlated {
+		// The executor re-evaluates correlated subplans per outer binding.
+		perBinding = tsub
+	}
+	switch s {
+	case Gen:
+		crossBase := 1.0
+		for _, sc := range algebra.BaseRelations(sl.Query) {
+			crossBase *= float64(a.stats.Card(sc.Name) + 1)
+		}
+		// Outer × CrossBase pairs, each probing the rewritten sublink via
+		// the simulated-join EXISTS.
+		return outer * crossBase * (tsub + perBinding)
+	case Left, Move:
+		// Outer join with a disjunctive Jsub: nested loop.
+		return outer * (tsub + perBinding)
+	case Unn, UnnX:
+		// Hash join for equality-ANY, theta join otherwise.
+		if sl.Kind == algebra.AnySublink && sl.Op == types.CmpEq {
+			return outer + tsub
+		}
+		return outer * tsub * 0.5
+	default:
+		return outer * tsub
+	}
+}

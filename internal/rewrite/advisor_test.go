@@ -1,0 +1,108 @@
+package rewrite
+
+import (
+	"testing"
+
+	"perm/internal/algebra"
+	"perm/internal/types"
+)
+
+// fixedStats returns the same cardinality for every relation unless
+// overridden.
+type fixedStats map[string]int
+
+func (f fixedStats) Card(rel string) int {
+	if c, ok := f[rel]; ok {
+		return c
+	}
+	return 100
+}
+
+func TestAdviseRanksQ1(t *testing.T) {
+	c := figure3DB()
+	q := figure3Q1(t, c)
+	advice := Advise(q, fixedStats{"r": 1000, "s": 1000})
+	if len(advice) != 5 {
+		t.Fatalf("advice entries = %d", len(advice))
+	}
+	// Every strategy applies to q1; Unn (hash join) must rank first and
+	// Gen (CrossBase) last among the applicable ones.
+	for _, a := range advice {
+		if !a.Applicable {
+			t.Fatalf("%v should be applicable to q1: %s", a.Strategy, a.Reason)
+		}
+	}
+	if first := advice[0].Strategy; first != Unn && first != UnnX {
+		t.Errorf("cheapest = %v, want Unn/UnnX\n%+v", first, advice)
+	}
+	if last := advice[len(advice)-1].Strategy; last != Gen {
+		t.Errorf("most expensive applicable = %v, want Gen\n%+v", last, advice)
+	}
+}
+
+func TestAdviseCorrelatedOnlyGen(t *testing.T) {
+	c := figure3DB()
+	sub := &algebra.Select{
+		Child: scan(t, c, "s"),
+		Cond:  algebra.Cmp{Op: types.CmpEq, L: algebra.Attr("c"), R: algebra.Attr("b")},
+	}
+	q := &algebra.Select{
+		Child: scan(t, c, "r"),
+		Cond:  algebra.Sublink{Kind: algebra.AnySublink, Op: types.CmpEq, Test: algebra.Attr("a"), Query: sub},
+	}
+	advice := Advise(q, fixedStats{})
+	applicable := 0
+	for _, a := range advice {
+		if a.Applicable {
+			applicable++
+			if a.Strategy != Gen {
+				t.Errorf("%v should not apply to a correlated sublink", a.Strategy)
+			}
+		}
+	}
+	if applicable != 1 {
+		t.Errorf("%d applicable strategies, want 1 (Gen)", applicable)
+	}
+	best, err := Best(q, fixedStats{})
+	if err != nil || best != Gen {
+		t.Errorf("Best = %v, %v", best, err)
+	}
+}
+
+func TestAdviseGenGrowsWithSublinkBase(t *testing.T) {
+	c := figure3DB()
+	q := figure3Q1(t, c)
+	small := Advise(q, fixedStats{"s": 10, "r": 100})
+	big := Advise(q, fixedStats{"s": 10000, "r": 100})
+	genCost := func(advice []Advice) float64 {
+		for _, a := range advice {
+			if a.Strategy == Gen {
+				return a.Cost
+			}
+		}
+		t.Fatal("no Gen advice")
+		return 0
+	}
+	gs, gb := genCost(small), genCost(big)
+	if gb < gs*100 {
+		t.Errorf("Gen cost should grow superlinearly with the sublink base relation: %.3g → %.3g", gs, gb)
+	}
+}
+
+func TestAdviseNoSublinks(t *testing.T) {
+	c := figure3DB()
+	q := &algebra.Select{Child: scan(t, c, "r"),
+		Cond: algebra.Cmp{Op: types.CmpEq, L: algebra.Attr("a"), R: algebra.IntConst(1)}}
+	advice := Advise(q, fixedStats{})
+	for _, a := range advice {
+		if !a.Applicable {
+			t.Errorf("%v should apply trivially to a sublink-free query", a.Strategy)
+		}
+	}
+	// All strategies cost the same (no sublinks to differ on).
+	for _, a := range advice[1:] {
+		if a.Cost != advice[0].Cost {
+			t.Errorf("sublink-free costs differ: %+v", advice)
+		}
+	}
+}

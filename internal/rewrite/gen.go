@@ -1,0 +1,161 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"perm/internal/algebra"
+)
+
+// genSelect is rule G1:
+//
+//	(σC(T))+ = σ_{C ∧ Csub1+ ∧ … ∧ Csubn+}(T+ × CrossBase(Tsub1) × … × CrossBase(Tsubn))
+//
+// The Gen strategy works for every sublink — correlated, nested, in any
+// boolean context — because it never joins the sublink query directly;
+// instead it pairs each input tuple with every possible provenance tuple
+// (the CrossBase) and keeps a pair iff the simulated join condition Csub+
+// certifies membership in the sublink's provenance.
+func (rw *rewriter) genSelect(s *algebra.Select) (algebra.Op, []ProvSource, error) {
+	child, prov, err := rw.rewrite(s.Child)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := child
+	conds := []algebra.Expr{s.Cond}
+	for _, sl := range algebra.CollectSublinks(s.Cond) {
+		cb, subProv, csubPlus, err := rw.genSublink(sl)
+		if err != nil {
+			return nil, nil, err
+		}
+		plan = &algebra.Cross{L: plan, R: cb}
+		prov = append(prov, subProv...)
+		conds = append(conds, csubPlus)
+	}
+	return &algebra.Select{Child: plan, Cond: algebra.Conj(conds...)}, prov, nil
+}
+
+// genProject is rule G2 in pushed-selection form:
+//
+//	(ΠA(T))+ = Π_{A, P(T+), P(Tsub…)}(σ_{Csub1+ ∧ …}(T+ × CrossBase(Tsub1) × …))
+//
+// The paper states G2 with the filter above the projection; evaluating it
+// below (over the projection's input, where every correlated attribute of
+// the sublinks still resolves) is equivalent — Csub+ references only input
+// attributes and CrossBase attributes, never projection outputs — and works
+// even when A projects the correlation attributes away.
+func (rw *rewriter) genProject(p *algebra.Project) (algebra.Op, []ProvSource, error) {
+	child, childProv, err := rw.rewrite(p.Child)
+	if err != nil {
+		return nil, nil, err
+	}
+	var sublinks []algebra.Sublink
+	for _, c := range p.Cols {
+		sublinks = append(sublinks, algebra.CollectSublinks(c.E)...)
+	}
+	plan := child
+	var conds []algebra.Expr
+	var subProvAll []ProvSource
+	for _, sl := range sublinks {
+		cb, subProv, csubPlus, err := rw.genSublink(sl)
+		if err != nil {
+			return nil, nil, err
+		}
+		plan = &algebra.Cross{L: plan, R: cb}
+		subProvAll = append(subProvAll, subProv...)
+		conds = append(conds, csubPlus)
+	}
+	filtered := algebra.Op(plan)
+	if len(conds) > 0 {
+		filtered = &algebra.Select{Child: plan, Cond: algebra.Conj(conds...)}
+	}
+	cols := append([]algebra.ProjExpr{}, p.Cols...)
+	cols = append(cols, provCols(childProv)...)
+	cols = append(cols, provCols(subProvAll)...)
+	out := &algebra.Project{Child: filtered, Cols: cols, Distinct: p.Distinct}
+	return out, append(childProv, subProvAll...), nil
+}
+
+// genSublink builds, for one sublink Csub with query Tsub:
+//
+//   - CrossBase(Tsub) = Π_{R1→P(R1)}(R1 ∪ null(R1)) × … × Π_{Rn→P(Rn)}(Rn ∪ null(Rn)),
+//     the relation of all possible provenance tuples of the sublink;
+//
+//   - the provenance sources whose attributes are the CrossBase columns;
+//
+//   - the membership condition
+//
+//     Csub+ = EXISTS(σ_{Jsub ∧ P(Tsub+) =n Tsub′}(Π_{P(Tsub+)→Tsub′}(Tsub+)))
+//     ∨ (¬EXISTS(Tsub) ∧ P(Tsub+) =n null)
+//
+// where Jsub encodes the influence role (reqtrue/reqfalse) via the actual
+// sublink value Csub — the literal original sublink expression, re-evaluated
+// inside the EXISTS — and C′sub = A op t over the current Tsub+ tuple.
+func (rw *rewriter) genSublink(sl algebra.Sublink) (cb algebra.Op, prov []ProvSource, csubPlus algebra.Expr, err error) {
+	subPlus, subProv, err := rw.rewrite(sl.Query)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(subProv) == 0 {
+		return nil, nil, nil, fmt.Errorf("rewrite: sublink %s accesses no base relations", sl)
+	}
+
+	// CrossBase over the same base relations, named exactly as P(Tsub+).
+	for _, ps := range subProv {
+		alias := rw.freshName("cb_" + ps.Rel)
+		scan := algebra.NewScan(ps.Rel, alias, ps.Base)
+		nullExt := &algebra.SetOp{
+			Kind: algebra.Union,
+			Bag:  true,
+			L:    scan,
+			R:    &algebra.Values{Sch: scan.Schema().WithQual(alias), Rows: []algebra.Row{algebra.NullRow(ps.Base.Len())}},
+		}
+		cols := make([]algebra.ProjExpr, ps.Base.Len())
+		for i, a := range scan.Schema().Attrs {
+			cols[i] = algebra.Col(algebra.QAttr(a.Qual, a.Name), ps.Attrs[i].Name)
+		}
+		one := algebra.NewProject(nullExt, cols...)
+		if cb == nil {
+			cb = one
+		} else {
+			cb = &algebra.Cross{L: cb, R: one}
+		}
+	}
+
+	// Inner query of the first EXISTS: Tsub+ with its data attributes
+	// renamed fresh (so the sublink's Test expression cannot be shadowed)
+	// and its provenance attributes renamed to the Tsub′ copies.
+	origSch := sl.Query.Schema()
+	innerCols := make([]algebra.ProjExpr, 0, origSch.Len())
+	var resRef algebra.Expr
+	for i, a := range origSch.Attrs {
+		fresh := rw.freshName("res")
+		innerCols = append(innerCols, algebra.Col(algebra.QAttr(a.Qual, a.Name), fresh))
+		if i == 0 {
+			resRef = algebra.Attr(fresh)
+		}
+	}
+	var eqConds []algebra.Expr
+	var nullConds []algebra.Expr
+	for _, ps := range subProv {
+		for _, a := range ps.Attrs {
+			inner := a.Name + "_s"
+			innerCols = append(innerCols, algebra.Col(algebra.Attr(a.Name), inner))
+			// a.Name is absent from the renamed inner schema, so it
+			// resolves to the CrossBase column of the enclosing scope.
+			eqConds = append(eqConds, algebra.NullEq{L: algebra.Attr(a.Name), R: algebra.Attr(inner)})
+			nullConds = append(nullConds, algebra.IsNull{E: algebra.Attr(a.Name)})
+		}
+	}
+	inner := algebra.NewProject(subPlus, innerCols...)
+
+	j := jsub(sl.Kind, sl, cmpOrTrue(sl, resRef))
+	membership := algebra.Sublink{
+		Kind:  algebra.ExistsSublink,
+		Query: &algebra.Select{Child: inner, Cond: algebra.Conj(append([]algebra.Expr{j}, eqConds...)...)},
+	}
+	emptyCase := algebra.Conj(append([]algebra.Expr{
+		algebra.Not{E: algebra.Sublink{Kind: algebra.ExistsSublink, Query: sl.Query}},
+	}, nullConds...)...)
+
+	return cb, subProv, algebra.Or{L: membership, R: emptyCase}, nil
+}

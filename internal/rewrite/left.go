@@ -1,0 +1,124 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"perm/internal/algebra"
+	"perm/internal/schema"
+)
+
+// leftSelect is rule L1:
+//
+//	(σC(T))+ = Π_{T, P(T), P(Tsub1), …}(σC(T+ ⟕_{Jsub1} Tsub1+ … ⟕_{Jsubn} Tsubn+))
+//
+// Applicable only when every sublink is uncorrelated, so the rewritten
+// sublink query can stand on the inner side of an ordinary join. The outer
+// join pads NULL provenance when the sublink query is empty; the original
+// condition C (with its sublinks, which the executor memoizes) filters the
+// result rows.
+func (rw *rewriter) leftSelect(s *algebra.Select) (algebra.Op, []ProvSource, error) {
+	sublinks := algebra.CollectSublinks(s.Cond)
+	if err := requireUncorrelated(Left, sublinks); err != nil {
+		return nil, nil, err
+	}
+	child, childProv, err := rw.rewrite(s.Child)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := algebra.Op(child)
+	var subProvAll []ProvSource
+	for _, sl := range sublinks {
+		wrapped, resRef, subProv, err := rw.wrapSublinkQuery(sl.Query)
+		if err != nil {
+			return nil, nil, err
+		}
+		cond := jsub(sl.Kind, sl, cmpOrTrue(sl, resRef))
+		plan = &algebra.LeftJoin{L: plan, R: wrapped, Cond: cond}
+		subProvAll = append(subProvAll, subProv...)
+	}
+	sel := &algebra.Select{Child: plan, Cond: s.Cond}
+	out := projectResult(sel, s.Schema(), childProv, subProvAll)
+	return out, append(childProv, subProvAll...), nil
+}
+
+// leftProject is rule L2:
+//
+//	(ΠA(T))+ = Π_{A, P(T), P(Tsub1), …}(T+ ⟕_{Jsub1} Tsub1+ … ⟕_{Jsubn} Tsubn+)
+func (rw *rewriter) leftProject(p *algebra.Project) (algebra.Op, []ProvSource, error) {
+	var sublinks []algebra.Sublink
+	for _, c := range p.Cols {
+		sublinks = append(sublinks, algebra.CollectSublinks(c.E)...)
+	}
+	if err := requireUncorrelated(Left, sublinks); err != nil {
+		return nil, nil, err
+	}
+	child, childProv, err := rw.rewrite(p.Child)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := algebra.Op(child)
+	var subProvAll []ProvSource
+	for _, sl := range sublinks {
+		wrapped, resRef, subProv, err := rw.wrapSublinkQuery(sl.Query)
+		if err != nil {
+			return nil, nil, err
+		}
+		cond := jsub(sl.Kind, sl, cmpOrTrue(sl, resRef))
+		plan = &algebra.LeftJoin{L: plan, R: wrapped, Cond: cond}
+		subProvAll = append(subProvAll, subProv...)
+	}
+	cols := append([]algebra.ProjExpr{}, p.Cols...)
+	cols = append(cols, provCols(childProv)...)
+	cols = append(cols, provCols(subProvAll)...)
+	out := &algebra.Project{Child: plan, Cols: cols, Distinct: p.Distinct}
+	return out, append(childProv, subProvAll...), nil
+}
+
+// wrapSublinkQuery rewrites Tsub into Tsub+ and renames its data attributes
+// to fresh names so they can neither shadow the enclosing query's attributes
+// in Jsub nor collide in the join schema. It returns the wrapped plan, a
+// reference to the (renamed) sublink result attribute t used by C′sub, and
+// the provenance sources that pass through.
+func (rw *rewriter) wrapSublinkQuery(q algebra.Op) (algebra.Op, algebra.Expr, []ProvSource, error) {
+	subPlus, subProv, err := rw.rewrite(q)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	origSch := q.Schema()
+	cols := make([]algebra.ProjExpr, 0, origSch.Len())
+	var resRef algebra.Expr
+	for i, a := range origSch.Attrs {
+		fresh := rw.freshName("sub")
+		cols = append(cols, algebra.Col(algebra.QAttr(a.Qual, a.Name), fresh))
+		if i == 0 {
+			resRef = algebra.Attr(fresh)
+		}
+	}
+	cols = append(cols, provCols(subProv)...)
+	return algebra.NewProject(subPlus, cols...), resRef, subProv, nil
+}
+
+// requireUncorrelated enforces the applicability restriction of the Left,
+// Move and Unn strategies (§3.6): every sublink query must be free of
+// correlated attribute references.
+func requireUncorrelated(s Strategy, sublinks []algebra.Sublink) error {
+	for _, sl := range sublinks {
+		if fv := algebra.FreeVars(sl.Query); len(fv) > 0 {
+			return fmt.Errorf("%w: %s cannot rewrite correlated sublink %s (free: %v)", ErrNotApplicable, s, sl, fv)
+		}
+	}
+	return nil
+}
+
+// projectResult wraps a plan in the final projection of the strategy rules:
+// the original result attributes followed by all provenance attributes.
+func projectResult(plan algebra.Op, orig schema.Schema, provGroups ...[]ProvSource) algebra.Op {
+	cols := make([]algebra.ProjExpr, 0, orig.Len())
+	for _, a := range orig.Attrs {
+		cols = append(cols, algebra.KeepAttr(a))
+	}
+	for _, pg := range provGroups {
+		cols = append(cols, provCols(pg)...)
+	}
+	return algebra.NewProject(plan, cols...)
+}

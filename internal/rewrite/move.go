@@ -1,0 +1,117 @@
+package rewrite
+
+import (
+	"perm/internal/algebra"
+)
+
+// moveSelect is rule T1:
+//
+//	(σC(T))+ = Π_{T, P(T+), P(Tsub…)}(
+//	    σ_{Ctar}(Π_{T, P(T+), Csub1→C1, …, Csubm→Cm}(T+) ⟕_{Jsub1′} Tsub1+ … ))
+//
+// The Move strategy avoids the Left strategy's duplication of the sublink
+// Csub in the join condition Jsub: each sublink is evaluated exactly once in
+// an inner projection, and both the join conditions (Jsubi′) and the
+// selection condition (Ctar) refer to its precomputed boolean column Ci.
+func (rw *rewriter) moveSelect(s *algebra.Select) (algebra.Op, []ProvSource, error) {
+	sublinks := algebra.CollectSublinks(s.Cond)
+	if err := requireUncorrelated(Move, sublinks); err != nil {
+		return nil, nil, err
+	}
+	child, childProv, err := rw.rewrite(s.Child)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	moved, ciNames := rw.moveSublinksIntoProjection(child, sublinks)
+	plan := algebra.Op(moved)
+	var subProvAll []ProvSource
+	for i, sl := range sublinks {
+		wrapped, resRef, subProv, err := rw.wrapSublinkQuery(sl.Query)
+		if err != nil {
+			return nil, nil, err
+		}
+		cond := jsub(sl.Kind, algebra.Attr(ciNames[i]), cmpOrTrue(sl, resRef))
+		plan = &algebra.LeftJoin{L: plan, R: wrapped, Cond: cond}
+		subProvAll = append(subProvAll, subProv...)
+	}
+
+	ctar := replaceSublinks(s.Cond, sublinks, ciNames)
+	sel := &algebra.Select{Child: plan, Cond: ctar}
+	out := projectResult(sel, s.Schema(), childProv, subProvAll)
+	return out, append(childProv, subProvAll...), nil
+}
+
+// moveProject is rule T2: the inner projection A′ passes the input through
+// and computes every sublink once into a Ci column; the outer projection A″
+// re-states A with sublinks replaced by their Ci columns, followed by the
+// provenance attributes.
+func (rw *rewriter) moveProject(p *algebra.Project) (algebra.Op, []ProvSource, error) {
+	var sublinks []algebra.Sublink
+	for _, c := range p.Cols {
+		sublinks = append(sublinks, algebra.CollectSublinks(c.E)...)
+	}
+	if err := requireUncorrelated(Move, sublinks); err != nil {
+		return nil, nil, err
+	}
+	child, childProv, err := rw.rewrite(p.Child)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	moved, ciNames := rw.moveSublinksIntoProjection(child, sublinks)
+	plan := algebra.Op(moved)
+	var subProvAll []ProvSource
+	for i, sl := range sublinks {
+		wrapped, resRef, subProv, err := rw.wrapSublinkQuery(sl.Query)
+		if err != nil {
+			return nil, nil, err
+		}
+		cond := jsub(sl.Kind, algebra.Attr(ciNames[i]), cmpOrTrue(sl, resRef))
+		plan = &algebra.LeftJoin{L: plan, R: wrapped, Cond: cond}
+		subProvAll = append(subProvAll, subProv...)
+	}
+
+	cols := make([]algebra.ProjExpr, 0, len(p.Cols))
+	for _, c := range p.Cols {
+		cols = append(cols, algebra.ProjExpr{E: replaceSublinks(c.E, sublinks, ciNames), As: c.As, Qual: c.Qual})
+	}
+	cols = append(cols, provCols(childProv)...)
+	cols = append(cols, provCols(subProvAll)...)
+	out := &algebra.Project{Child: plan, Cols: cols, Distinct: p.Distinct}
+	return out, append(childProv, subProvAll...), nil
+}
+
+// moveSublinksIntoProjection builds the inner projection of the Move rules:
+// the rewritten input passes through unchanged, and each sublink is
+// evaluated into a fresh boolean column Ci. The returned names align with
+// the sublinks slice.
+func (rw *rewriter) moveSublinksIntoProjection(child algebra.Op, sublinks []algebra.Sublink) (*algebra.Project, []string) {
+	cols := make([]algebra.ProjExpr, 0, child.Schema().Len()+len(sublinks))
+	for _, a := range child.Schema().Attrs {
+		cols = append(cols, algebra.KeepAttr(a))
+	}
+	ciNames := make([]string, len(sublinks))
+	for i, sl := range sublinks {
+		ciNames[i] = rw.freshName("c")
+		cols = append(cols, algebra.Col(sl, ciNames[i]))
+	}
+	return algebra.NewProject(child, cols...), ciNames
+}
+
+// replaceSublinks substitutes each occurrence of a collected sublink in e by
+// a reference to its precomputed column, producing Ctar.
+func replaceSublinks(e algebra.Expr, sublinks []algebra.Sublink, ciNames []string) algebra.Expr {
+	return algebra.MapExpr(e, func(x algebra.Expr) algebra.Expr {
+		sl, ok := x.(algebra.Sublink)
+		if !ok {
+			return x
+		}
+		for i := range sublinks {
+			if algebra.ExprEqual(sl, sublinks[i]) {
+				return algebra.Attr(ciNames[i])
+			}
+		}
+		return x
+	})
+}

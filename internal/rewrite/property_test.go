@@ -1,0 +1,226 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+
+	"perm/internal/algebra"
+	"perm/internal/catalog"
+	"perm/internal/eval"
+	"perm/internal/opt"
+	"perm/internal/rel"
+	"perm/internal/schema"
+	"perm/internal/types"
+)
+
+// queryGen produces random single-block queries with sublinks over the
+// relations r(a,b) and s(c,d): random comparison conditions, random sublink
+// kinds and operators, optional correlation, optional projection/distinct.
+type queryGen struct {
+	rnd *rand.Rand
+	cat *catalog.Catalog
+}
+
+func newQueryGen(seed int64) *queryGen {
+	g := &queryGen{rnd: rand.New(rand.NewSource(seed)), cat: catalog.New()}
+	mk := func(names ...string) *rel.Relation {
+		r := rel.New(schema.New("", names...))
+		n := 3 + g.rnd.Intn(5)
+		for i := 0; i < n; i++ {
+			t := make(rel.Tuple, len(names))
+			for j := range t {
+				if g.rnd.Intn(12) == 0 {
+					t[j] = types.Null()
+				} else {
+					t[j] = types.NewInt(int64(g.rnd.Intn(5)))
+				}
+			}
+			r.Add(t, 1)
+		}
+		return r
+	}
+	g.cat.Register("r", mk("a", "b"))
+	g.cat.Register("s", mk("c", "d"))
+	return g
+}
+
+func (g *queryGen) scan(name string) *algebra.Scan {
+	sch, err := g.cat.Schema(name)
+	if err != nil {
+		panic(err)
+	}
+	return algebra.NewScan(name, "", sch)
+}
+
+func (g *queryGen) cmpOp() types.CmpOp {
+	return []types.CmpOp{types.CmpEq, types.CmpNe, types.CmpLt, types.CmpLe, types.CmpGt, types.CmpGe}[g.rnd.Intn(6)]
+}
+
+// sublink builds a random sublink over s; correlated references b from r.
+func (g *queryGen) sublink(correlated bool) algebra.Sublink {
+	var cond algebra.Expr = algebra.Cmp{Op: g.cmpOp(), L: algebra.Attr("c"), R: algebra.IntConst(int64(g.rnd.Intn(5)))}
+	if correlated {
+		cond = algebra.And{L: cond, R: algebra.Cmp{Op: g.cmpOp(), L: algebra.Attr("d"), R: algebra.Attr("b")}}
+	}
+	inner := algebra.NewProject(
+		&algebra.Select{Child: g.scan("s"), Cond: cond},
+		algebra.KeepCol("c"),
+	)
+	kind := []algebra.SublinkKind{algebra.AnySublink, algebra.AllSublink, algebra.ExistsSublink}[g.rnd.Intn(3)]
+	sl := algebra.Sublink{Kind: kind, Query: inner}
+	if kind != algebra.ExistsSublink {
+		sl.Op = g.cmpOp()
+		sl.Test = algebra.Attr("a")
+	}
+	return sl
+}
+
+// condition combines 1–2 sublinks with plain comparisons via AND/OR/NOT.
+func (g *queryGen) condition(correlated bool) algebra.Expr {
+	plain := algebra.Cmp{Op: g.cmpOp(), L: algebra.Attr("a"), R: algebra.IntConst(int64(g.rnd.Intn(5)))}
+	var sub algebra.Expr = g.sublink(correlated)
+	if g.rnd.Intn(3) == 0 {
+		sub = algebra.Not{E: sub}
+	}
+	switch g.rnd.Intn(4) {
+	case 0:
+		return sub
+	case 1:
+		return algebra.And{L: plain, R: sub}
+	case 2:
+		return algebra.Or{L: plain, R: sub}
+	default:
+		return algebra.And{L: sub, R: algebra.Or{L: plain, R: g.sublink(correlated)}}
+	}
+}
+
+func (g *queryGen) query(correlated bool) algebra.Op {
+	sel := &algebra.Select{Child: g.scan("r"), Cond: g.condition(correlated)}
+	switch g.rnd.Intn(3) {
+	case 0:
+		return sel
+	case 1:
+		return algebra.NewProject(sel, algebra.KeepCol("a"))
+	default:
+		return &algebra.Project{Child: sel, Cols: []algebra.ProjExpr{algebra.KeepCol("b")}, Distinct: true}
+	}
+}
+
+// evalBoth runs the original and rewritten plans (optimized and not) and
+// checks the core invariants; returns the rewritten output.
+func checkInvariants(t *testing.T, cat *catalog.Catalog, q algebra.Op, res *Result, label string) *rel.Relation {
+	t.Helper()
+	ev := eval.New(cat)
+	orig, err := ev.Eval(q)
+	if err != nil {
+		t.Fatalf("%s: original eval: %v", label, err)
+	}
+	out, err := ev.Eval(res.Plan)
+	if err != nil {
+		t.Fatalf("%s: rewritten eval: %v\n%s", label, err, algebra.Indent(res.Plan))
+	}
+
+	// Invariant 1: schema layout — original attributes then provenance.
+	width := res.Original.Len()
+	wantWidth := width
+	for _, p := range res.Prov {
+		wantWidth += len(p.Attrs)
+	}
+	if out.Schema.Len() != wantWidth {
+		t.Fatalf("%s: schema width %d, want %d", label, out.Schema.Len(), wantWidth)
+	}
+
+	// Invariant 2: result preservation (set semantics).
+	proj := rel.New(res.Original)
+	_ = out.Each(func(tp rel.Tuple, n int) error {
+		proj.Add(tp[:width].Clone(), 1)
+		return nil
+	})
+	if !proj.EqualSet(orig.WithSchema(proj.Schema)) {
+		t.Errorf("%s: result not preserved\norig: %s\nproj: %s\nplan:\n%s", label, orig, proj, algebra.Indent(res.Plan))
+	}
+
+	// Invariant 3: soundness — every non-NULL provenance tuple group
+	// appears in its base relation.
+	_ = out.Each(func(tp rel.Tuple, n int) error {
+		off := width
+		for _, p := range res.Prov {
+			w := len(p.Attrs)
+			sub := tp[off : off+w]
+			off += w
+			allNull := true
+			for _, v := range sub {
+				if !v.IsNull() {
+					allNull = false
+				}
+			}
+			if allNull {
+				continue
+			}
+			base, err := cat.Relation(p.Rel)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if base.Count(sub.Clone()) == 0 {
+				t.Errorf("%s: provenance tuple %s not in base relation %s", label, sub, p.Rel)
+			}
+		}
+		return nil
+	})
+
+	// Invariant 4: the optimizer does not change the provenance bag.
+	optimized, err := ev.Eval(opt.Optimize(res.Plan))
+	if err != nil {
+		t.Fatalf("%s: optimized eval: %v", label, err)
+	}
+	if !optimized.Equal(out.WithSchema(optimized.Schema)) {
+		t.Errorf("%s: optimizer changed the provenance bag", label)
+	}
+	return out
+}
+
+// TestPropertyUncorrelated fuzzes uncorrelated queries: every strategy that
+// rewrites must satisfy the invariants, and all strategies must agree.
+func TestPropertyUncorrelated(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		g := newQueryGen(seed)
+		q := g.query(false)
+		var ref *rel.Relation
+		for _, s := range []Strategy{Gen, Left, Move, Unn, UnnX, Auto} {
+			res, err := Rewrite(q, s)
+			if err != nil {
+				// Unn/UnnX may be structurally inapplicable; that is fine.
+				continue
+			}
+			out := checkInvariants(t, g.cat, q, res, s.String())
+			if ref == nil {
+				ref = out
+			} else if !out.Equal(ref.WithSchema(out.Schema)) {
+				t.Errorf("seed %d: %v disagrees\nref: %s\ngot: %s\nquery: %s",
+					seed, s, ref, out, q)
+			}
+		}
+		if ref == nil {
+			t.Fatalf("seed %d: no strategy applied", seed)
+		}
+	}
+}
+
+// TestPropertyCorrelated fuzzes correlated queries under Gen (the only
+// applicable strategy) and checks the invariants.
+func TestPropertyCorrelated(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		g := newQueryGen(seed * 31)
+		q := g.query(true)
+		res, err := Rewrite(q, Gen)
+		if err != nil {
+			t.Fatalf("seed %d: Gen must always apply: %v", seed, err)
+		}
+		checkInvariants(t, g.cat, q, res, "Gen(correlated)")
+		for _, s := range []Strategy{Left, Move, Unn, UnnX} {
+			if _, err := Rewrite(q, s); err == nil {
+				t.Errorf("seed %d: %v should refuse correlated sublinks", seed, s)
+			}
+		}
+	}
+}

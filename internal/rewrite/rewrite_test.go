@@ -1,0 +1,820 @@
+package rewrite
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"perm/internal/algebra"
+	"perm/internal/catalog"
+	"perm/internal/eval"
+	"perm/internal/rel"
+	"perm/internal/schema"
+	"perm/internal/types"
+)
+
+func ints(vals ...int64) rel.Tuple {
+	t := make(rel.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = types.NewInt(v)
+	}
+	return t
+}
+
+func null() types.Value { return types.Null() }
+
+// figure3DB is the database of the paper's Figure 3.
+func figure3DB() *catalog.Catalog {
+	c := catalog.New()
+	c.Register("r", rel.FromTuples(schema.New("", "a", "b"), ints(1, 1), ints(2, 1), ints(3, 2)))
+	c.Register("s", rel.FromTuples(schema.New("", "c", "d"), ints(1, 3), ints(2, 4), ints(4, 5)))
+	return c
+}
+
+func scan(t *testing.T, c *catalog.Catalog, name string) *algebra.Scan {
+	t.Helper()
+	sch, err := c.Schema(name)
+	if err != nil {
+		t.Fatalf("schema(%s): %v", name, err)
+	}
+	return algebra.NewScan(name, "", sch)
+}
+
+func run(t *testing.T, c *catalog.Catalog, op algebra.Op) *rel.Relation {
+	t.Helper()
+	out, err := eval.New(c).Eval(op)
+	if err != nil {
+		t.Fatalf("eval: %v\nplan:\n%s", err, algebra.Indent(op))
+	}
+	return out
+}
+
+func rewriteRun(t *testing.T, c *catalog.Catalog, q algebra.Op, s Strategy) (*Result, *rel.Relation) {
+	t.Helper()
+	res, err := Rewrite(q, s)
+	if err != nil {
+		t.Fatalf("rewrite(%v): %v", s, err)
+	}
+	return res, run(t, c, res.Plan)
+}
+
+// resultPreserved checks ΠS_T(q+) = ΠS_T(q): the rewritten query restricted
+// to the original attributes is set-equal to the original result (Theorem 4's
+// result-preservation direction).
+func resultPreserved(t *testing.T, c *catalog.Catalog, q algebra.Op, res *Result, got *rel.Relation) {
+	t.Helper()
+	orig := run(t, c, q)
+	width := res.Original.Len()
+	proj := rel.New(res.Original)
+	_ = got.Each(func(tp rel.Tuple, n int) error {
+		proj.Add(tp[:width].Clone(), n)
+		return nil
+	})
+	if !proj.EqualSet(orig) {
+		t.Errorf("result not preserved:\noriginal: %s\nprojected: %s", orig, proj)
+	}
+}
+
+// --- R1–R5 (Figure 4) ---
+
+func TestRewriteScanR1(t *testing.T) {
+	c := figure3DB()
+	res, got := rewriteRun(t, c, scan(t, c, "r"), Gen)
+	if len(res.Prov) != 1 || res.Prov[0].Rel != "r" {
+		t.Fatalf("prov sources = %+v", res.Prov)
+	}
+	want := rel.FromTuples(got.Schema, ints(1, 1, 1, 1), ints(2, 1, 2, 1), ints(3, 2, 3, 2))
+	if !got.Equal(want) {
+		t.Errorf("R+ = %s", got)
+	}
+	if got.Schema.Attrs[2].Name != "prov_r_a" {
+		t.Errorf("prov attr name = %s", got.Schema.Attrs[2].Name)
+	}
+}
+
+// TestRepresentationExample is the worked example of §3.1:
+// qex = Π_{a,c}(σ_{a<c}(R×S)) over R={(1,2),(3,4)}, S={(2),(5)}.
+func TestRepresentationExample(t *testing.T) {
+	c := catalog.New()
+	c.Register("r", rel.FromTuples(schema.New("", "a", "b"), ints(1, 2), ints(3, 4)))
+	c.Register("s", rel.FromTuples(schema.New("", "c"), ints(2), ints(5)))
+	q := algebra.NewProject(
+		&algebra.Select{
+			Child: &algebra.Cross{L: scan(t, c, "r"), R: scan(t, c, "s")},
+			Cond:  algebra.Cmp{Op: types.CmpLt, L: algebra.Attr("a"), R: algebra.Attr("c")},
+		},
+		algebra.KeepCol("a"), algebra.KeepCol("c"),
+	)
+	res, got := rewriteRun(t, c, q, Gen)
+	// Paper: (a,c,pa,pb,pc) = {(1,2,1,2,2),(1,5,1,2,5),(3,5,3,4,5)}.
+	want := rel.FromTuples(got.Schema,
+		ints(1, 2, 1, 2, 2), ints(1, 5, 1, 2, 5), ints(3, 5, 3, 4, 5))
+	if !got.Equal(want) {
+		t.Errorf("qex+ = %s, want %s", got, want)
+	}
+	resultPreserved(t, c, q, res, got)
+}
+
+func TestRewriteAggregateR5(t *testing.T) {
+	c := figure3DB()
+	q := &algebra.Aggregate{
+		Child: scan(t, c, "r"),
+		Group: []algebra.GroupExpr{{E: algebra.Attr("b"), As: "b"}},
+		Aggs:  []algebra.AggExpr{{Fn: algebra.AggSum, Arg: algebra.Attr("a"), As: "s"}},
+	}
+	res, got := rewriteRun(t, c, q, Gen)
+	// Group b=1 (sum 3) has two contributing tuples; b=2 (sum 3) has one.
+	want := rel.FromTuples(got.Schema,
+		ints(1, 3, 1, 1), ints(1, 3, 2, 1), ints(2, 3, 3, 2))
+	if !got.Equal(want) {
+		t.Errorf("α+ = %s", got)
+	}
+	resultPreserved(t, c, q, res, got)
+}
+
+func TestRewriteAggregateEmptyInput(t *testing.T) {
+	c := catalog.New()
+	c.Register("e", rel.New(schema.New("", "a")))
+	q := &algebra.Aggregate{
+		Child: scan(t, c, "e"),
+		Aggs:  []algebra.AggExpr{{Fn: algebra.AggCountStar, As: "n"}},
+	}
+	_, got := rewriteRun(t, c, q, Gen)
+	want := rel.FromTuples(got.Schema, rel.Tuple{types.NewInt(0), null()})
+	if !got.Equal(want) {
+		t.Errorf("empty-input aggregate provenance = %s", got)
+	}
+}
+
+func TestRewriteAggregateNullGroupKey(t *testing.T) {
+	// R5 joins the aggregate with T+ on G =n Ĝ: groups keyed by NULL must
+	// still find their contributing tuples (plain = would lose them).
+	c := catalog.New()
+	c.Register("t", rel.FromTuples(schema.New("", "g", "v"),
+		rel.Tuple{types.Null(), types.NewInt(1)},
+		rel.Tuple{types.Null(), types.NewInt(2)},
+		ints(1, 5),
+	))
+	q := &algebra.Aggregate{
+		Child: scan(t, c, "t"),
+		Group: []algebra.GroupExpr{{E: algebra.Attr("g"), As: "g"}},
+		Aggs:  []algebra.AggExpr{{Fn: algebra.AggSum, Arg: algebra.Attr("v"), As: "s"}},
+	}
+	res, got := rewriteRun(t, c, q, Gen)
+	want := rel.FromTuples(got.Schema,
+		rel.Tuple{types.Null(), types.NewInt(3), types.Null(), types.NewInt(1)},
+		rel.Tuple{types.Null(), types.NewInt(3), types.Null(), types.NewInt(2)},
+		rel.Tuple{types.NewInt(1), types.NewInt(5), types.NewInt(1), types.NewInt(5)},
+	)
+	if !got.Equal(want) {
+		t.Errorf("NULL-group provenance = %s\nwant %s", got, want)
+	}
+	resultPreserved(t, c, q, res, got)
+}
+
+func TestRewriteSelfJoinDisambiguation(t *testing.T) {
+	c := figure3DB()
+	sch, _ := c.Schema("r")
+	q := &algebra.Join{
+		L:    algebra.NewScan("r", "x", sch),
+		R:    algebra.NewScan("r", "y", sch),
+		Cond: algebra.Cmp{Op: types.CmpEq, L: algebra.QAttr("x", "a"), R: algebra.QAttr("y", "a")},
+	}
+	res, got := rewriteRun(t, c, q, Gen)
+	if len(res.Prov) != 2 {
+		t.Fatalf("prov sources = %d", len(res.Prov))
+	}
+	if res.Prov[0].Attrs[0].Name == res.Prov[1].Attrs[0].Name {
+		t.Fatal("self-join provenance attributes collide")
+	}
+	if got.Card() != 3 {
+		t.Errorf("self-join provenance card = %d", got.Card())
+	}
+}
+
+func TestRewriteUnion(t *testing.T) {
+	c := figure3DB()
+	l := algebra.NewProject(scan(t, c, "r"), algebra.KeepCol("a"))
+	r := algebra.NewProject(scan(t, c, "s"), algebra.KeepCol("c"))
+	q := &algebra.SetOp{Kind: algebra.Union, Bag: true, L: l, R: r}
+	res, got := rewriteRun(t, c, q, Gen)
+	if got.Card() != 6 {
+		t.Fatalf("union provenance card = %d: %s", got.Card(), got)
+	}
+	// Left tuples carry NULL provenance for S and vice versa.
+	if got.Count(rel.Tuple{types.NewInt(1), types.NewInt(1), types.NewInt(1), null(), null()}) != 1 {
+		t.Errorf("left union provenance wrong: %s", got)
+	}
+	if got.Count(rel.Tuple{types.NewInt(4), null(), null(), types.NewInt(4), types.NewInt(5)}) != 1 {
+		t.Errorf("right union provenance wrong: %s", got)
+	}
+	resultPreserved(t, c, q, res, got)
+}
+
+func TestRewriteIntersect(t *testing.T) {
+	c := catalog.New()
+	c.Register("l", rel.FromTuples(schema.New("", "a"), ints(1), ints(2)))
+	c.Register("m", rel.FromTuples(schema.New("", "b"), ints(2), ints(3)))
+	q := &algebra.SetOp{
+		Kind: algebra.Intersect, Bag: false,
+		L: scan(t, c, "l"), R: scan(t, c, "m"),
+	}
+	res, got := rewriteRun(t, c, q, Gen)
+	want := rel.FromTuples(got.Schema, ints(2, 2, 2))
+	if !got.Equal(want) {
+		t.Errorf("intersect provenance = %s", got)
+	}
+	resultPreserved(t, c, q, res, got)
+}
+
+func TestRewriteExcept(t *testing.T) {
+	c := catalog.New()
+	c.Register("l", rel.FromTuples(schema.New("", "a"), ints(1), ints(2)))
+	c.Register("m", rel.FromTuples(schema.New("", "b"), ints(2), ints(3)))
+	q := &algebra.SetOp{Kind: algebra.Except, Bag: false, L: scan(t, c, "l"), R: scan(t, c, "m")}
+	res, got := rewriteRun(t, c, q, Gen)
+	// Result (1): derivation (1) from L, and per Definition 1 all of M.
+	want := rel.FromTuples(got.Schema, ints(1, 1, 2), ints(1, 1, 3))
+	if !got.Equal(want) {
+		t.Errorf("except provenance = %s", got)
+	}
+	resultPreserved(t, c, q, res, got)
+}
+
+func TestRewriteExceptEmptyRight(t *testing.T) {
+	c := catalog.New()
+	c.Register("l", rel.FromTuples(schema.New("", "a"), ints(1)))
+	c.Register("m", rel.New(schema.New("", "b")))
+	q := &algebra.SetOp{Kind: algebra.Except, Bag: false, L: scan(t, c, "l"), R: scan(t, c, "m")}
+	_, got := rewriteRun(t, c, q, Gen)
+	want := rel.FromTuples(got.Schema, rel.Tuple{types.NewInt(1), types.NewInt(1), null()})
+	if !got.Equal(want) {
+		t.Errorf("except with empty right = %s", got)
+	}
+}
+
+func TestRewriteLimitRejected(t *testing.T) {
+	c := figure3DB()
+	q := &algebra.Limit{Child: scan(t, c, "r"), N: 1}
+	if _, err := Rewrite(q, Gen); err == nil {
+		t.Fatal("LIMIT should be rejected")
+	}
+}
+
+// --- Figure 3: sublink provenance under all applicable strategies ---
+
+// figure3Q1 is q1 = σ_{a = ANY(Πc(S))}(R).
+func figure3Q1(t *testing.T, c *catalog.Catalog) algebra.Op {
+	sub := algebra.NewProject(scan(t, c, "s"), algebra.KeepCol("c"))
+	return &algebra.Select{
+		Child: scan(t, c, "r"),
+		Cond:  algebra.Sublink{Kind: algebra.AnySublink, Op: types.CmpEq, Test: algebra.Attr("a"), Query: sub},
+	}
+}
+
+// figure3Q1Want is the provenance table printed in Figure 3 for q1, in the
+// single-relation representation (a, b, prov_r_a, prov_r_b, prov_s_c, prov_s_d):
+// (1,1) ← R(1,1), S(1,3); (2,1) ← R(2,1), S(2,4).
+func figure3Q1Want(sch schema.Schema) *rel.Relation {
+	return rel.FromTuples(sch,
+		ints(1, 1, 1, 1, 1, 3),
+		ints(2, 1, 2, 1, 2, 4),
+	)
+}
+
+func TestFigure3Q1AllStrategies(t *testing.T) {
+	for _, s := range []Strategy{Gen, Left, Move, Unn, Auto} {
+		t.Run(s.String(), func(t *testing.T) {
+			c := figure3DB()
+			q := figure3Q1(t, c)
+			res, got := rewriteRun(t, c, q, s)
+			want := figure3Q1Want(got.Schema)
+			if !got.Equal(want) {
+				t.Errorf("q1+ under %v = %s\nwant %s\nplan:\n%s", s, got, want, algebra.Indent(res.Plan))
+			}
+			resultPreserved(t, c, q, res, got)
+		})
+	}
+}
+
+// TestFigure3Q2 is q2 = σ_{c > ALL(Πa(R))}(S): result (4,5) with all of R
+// and S(4,5) in its provenance.
+func TestFigure3Q2(t *testing.T) {
+	for _, s := range []Strategy{Gen, Left, Move, Auto} {
+		t.Run(s.String(), func(t *testing.T) {
+			c := figure3DB()
+			sub := algebra.NewProject(scan(t, c, "r"), algebra.KeepCol("a"))
+			q := &algebra.Select{
+				Child: scan(t, c, "s"),
+				Cond:  algebra.Sublink{Kind: algebra.AllSublink, Op: types.CmpGt, Test: algebra.Attr("c"), Query: sub},
+			}
+			res, got := rewriteRun(t, c, q, s)
+			// (c,d,prov_s_c,prov_s_d,prov_r_a,prov_r_b): (4,5) joins every R tuple.
+			want := rel.FromTuples(got.Schema,
+				ints(4, 5, 4, 5, 1, 1),
+				ints(4, 5, 4, 5, 2, 1),
+				ints(4, 5, 4, 5, 3, 2),
+			)
+			if !got.Equal(want) {
+				t.Errorf("q2+ = %s\nwant %s", got, want)
+			}
+			resultPreserved(t, c, q, res, got)
+		})
+	}
+}
+
+// TestFigure3Q3 is q3 = σ_{(a=3) ∨ ¬(a < ALL(σ_{c≠1}(Πc(S))))}(R) with
+// Tsub = {2,4}:
+//
+//	(2,1): sublink reqfalse → Tsub^false = {2} → provenance S(2,4);
+//	(3,2): a=3 satisfies the first disjunct, so the sublink's role is ind
+//	       under Definition 1 and Figure 3 prints S* = {(2,4),(4,5)}. The
+//	       rewrite strategies implement Definition 2 (§2.5: condition 3
+//	       "should be applied to these queries too"), which eliminates the
+//	       ind role: the sublink's actual value is false, so only
+//	       Tsub^false = {2} → S(2,4) contributes. The Definition 1 variant
+//	       is covered by the provenance oracle tests.
+func TestFigure3Q3(t *testing.T) {
+	for _, s := range []Strategy{Gen, Left, Move, Auto} {
+		t.Run(s.String(), func(t *testing.T) {
+			c := figure3DB()
+			sub := algebra.NewProject(
+				&algebra.Select{
+					Child: scan(t, c, "s"),
+					Cond:  algebra.Cmp{Op: types.CmpNe, L: algebra.Attr("c"), R: algebra.IntConst(1)},
+				},
+				algebra.KeepCol("c"),
+			)
+			q := &algebra.Select{
+				Child: scan(t, c, "r"),
+				Cond: algebra.Or{
+					L: algebra.Cmp{Op: types.CmpEq, L: algebra.Attr("a"), R: algebra.IntConst(3)},
+					R: algebra.Not{E: algebra.Sublink{Kind: algebra.AllSublink, Op: types.CmpLt, Test: algebra.Attr("a"), Query: sub}},
+				},
+			}
+			res, got := rewriteRun(t, c, q, s)
+			// (a,b,prov_r_a,prov_r_b,prov_s_c,prov_s_d):
+			want := rel.FromTuples(got.Schema,
+				ints(2, 1, 2, 1, 2, 4),
+				ints(3, 2, 3, 2, 2, 4),
+			)
+			if !got.Equal(want) {
+				t.Errorf("q3+ = %s\nwant %s\nplan:\n%s", got, want, algebra.Indent(res.Plan))
+			}
+			resultPreserved(t, c, q, res, got)
+		})
+	}
+}
+
+// --- §3.5 Gen example: correlated ANY sublink ---
+
+func TestGenExampleSection35(t *testing.T) {
+	// q = σ_{a = ANY(σ_{c=b}(S))}(R) over R(a,b), S(c).
+	c := catalog.New()
+	c.Register("r", rel.FromTuples(schema.New("", "a", "b"), ints(1, 1), ints(2, 1), ints(3, 2)))
+	c.Register("s", rel.FromTuples(schema.New("", "c"), ints(1), ints(2), ints(3)))
+	sub := &algebra.Select{
+		Child: scan(t, c, "s"),
+		Cond:  algebra.Cmp{Op: types.CmpEq, L: algebra.Attr("c"), R: algebra.Attr("b")},
+	}
+	q := &algebra.Select{
+		Child: scan(t, c, "r"),
+		Cond:  algebra.Sublink{Kind: algebra.AnySublink, Op: types.CmpEq, Test: algebra.Attr("a"), Query: sub},
+	}
+	res, got := rewriteRun(t, c, q, Gen)
+	// (1,1): Tsub(b=1)={1}, a=1 matches → S*={1}.
+	// (2,1): Tsub={1}, a=2 no match → dropped.
+	// (3,2): Tsub={2}, a=3 no match → dropped.
+	want := rel.FromTuples(got.Schema, ints(1, 1, 1, 1, 1))
+	if !got.Equal(want) {
+		t.Errorf("§3.5 example = %s\nwant %s\nplan:\n%s", got, want, algebra.Indent(res.Plan))
+	}
+	resultPreserved(t, c, q, res, got)
+	// Left/Move/Unn must refuse the correlated sublink.
+	for _, s := range []Strategy{Left, Move, Unn} {
+		if _, err := Rewrite(q, s); !errors.Is(err, ErrNotApplicable) {
+			t.Errorf("%v on correlated sublink: err = %v, want ErrNotApplicable", s, err)
+		}
+	}
+}
+
+// TestGenPlanShapeSection35 pins the structural shape of the Gen rewrite
+// for the paper's §3.5 example — the pieces the paper's q+ displays must
+// all be present: the CrossBase (null-extended base relation renamed to
+// provenance attributes), the membership EXISTS over the renamed Tsub+,
+// the re-evaluated original sublink Csub inside Jsub, and the empty-result
+// branch (¬EXISTS(Tsub) ∧ P =n NULL).
+func TestGenPlanShapeSection35(t *testing.T) {
+	c := catalog.New()
+	c.Register("r", rel.FromTuples(schema.New("", "a", "b"), ints(1, 1)))
+	c.Register("s", rel.FromTuples(schema.New("", "c"), ints(1)))
+	sub := &algebra.Select{
+		Child: scan(t, c, "s"),
+		Cond:  algebra.Cmp{Op: types.CmpEq, L: algebra.Attr("c"), R: algebra.Attr("b")},
+	}
+	q := &algebra.Select{
+		Child: scan(t, c, "r"),
+		Cond:  algebra.Sublink{Kind: algebra.AnySublink, Op: types.CmpEq, Test: algebra.Attr("a"), Query: sub},
+	}
+	res, err := Rewrite(q, Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := algebra.Indent(res.Plan)
+	for _, want := range []string{
+		"VALUES (NULL)", // null(S) extension tuple
+		"SetOp UNION",   // S ∪ null(S)
+		"prov_s_c",      // P(S) naming
+		"prov_s_c_s",    // the Tsub′ rename inside the EXISTS
+		"=n",            // null-aware join simulation
+		"IS NULL",       // empty-sublink branch
+		"a = ANY",       // the original Csub re-evaluated in Jsub
+	} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("Gen plan missing %q:\n%s", want, plan)
+		}
+	}
+	// Exactly one provenance source per base relation access: r and s.
+	if len(res.Prov) != 2 || res.Prov[0].Rel != "r" || res.Prov[1].Rel != "s" {
+		t.Errorf("prov sources = %+v", res.Prov)
+	}
+}
+
+// --- EXISTS and scalar sublinks ---
+
+func TestExistsSublinkProvenance(t *testing.T) {
+	for _, s := range []Strategy{Gen, Left, Move, Unn, Auto} {
+		t.Run(s.String(), func(t *testing.T) {
+			c := figure3DB()
+			sub := &algebra.Select{
+				Child: scan(t, c, "s"),
+				Cond:  algebra.Cmp{Op: types.CmpGt, L: algebra.Attr("c"), R: algebra.IntConst(2)},
+			}
+			q := &algebra.Select{
+				Child: scan(t, c, "r"),
+				Cond:  algebra.Sublink{Kind: algebra.ExistsSublink, Query: sub},
+			}
+			res, got := rewriteRun(t, c, q, s)
+			// EXISTS provenance is all of Tsub = {(4,5)}; every R tuple kept.
+			want := rel.FromTuples(got.Schema,
+				ints(1, 1, 1, 1, 4, 5),
+				ints(2, 1, 2, 1, 4, 5),
+				ints(3, 2, 3, 2, 4, 5),
+			)
+			if !got.Equal(want) {
+				t.Errorf("EXISTS+ = %s\nwant %s", got, want)
+			}
+			resultPreserved(t, c, q, res, got)
+		})
+	}
+}
+
+func TestExistsEmptySublinkDropsAll(t *testing.T) {
+	for _, s := range []Strategy{Gen, Left, Move, Unn} {
+		c := figure3DB()
+		sub := &algebra.Select{Child: scan(t, c, "s"), Cond: algebra.BoolConst(false)}
+		q := &algebra.Select{Child: scan(t, c, "r"), Cond: algebra.Sublink{Kind: algebra.ExistsSublink, Query: sub}}
+		_, got := rewriteRun(t, c, q, s)
+		if !got.Empty() {
+			t.Errorf("%v: EXISTS over empty sublink should produce nothing, got %s", s, got)
+		}
+	}
+}
+
+func TestNotExistsNullProvenance(t *testing.T) {
+	// σ_{¬EXISTS(σ_{false}(S))}(R): all R tuples qualify; the sublink query
+	// is empty so its provenance attributes are NULL.
+	for _, s := range []Strategy{Gen, Left, Move} {
+		t.Run(s.String(), func(t *testing.T) {
+			c := figure3DB()
+			sub := &algebra.Select{Child: scan(t, c, "s"), Cond: algebra.BoolConst(false)}
+			q := &algebra.Select{
+				Child: scan(t, c, "r"),
+				Cond:  algebra.Not{E: algebra.Sublink{Kind: algebra.ExistsSublink, Query: sub}},
+			}
+			res, got := rewriteRun(t, c, q, s)
+			want := rel.FromTuples(got.Schema,
+				rel.Tuple{types.NewInt(1), types.NewInt(1), types.NewInt(1), types.NewInt(1), null(), null()},
+				rel.Tuple{types.NewInt(2), types.NewInt(1), types.NewInt(2), types.NewInt(1), null(), null()},
+				rel.Tuple{types.NewInt(3), types.NewInt(2), types.NewInt(3), types.NewInt(2), null(), null()},
+			)
+			if !got.Equal(want) {
+				t.Errorf("¬EXISTS+ = %s\nwant %s\nplan:\n%s", got, want, algebra.Indent(res.Plan))
+			}
+			resultPreserved(t, c, q, res, got)
+		})
+	}
+}
+
+func TestScalarSublinkProvenance(t *testing.T) {
+	for _, s := range []Strategy{Gen, Left, Move} {
+		t.Run(s.String(), func(t *testing.T) {
+			c := figure3DB()
+			// σ_{a = (α_min(c)(S))}(R): min is 1, so only (1,1) qualifies;
+			// scalar-sublink provenance is all of Tsub's provenance = all S.
+			minQ := &algebra.Aggregate{
+				Child: scan(t, c, "s"),
+				Aggs:  []algebra.AggExpr{{Fn: algebra.AggMin, Arg: algebra.Attr("c"), As: "m"}},
+			}
+			q := &algebra.Select{
+				Child: scan(t, c, "r"),
+				Cond: algebra.Cmp{Op: types.CmpEq, L: algebra.Attr("a"),
+					R: algebra.Sublink{Kind: algebra.ScalarSublink, Query: minQ}},
+			}
+			res, got := rewriteRun(t, c, q, s)
+			want := rel.FromTuples(got.Schema,
+				ints(1, 1, 1, 1, 1, 3),
+				ints(1, 1, 1, 1, 2, 4),
+				ints(1, 1, 1, 1, 4, 5),
+			)
+			if !got.Equal(want) {
+				t.Errorf("scalar+ = %s\nwant %s\nplan:\n%s", got, want, algebra.Indent(res.Plan))
+			}
+			resultPreserved(t, c, q, res, got)
+		})
+	}
+}
+
+// --- multiple sublinks (Definition 2) ---
+
+// TestMultiSublinkDefinition2 reproduces the §2.5 example: U={(5)},
+// R={1..100}, S={(1),(5)}, condition C1 ∨ C2 with C1 = a = ANY(R) (true) and
+// C2 = a > ALL(S) (false). Under Definition 2 the provenance is unique:
+// R* = {5} (C1 reqtrue → R^true) and S* = {5} (C2 false → S^false = tuples
+// with ¬(5 > t') = {5}).
+func TestMultiSublinkDefinition2(t *testing.T) {
+	for _, strat := range []Strategy{Gen, Left, Move} {
+		t.Run(strat.String(), func(t *testing.T) {
+			c := catalog.New()
+			rTuples := make([]rel.Tuple, 100)
+			for i := range rTuples {
+				rTuples[i] = ints(int64(i + 1))
+			}
+			c.Register("r", rel.FromTuples(schema.New("", "b"), rTuples...))
+			c.Register("s", rel.FromTuples(schema.New("", "c"), ints(1), ints(5)))
+			c.Register("u", rel.FromTuples(schema.New("", "a"), ints(5)))
+			q := &algebra.Select{
+				Child: scan(t, c, "u"),
+				Cond: algebra.Or{
+					L: algebra.Sublink{Kind: algebra.AnySublink, Op: types.CmpEq, Test: algebra.Attr("a"), Query: scan(t, c, "r")},
+					R: algebra.Sublink{Kind: algebra.AllSublink, Op: types.CmpGt, Test: algebra.Attr("a"), Query: scan(t, c, "s")},
+				},
+			}
+			res, got := rewriteRun(t, c, q, strat)
+			// (a, prov_u_a, prov_r_b, prov_s_c) = (5,5,5,5) only.
+			want := rel.FromTuples(got.Schema, ints(5, 5, 5, 5))
+			if !got.Equal(want) {
+				t.Errorf("Definition 2 multi-sublink provenance = %s\nwant %s", got, want)
+			}
+			resultPreserved(t, c, q, res, got)
+		})
+	}
+}
+
+// TestSingleSublinkNoFalsePositives verifies the §2.5 note: for
+// σ_{a=2 ∨ a = ANY(S)}(R) and result tuple (2,1) the sublink is true, and
+// under Definition 2 only S tuples equal to a contribute — not all of S as
+// Definition 1's ind role would include.
+func TestSingleSublinkNoFalsePositives(t *testing.T) {
+	for _, strat := range []Strategy{Gen, Left, Move} {
+		t.Run(strat.String(), func(t *testing.T) {
+			c := figure3DB()
+			sub := algebra.NewProject(scan(t, c, "s"), algebra.KeepCol("c"))
+			q := &algebra.Select{
+				Child: scan(t, c, "r"),
+				Cond: algebra.Or{
+					L: algebra.Cmp{Op: types.CmpEq, L: algebra.Attr("a"), R: algebra.IntConst(2)},
+					R: algebra.Sublink{Kind: algebra.AnySublink, Op: types.CmpEq, Test: algebra.Attr("a"), Query: sub},
+				},
+			}
+			_, got := rewriteRun(t, c, q, strat)
+			// (2,1) must pair only with S(2,4), not with all of S.
+			for _, tp := range got.SortedTuples() {
+				if tp[0].Int() == 2 && tp[4].Int() != 2 {
+					t.Errorf("false positive in provenance of (2,1): %s", tp)
+				}
+			}
+		})
+	}
+}
+
+// --- projections with sublinks ---
+
+func TestProjectionSublinkStrategies(t *testing.T) {
+	for _, strat := range []Strategy{Gen, Left, Move, Auto} {
+		t.Run(strat.String(), func(t *testing.T) {
+			c := figure3DB()
+			sub := algebra.NewProject(scan(t, c, "s"), algebra.KeepCol("c"))
+			q := algebra.NewProject(scan(t, c, "r"),
+				algebra.KeepCol("a"),
+				algebra.Col(algebra.Sublink{Kind: algebra.AnySublink, Op: types.CmpEq, Test: algebra.Attr("a"), Query: sub}, "m"),
+			)
+			res, got := rewriteRun(t, c, q, strat)
+			resultPreserved(t, c, q, res, got)
+			// a=1: sublink true → provenance S(1,·) only. a=3: false → all S.
+			for _, tp := range got.SortedTuples() {
+				a := tp[0].Int()
+				provC := tp[4]
+				switch a {
+				case 1, 2:
+					if provC.IsNull() || provC.Int() != a {
+						t.Errorf("a=%d should pair only with S(c=%d): %s", a, a, tp)
+					}
+				}
+			}
+			count3 := 0
+			for _, tp := range got.SortedTuples() {
+				if tp[0].Int() == 3 {
+					count3++
+				}
+			}
+			if count3 != 3 {
+				t.Errorf("a=3 (sublink false) should pair with all 3 S tuples, got %d", count3)
+			}
+		})
+	}
+}
+
+// TestCorrelatedProjectionSublink is the §2.6 example:
+// q = Π_{a = ALL(σ_{b=c}(S))}(R) — wait, the paper's example projects the
+// sublink value; each input tuple parameterizes Tsub differently and the
+// provenance is computed per input tuple, which the single-relation
+// representation captures by storing the parameterizing input tuple's
+// provenance alongside.
+func TestCorrelatedProjectionSublink(t *testing.T) {
+	c := catalog.New()
+	c.Register("r", rel.FromTuples(schema.New("", "a", "b"), ints(1, 1), ints(2, 1), ints(3, 2)))
+	c.Register("s", rel.FromTuples(schema.New("", "c", "d"), ints(1, 3), ints(2, 4)))
+	sub := algebra.NewProject(&algebra.Select{
+		Child: scan(t, c, "s"),
+		Cond:  algebra.Cmp{Op: types.CmpEq, L: algebra.Attr("c"), R: algebra.Attr("b")},
+	}, algebra.KeepCol("d"))
+	q := algebra.NewProject(scan(t, c, "r"),
+		algebra.Col(algebra.Sublink{Kind: algebra.AllSublink, Op: types.CmpLt, Test: algebra.Attr("a"), Query: sub}, "v"),
+	)
+	res, got := rewriteRun(t, c, q, Gen)
+	resultPreserved(t, c, q, res, got)
+	// Each result row pairs the sublink's provenance with the provenance of
+	// the input tuple that parameterized it: R(1,1) with S(1,3), R(2,1) with
+	// S(1,3), R(3,2) with S(2,4).
+	if got.Card() != 3 {
+		t.Fatalf("card = %d: %s", got.Card(), got)
+	}
+	for _, tp := range got.SortedTuples() {
+		b, provC := tp[2].Int(), tp[3].Int()
+		if b != provC {
+			t.Errorf("input tuple b=%d paired with sublink provenance c=%d: %s", b, provC, tp)
+		}
+	}
+}
+
+// --- nested sublinks ---
+
+func TestNestedSublinkGen(t *testing.T) {
+	// σ_{a = ANY(Π_c(σ_{c = ANY(Π_d(S))}(S2)))}(R) — a sublink nested in a
+	// sublink, all uncorrelated. S2 is a second access to S.
+	c := figure3DB()
+	sch, _ := c.Schema("s")
+	inner := algebra.NewProject(scan(t, c, "s"), algebra.KeepCol("d"))
+	mid := algebra.NewProject(&algebra.Select{
+		Child: algebra.NewScan("s", "s2", sch),
+		Cond: algebra.Sublink{Kind: algebra.AnySublink, Op: types.CmpEq,
+			Test: algebra.QAttr("s2", "c"), Query: inner},
+	}, algebra.Col(algebra.QAttr("s2", "c"), "c"))
+	q := &algebra.Select{
+		Child: scan(t, c, "r"),
+		Cond:  algebra.Sublink{Kind: algebra.AnySublink, Op: types.CmpEq, Test: algebra.Attr("a"), Query: mid},
+	}
+	for _, strat := range []Strategy{Gen, Left, Move, Unn, Auto} {
+		t.Run(strat.String(), func(t *testing.T) {
+			res, got := rewriteRun(t, c, q, strat)
+			resultPreserved(t, c, q, res, got)
+			if len(res.Prov) != 3 {
+				t.Fatalf("expected 3 provenance sources (r, s2, s), got %d", len(res.Prov))
+			}
+			// σ_{c=ANY({3,4,5})}(S) = {(4,5)} → mid = {4}; σ_{a=ANY({4})}(R) = ∅.
+			if !got.Empty() {
+				t.Errorf("nested sublink result should be empty, got %s", got)
+			}
+		})
+	}
+}
+
+func TestAggregationWithSublinkHaving(t *testing.T) {
+	// HAVING-style: σ_{s > (scalar avg)}(α_{b;sum(a)→s}(R)) — a selection
+	// with a scalar sublink above an aggregation.
+	for _, strat := range []Strategy{Gen, Left, Move} {
+		t.Run(strat.String(), func(t *testing.T) {
+			c := figure3DB()
+			avgQ := &algebra.Aggregate{
+				Child: scan(t, c, "s"),
+				Aggs:  []algebra.AggExpr{{Fn: algebra.AggMin, Arg: algebra.Attr("c"), As: "m"}},
+			}
+			agg := &algebra.Aggregate{
+				Child: scan(t, c, "r"),
+				Group: []algebra.GroupExpr{{E: algebra.Attr("b"), As: "b"}},
+				Aggs:  []algebra.AggExpr{{Fn: algebra.AggSum, Arg: algebra.Attr("a"), As: "s"}},
+			}
+			q := &algebra.Select{
+				Child: agg,
+				Cond: algebra.Cmp{Op: types.CmpGt, L: algebra.Attr("s"),
+					R: algebra.Sublink{Kind: algebra.ScalarSublink, Query: avgQ}},
+			}
+			res, got := rewriteRun(t, c, q, strat)
+			resultPreserved(t, c, q, res, got)
+			// Both groups (sum 3 each) exceed min(c)=1; each group's rows pair
+			// its contributing R tuples with all of S (scalar provenance).
+			if got.Card() != 9 { // (2 tuples of group 1 + 1 of group 2) × 3 S tuples
+				t.Errorf("HAVING provenance card = %d: %s", got.Card(), got)
+			}
+		})
+	}
+}
+
+// --- strategy equivalence property ---
+
+// TestStrategiesAgree cross-checks Gen, Left and Move (and Unn where
+// applicable) on a family of uncorrelated sublink queries over randomized
+// small relations: all strategies must produce identical provenance bags.
+func TestStrategiesAgree(t *testing.T) {
+	shapes := []struct {
+		name string
+		mk   func(t *testing.T, c *catalog.Catalog) algebra.Op
+		unn  bool
+	}{
+		{"eqAny", func(t *testing.T, c *catalog.Catalog) algebra.Op {
+			return figure3Q1(t, c)
+		}, true},
+		{"ltAll", func(t *testing.T, c *catalog.Catalog) algebra.Op {
+			sub := algebra.NewProject(scan(t, c, "s"), algebra.KeepCol("c"))
+			return &algebra.Select{
+				Child: scan(t, c, "r"),
+				Cond:  algebra.Sublink{Kind: algebra.AllSublink, Op: types.CmpLt, Test: algebra.Attr("a"), Query: sub},
+			}
+		}, false},
+		{"existsConj", func(t *testing.T, c *catalog.Catalog) algebra.Op {
+			sub := &algebra.Select{
+				Child: scan(t, c, "s"),
+				Cond:  algebra.Cmp{Op: types.CmpGt, L: algebra.Attr("c"), R: algebra.IntConst(1)},
+			}
+			return &algebra.Select{
+				Child: scan(t, c, "r"),
+				Cond: algebra.And{
+					L: algebra.Cmp{Op: types.CmpLe, L: algebra.Attr("a"), R: algebra.IntConst(2)},
+					R: algebra.Sublink{Kind: algebra.ExistsSublink, Query: sub},
+				},
+			}
+		}, true},
+	}
+	seeds := []int64{1, 2, 3, 4, 5}
+	for _, shape := range shapes {
+		for _, seed := range seeds {
+			c := randomDB(seed)
+			q := shape.mk(t, c)
+			ref, err := Rewrite(q, Gen)
+			if err != nil {
+				t.Fatalf("%s/seed%d Gen: %v", shape.name, seed, err)
+			}
+			refOut := run(t, c, ref.Plan)
+			strategies := []Strategy{Left, Move}
+			if shape.unn {
+				strategies = append(strategies, Unn)
+			}
+			for _, strat := range strategies {
+				res, err := Rewrite(q, strat)
+				if err != nil {
+					t.Fatalf("%s/seed%d %v: %v", shape.name, seed, strat, err)
+				}
+				got := run(t, c, res.Plan)
+				if !got.Equal(refOut.WithSchema(got.Schema)) {
+					t.Errorf("%s/seed%d: %v disagrees with Gen:\nGen:  %s\n%v: %s",
+						shape.name, seed, strat, refOut, strat, got)
+				}
+			}
+		}
+	}
+}
+
+// randomDB builds small deterministic pseudo-random relations r(a,b), s(c,d).
+func randomDB(seed int64) *catalog.Catalog {
+	c := catalog.New()
+	next := func() int64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		v := (seed >> 33) % 5
+		if v < 0 {
+			v = -v
+		}
+		return v
+	}
+	r := rel.New(schema.New("", "a", "b"))
+	for i := 0; i < 6; i++ {
+		r.Add(ints(next(), next()), 1)
+	}
+	s := rel.New(schema.New("", "c", "d"))
+	for i := 0; i < 4; i++ {
+		s.Add(ints(next(), next()), 1)
+	}
+	c.Register("r", r)
+	c.Register("s", s)
+	return c
+}

@@ -1,0 +1,90 @@
+// Package rewrite implements the contribution of Glavic & Alonso,
+// "Provenance for Nested Subqueries" (EDBT 2009): algebraic rewrite rules
+// that transform a query q into a query q+ computing q's result together
+// with its Why-provenance under the paper's extended contribution
+// definition (Definition 2).
+//
+// The package provides the Perm standard rules R1–R5 of Figure 4 (scan,
+// projection, selection, cross product, aggregation — extended here with
+// joins and set operations following the Perm system), and the four sublink
+// rewrite strategies of Figure 5:
+//
+//   - Gen  (rules G1/G2): applicable to every sublink, including correlated
+//     and nested ones. Joins the query with CrossBase(Tsub) — the cross
+//     product of the null-extended base relations of the sublink — and
+//     filters it with the simulated join condition Csub+.
+//   - Left (rules L1/L2): uncorrelated sublinks only; left outer joins the
+//     rewritten sublink query on the influence-role condition Jsub.
+//   - Move (rules T1/T2): Left with the sublink moved into a projection so
+//     its value is computed once and reused in Jsub.
+//   - Unn  (rules U1/U2): unnesting special cases — EXISTS becomes a cross
+//     product, equality-ANY becomes an equi-join.
+package rewrite
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Strategy selects how sublinks are rewritten.
+type Strategy uint8
+
+// The rewrite strategies of the paper plus Auto, which picks the cheapest
+// applicable strategy per operator (Unn, then Move, then Gen).
+const (
+	Gen Strategy = iota
+	Left
+	Move
+	Unn
+	Auto
+	// UnnX is this reproduction's extension of the Unn strategy to ALL,
+	// negated and scalar sublinks (the paper's §3.6 future-work
+	// direction); see internal/rewrite/unnx.go.
+	UnnX
+)
+
+// String names the strategy as in the paper.
+func (s Strategy) String() string {
+	switch s {
+	case Gen:
+		return "Gen"
+	case Left:
+		return "Left"
+	case Move:
+		return "Move"
+	case Unn:
+		return "Unn"
+	case UnnX:
+		return "UnnX"
+	case Auto:
+		return "Auto"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(s))
+	}
+}
+
+// ParseStrategy parses a strategy name (case-sensitive, as printed).
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "Gen", "gen":
+		return Gen, nil
+	case "Left", "left":
+		return Left, nil
+	case "Move", "move":
+		return Move, nil
+	case "Unn", "unn":
+		return Unn, nil
+	case "UnnX", "unnx":
+		return UnnX, nil
+	case "Auto", "auto":
+		return Auto, nil
+	default:
+		return Gen, fmt.Errorf("rewrite: unknown strategy %q", name)
+	}
+}
+
+// ErrNotApplicable reports that the requested strategy cannot rewrite the
+// query: Left and Move refuse correlated sublinks; Unn requires its exact
+// U1/U2 patterns. The benchmark harness (like the paper's Figure 6) skips
+// such strategy/query combinations.
+var ErrNotApplicable = errors.New("rewrite: strategy not applicable")

@@ -1,0 +1,135 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"perm/internal/algebra"
+	"perm/internal/types"
+)
+
+// unnSelect implements the Unn strategy (rules U1 and U2): selected sublink
+// patterns are unnested into plain joins, for which the standard provenance
+// rewrites are very efficient.
+//
+//	U1:  (σ_{EXISTS Tsub}(T))+       = T+ × Tsub+
+//	U2:  (σ_{x = ANY (Tsub)}(T))+    = T+ ⋈_{x = t} Tsub+
+//
+// The selection condition is decomposed into conjuncts; sublink-free
+// conjuncts stay in a residual selection (this is what makes Unn applicable
+// to the paper's synthetic query q1 = σ_{range ∧ a = ANY(σ_{range2}(R2))}(R1)).
+// Any other sublink shape — ALL, non-equality ANY, negated EXISTS, correlated
+// queries, sublinks nested in larger expressions — is not applicable.
+func (rw *rewriter) unnSelect(s *algebra.Select) (algebra.Op, []ProvSource, error) {
+	conjuncts := flattenAnd(s.Cond)
+	child, childProv, err := rw.rewrite(s.Child)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := algebra.Op(child)
+	var residual []algebra.Expr
+	var subProvAll []ProvSource
+	for _, conj := range conjuncts {
+		if !algebra.HasSublink(conj) {
+			residual = append(residual, conj)
+			continue
+		}
+		sl, ok := conj.(algebra.Sublink)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: Unn requires a bare sublink conjunct, got %s", ErrNotApplicable, conj)
+		}
+		if err := requireUncorrelated(Unn, []algebra.Sublink{sl}); err != nil {
+			return nil, nil, err
+		}
+		wrapped, resRef, subProv, err := rw.wrapSublinkQuery(sl.Query)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case sl.Kind == algebra.ExistsSublink:
+			// U1: the provenance of a satisfied EXISTS is all of Tsub; an
+			// empty Tsub empties the cross product, dropping the tuples the
+			// selection would have dropped.
+			plan = &algebra.Cross{L: plan, R: wrapped}
+		case sl.Kind == algebra.AnySublink && sl.Op == types.CmpEq:
+			// U2: an equality ANY is always reqtrue for result tuples, so
+			// its provenance Tsub^true is exactly the equi-join partners.
+			plan = &algebra.Join{L: plan, R: wrapped, Cond: algebra.Cmp{Op: types.CmpEq, L: sl.Test, R: resRef}}
+		default:
+			return nil, nil, fmt.Errorf("%w: Unn has no rule for %s sublinks", ErrNotApplicable, sl.Kind)
+		}
+		subProvAll = append(subProvAll, subProv...)
+	}
+	var filtered algebra.Op = plan
+	if len(residual) > 0 {
+		filtered = &algebra.Select{Child: plan, Cond: algebra.Conj(residual...)}
+	}
+	out := projectResult(filtered, s.Schema(), childProv, subProvAll)
+	return out, append(childProv, subProvAll...), nil
+}
+
+// unnApplicable reports whether unnSelect would succeed on the condition,
+// without building anything. Used by the Auto strategy.
+func unnApplicable(cond algebra.Expr) bool {
+	for _, conj := range flattenAnd(cond) {
+		if !algebra.HasSublink(conj) {
+			continue
+		}
+		sl, ok := conj.(algebra.Sublink)
+		if !ok {
+			return false
+		}
+		if algebra.IsCorrelated(sl.Query) {
+			return false
+		}
+		if sl.Kind != algebra.ExistsSublink && !(sl.Kind == algebra.AnySublink && sl.Op == types.CmpEq) {
+			return false
+		}
+		// Nested sublinks inside Tsub must themselves be rewritable; the
+		// recursive rewrite checks that, so only the top shape matters here.
+	}
+	return true
+}
+
+// flattenAnd splits a condition into its top-level conjuncts.
+func flattenAnd(e algebra.Expr) []algebra.Expr {
+	if a, ok := e.(algebra.And); ok {
+		return append(flattenAnd(a.L), flattenAnd(a.R)...)
+	}
+	return []algebra.Expr{e}
+}
+
+// autoSelect picks the cheapest applicable strategy for one selection:
+// Unn when its patterns match, otherwise Move for uncorrelated sublinks,
+// otherwise Gen (which always applies). This mirrors how the paper positions
+// the strategies: specialized ≫ outer-join ≫ general.
+func (rw *rewriter) autoSelect(s *algebra.Select) (algebra.Op, []ProvSource, error) {
+	if unnApplicable(s.Cond) {
+		return rw.unnSelect(s)
+	}
+	if allUncorrelated(algebra.CollectSublinks(s.Cond)) {
+		return rw.moveSelect(s)
+	}
+	return rw.genSelect(s)
+}
+
+// autoProject picks Move for uncorrelated projection sublinks and Gen
+// otherwise (Unn has no projection rules).
+func (rw *rewriter) autoProject(p *algebra.Project) (algebra.Op, []ProvSource, error) {
+	var sublinks []algebra.Sublink
+	for _, c := range p.Cols {
+		sublinks = append(sublinks, algebra.CollectSublinks(c.E)...)
+	}
+	if allUncorrelated(sublinks) {
+		return rw.moveProject(p)
+	}
+	return rw.genProject(p)
+}
+
+func allUncorrelated(sublinks []algebra.Sublink) bool {
+	for _, sl := range sublinks {
+		if algebra.IsCorrelated(sl.Query) {
+			return false
+		}
+	}
+	return true
+}

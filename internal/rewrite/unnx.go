@@ -1,0 +1,188 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"perm/internal/algebra"
+)
+
+// The UnnX strategy is this reproduction's implementation of the paper's
+// future-work direction (§3.6/§4.2.2: "investigate the applicability and
+// impact of other de-correlation and un-nesting techniques for provenance
+// computation"). It generalizes the Unn rules from {EXISTS, = ANY} to every
+// sublink shape whose Definition-2 provenance is expressible as a join,
+// still requiring uncorrelated sublink queries and bare (possibly negated)
+// sublink conjuncts:
+//
+//	X1  σ_{EXISTS Tsub}(T)         → T+ × Tsub+                  (U1)
+//	X2  σ_{A op ANY Tsub}(T)       → T+ ⋈_{A op t} Tsub+         (U2 generalized
+//	                                 to any comparison: a satisfied ANY is
+//	                                 reqtrue, so Tsub* = Tsub^true)
+//	X3  σ_{¬(A op ALL Tsub)}(T)    → T+ ⋈_{¬(A op t)} Tsub+      (a failed ALL
+//	                                 is reqfalse, so Tsub* = Tsub^false)
+//	X4  σ_{A op ALL Tsub}(T),
+//	    σ_{¬EXISTS Tsub}(T),
+//	    σ_{¬(A op ANY Tsub)}(T),
+//	    scalar-sublink conjuncts   → σ_{conjunct}(T+) ⟕_{true} Π_{P}(Tsub+)
+//	                                 (the provenance is all of Tsub — or NULL
+//	                                 when Tsub is empty — so a constant-true
+//	                                 left outer join attaches it)
+//
+// X4's left outer join replaces the Left strategy's disjunctive Jsub with a
+// trivially true condition, and X2/X3 produce plain theta-joins (hash joins
+// for equality); the ablation benchmarks compare UnnX against the paper's
+// strategies on the workloads where only Gen/Left/Move applied.
+func (rw *rewriter) unnxSelect(s *algebra.Select) (algebra.Op, []ProvSource, error) {
+	conjuncts := flattenAnd(s.Cond)
+	child, childProv, err := rw.rewrite(s.Child)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := algebra.Op(child)
+	var subProvAll []ProvSource
+
+	attach := func(q algebra.Op) error {
+		subPlus, subProv, err := rw.rewrite(q)
+		if err != nil {
+			return err
+		}
+		provOnly := algebra.NewProject(subPlus, provCols(subProv)...)
+		plan = &algebra.LeftJoin{L: plan, R: provOnly, Cond: algebra.BoolConst(true)}
+		subProvAll = append(subProvAll, subProv...)
+		return nil
+	}
+	join := func(q algebra.Op, mk func(res algebra.Expr) algebra.Expr) error {
+		wrapped, resRef, subProv, err := rw.wrapSublinkQuery(q)
+		if err != nil {
+			return err
+		}
+		plan = &algebra.Join{L: plan, R: wrapped, Cond: mk(resRef)}
+		subProvAll = append(subProvAll, subProv...)
+		return nil
+	}
+
+	for _, conj := range conjuncts {
+		if !algebra.HasSublink(conj) {
+			// Filter eagerly: every conjunct of the original selection
+			// references only the selection's input (or enclosing scopes),
+			// which stays available throughout the join chain.
+			plan = &algebra.Select{Child: plan, Cond: conj}
+			continue
+		}
+		pat, ok := unnxPattern(conj)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: UnnX requires bare or negated sublink conjuncts (or scalar-only expressions), got %s", ErrNotApplicable, conj)
+		}
+		if err := requireUncorrelated(UnnX, pat.sublinks); err != nil {
+			return nil, nil, err
+		}
+		switch pat.kind {
+		case xCross: // X1
+			wrapped, _, subProv, err := rw.wrapSublinkQuery(pat.sublinks[0].Query)
+			if err != nil {
+				return nil, nil, err
+			}
+			plan = &algebra.Cross{L: plan, R: wrapped}
+			subProvAll = append(subProvAll, subProv...)
+		case xJoin: // X2
+			sl := pat.sublinks[0]
+			if err := join(sl.Query, func(res algebra.Expr) algebra.Expr {
+				return algebra.Cmp{Op: sl.Op, L: sl.Test, R: res}
+			}); err != nil {
+				return nil, nil, err
+			}
+		case xAntiJoin: // X3
+			sl := pat.sublinks[0]
+			if err := join(sl.Query, func(res algebra.Expr) algebra.Expr {
+				return algebra.Cmp{Op: sl.Op.Negate(), L: sl.Test, R: res}
+			}); err != nil {
+				return nil, nil, err
+			}
+		case xAttach: // X4
+			// Filter first (one sublink evaluation per input tuple), then
+			// attach the sublink's full provenance to the survivors.
+			plan = &algebra.Select{Child: plan, Cond: conj}
+			for _, sl := range pat.sublinks {
+				if err := attach(sl.Query); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	out := projectResult(plan, s.Schema(), childProv, subProvAll)
+	return out, append(childProv, subProvAll...), nil
+}
+
+type unnxKind uint8
+
+const (
+	xCross unnxKind = iota
+	xJoin
+	xAntiJoin
+	xAttach
+)
+
+type unnxMatch struct {
+	kind     unnxKind
+	sublinks []algebra.Sublink
+}
+
+// unnxPattern classifies one conjunct for the UnnX rules.
+func unnxPattern(conj algebra.Expr) (unnxMatch, bool) {
+	switch e := conj.(type) {
+	case algebra.Sublink:
+		switch e.Kind {
+		case algebra.ExistsSublink:
+			return unnxMatch{kind: xCross, sublinks: []algebra.Sublink{e}}, true
+		case algebra.AnySublink:
+			return unnxMatch{kind: xJoin, sublinks: []algebra.Sublink{e}}, true
+		case algebra.AllSublink:
+			// A satisfied ALL is reqtrue: provenance is all of Tsub.
+			return unnxMatch{kind: xAttach, sublinks: []algebra.Sublink{e}}, true
+		}
+	case algebra.Not:
+		if sl, ok := e.E.(algebra.Sublink); ok {
+			switch sl.Kind {
+			case algebra.AllSublink:
+				return unnxMatch{kind: xAntiJoin, sublinks: []algebra.Sublink{sl}}, true
+			case algebra.ExistsSublink, algebra.AnySublink:
+				// A failed EXISTS/ANY is reqfalse: provenance is all of
+				// Tsub (NULL when empty).
+				return unnxMatch{kind: xAttach, sublinks: []algebra.Sublink{sl}}, true
+			}
+		}
+	}
+	// Arbitrary expressions qualify when every embedded sublink is scalar:
+	// a scalar sublink's provenance is all of Tsub regardless of the
+	// expression around it.
+	sublinks := algebra.CollectSublinks(conj)
+	if len(sublinks) == 0 {
+		return unnxMatch{}, false
+	}
+	for _, sl := range sublinks {
+		if sl.Kind != algebra.ScalarSublink {
+			return unnxMatch{}, false
+		}
+	}
+	return unnxMatch{kind: xAttach, sublinks: sublinks}, true
+}
+
+// unnxApplicable reports whether unnxSelect would succeed, for Auto-style
+// dispatch and the benchmark harness.
+func unnxApplicable(cond algebra.Expr) bool {
+	for _, conj := range flattenAnd(cond) {
+		if !algebra.HasSublink(conj) {
+			continue
+		}
+		pat, ok := unnxPattern(conj)
+		if !ok {
+			return false
+		}
+		for _, sl := range pat.sublinks {
+			if algebra.IsCorrelated(sl.Query) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,160 @@
+// Package schema models relation schemas for the Perm reproduction: ordered
+// attribute lists with optional relation qualifiers, name resolution with
+// ambiguity detection, and the provenance attribute naming scheme P(R) from
+// Glavic & Alonso (EDBT 2009) §3.1.
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attr is a single attribute of a relation schema. Name is the column name;
+// Qual is the optional relation or alias qualifier used to resolve
+// references like "r.a".
+type Attr struct {
+	Qual string
+	Name string
+}
+
+// String renders the attribute as [qual.]name.
+func (a Attr) String() string {
+	if a.Qual == "" {
+		return a.Name
+	}
+	return a.Qual + "." + a.Name
+}
+
+// Schema is an ordered list of attributes. The zero Schema is empty and
+// ready to use.
+type Schema struct {
+	Attrs []Attr
+}
+
+// New builds a schema with a shared qualifier for every attribute name.
+func New(qual string, names ...string) Schema {
+	attrs := make([]Attr, len(names))
+	for i, n := range names {
+		attrs[i] = Attr{Qual: qual, Name: n}
+	}
+	return Schema{Attrs: attrs}
+}
+
+// Len returns the number of attributes.
+func (s Schema) Len() int { return len(s.Attrs) }
+
+// String renders the schema as (a, b, r.c).
+func (s Schema) String() string {
+	parts := make([]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		parts[i] = a.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Concat returns s followed by o — the paper's ⧺ operator on attribute
+// lists (used by the cross product rewrite rule R4).
+func (s Schema) Concat(o Schema) Schema {
+	attrs := make([]Attr, 0, len(s.Attrs)+len(o.Attrs))
+	attrs = append(attrs, s.Attrs...)
+	attrs = append(attrs, o.Attrs...)
+	return Schema{Attrs: attrs}
+}
+
+// WithQual returns a copy of the schema with every attribute re-qualified,
+// implementing relation aliasing (FROM R AS x).
+func (s Schema) WithQual(qual string) Schema {
+	attrs := make([]Attr, len(s.Attrs))
+	for i, a := range s.Attrs {
+		attrs[i] = Attr{Qual: qual, Name: a.Name}
+	}
+	return Schema{Attrs: attrs}
+}
+
+// IndexOf resolves a possibly-qualified attribute reference to a position.
+// A reference with an empty qualifier matches any attribute with the name;
+// resolution fails if no attribute matches or more than one does.
+func (s Schema) IndexOf(qual, name string) (int, error) {
+	found := -1
+	for i, a := range s.Attrs {
+		if a.Name != name {
+			continue
+		}
+		if qual != "" && a.Qual != qual {
+			continue
+		}
+		if found >= 0 {
+			ref := name
+			if qual != "" {
+				ref = qual + "." + name
+			}
+			return -1, fmt.Errorf("schema: ambiguous attribute reference %q in %s", ref, s)
+		}
+		found = i
+	}
+	if found < 0 {
+		ref := name
+		if qual != "" {
+			ref = qual + "." + name
+		}
+		return -1, fmt.Errorf("schema: unknown attribute %q in %s", ref, s)
+	}
+	return found, nil
+}
+
+// Lookup resolves a reference without constructing errors: idx is -1 when
+// the name is absent; ambiguous reports a non-unique match. The evaluator
+// uses Lookup to walk correlation scopes (absent in the inner scope means
+// "try the enclosing query", which must not be an error).
+func (s Schema) Lookup(qual, name string) (idx int, ambiguous bool) {
+	idx = -1
+	for i, a := range s.Attrs {
+		if a.Name != name {
+			continue
+		}
+		if qual != "" && a.Qual != qual {
+			continue
+		}
+		if idx >= 0 {
+			return -1, true
+		}
+		idx = i
+	}
+	return idx, false
+}
+
+// Has reports whether the reference resolves uniquely in the schema.
+func (s Schema) Has(qual, name string) bool {
+	_, err := s.IndexOf(qual, name)
+	return err == nil
+}
+
+// ProvPrefix is the prefix of provenance attribute names. The paper uses the
+// shorthand "p" for its examples; the implementation uses "prov_" plus the
+// originating relation, matching the Perm system's naming scheme.
+const ProvPrefix = "prov_"
+
+// ProvAttr returns the provenance attribute name P(rel.attr) for one source
+// attribute, e.g. ProvAttr("r", "a") = "prov_r_a".
+func ProvAttr(rel, attr string) string {
+	return ProvPrefix + strings.ToLower(rel) + "_" + strings.ToLower(attr)
+}
+
+// ProvSchema returns P(R): a unique renaming of all attributes of a base
+// relation rel with schema s. disamb distinguishes multiple references to
+// the same relation within one query (the paper treats those as different
+// relations); disamb 0 yields plain names, n>0 appends "_n".
+func ProvSchema(rel string, s Schema, disamb int) Schema {
+	suffix := ""
+	if disamb > 0 {
+		suffix = fmt.Sprintf("_%d", disamb)
+	}
+	attrs := make([]Attr, len(s.Attrs))
+	for i, a := range s.Attrs {
+		attrs[i] = Attr{Name: ProvAttr(rel+suffix, a.Name)}
+	}
+	return Schema{Attrs: attrs}
+}
+
+// IsProvAttr reports whether an attribute name is a provenance attribute.
+func IsProvAttr(name string) bool { return strings.HasPrefix(name, ProvPrefix) }

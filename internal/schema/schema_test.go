@@ -1,0 +1,106 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIndexOfResolution(t *testing.T) {
+	s := Schema{Attrs: []Attr{{Qual: "r", Name: "a"}, {Qual: "r", Name: "b"}, {Qual: "s", Name: "c"}}}
+	if i, err := s.IndexOf("", "b"); err != nil || i != 1 {
+		t.Errorf("b resolved to %d, %v", i, err)
+	}
+	if i, err := s.IndexOf("s", "c"); err != nil || i != 2 {
+		t.Errorf("s.c resolved to %d, %v", i, err)
+	}
+	if _, err := s.IndexOf("r", "c"); err == nil {
+		t.Error("r.c should not resolve")
+	}
+	if _, err := s.IndexOf("", "zz"); err == nil {
+		t.Error("zz should not resolve")
+	}
+}
+
+func TestIndexOfAmbiguity(t *testing.T) {
+	s := Schema{Attrs: []Attr{{Qual: "r", Name: "a"}, {Qual: "s", Name: "a"}}}
+	if _, err := s.IndexOf("", "a"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("unqualified a should be ambiguous, got %v", err)
+	}
+	if i, err := s.IndexOf("s", "a"); err != nil || i != 1 {
+		t.Errorf("s.a should resolve to 1, got %d, %v", i, err)
+	}
+}
+
+func TestConcatAndWithQual(t *testing.T) {
+	a := New("r", "x", "y")
+	b := New("s", "z")
+	c := a.Concat(b)
+	if c.Len() != 3 || c.Attrs[2].Qual != "s" {
+		t.Errorf("concat wrong: %s", c)
+	}
+	q := c.WithQual("t")
+	for _, at := range q.Attrs {
+		if at.Qual != "t" {
+			t.Errorf("requalify missed %s", at)
+		}
+	}
+	// Originals untouched.
+	if a.Attrs[0].Qual != "r" {
+		t.Error("WithQual mutated the source schema")
+	}
+}
+
+func TestProvNaming(t *testing.T) {
+	if got := ProvAttr("R", "A"); got != "prov_r_a" {
+		t.Errorf("ProvAttr = %q", got)
+	}
+	s := New("r", "a", "b")
+	p := ProvSchema("r", s, 0)
+	if p.Attrs[0].Name != "prov_r_a" || p.Attrs[1].Name != "prov_r_b" {
+		t.Errorf("ProvSchema = %s", p)
+	}
+	p1 := ProvSchema("r", s, 1)
+	if p1.Attrs[0].Name != "prov_r_1_a" {
+		t.Errorf("disambiguated ProvSchema = %s", p1)
+	}
+	if !IsProvAttr("prov_r_a") || IsProvAttr("a") {
+		t.Error("IsProvAttr misclassifies")
+	}
+}
+
+func TestLookupAgreesWithIndexOfProperty(t *testing.T) {
+	// Lookup and IndexOf must agree on every (qual, name) over a schema
+	// with deliberate duplicates and shadowing.
+	s := Schema{Attrs: []Attr{
+		{Qual: "r", Name: "a"}, {Qual: "s", Name: "a"}, {Qual: "r", Name: "b"},
+	}}
+	quals := []string{"", "r", "s", "t"}
+	names := []string{"a", "b", "c"}
+	for _, q := range quals {
+		for _, n := range names {
+			idx, amb := s.Lookup(q, n)
+			got, err := s.IndexOf(q, n)
+			switch {
+			case amb:
+				if err == nil {
+					t.Errorf("Lookup(%q,%q) ambiguous but IndexOf succeeded", q, n)
+				}
+			case idx < 0:
+				if err == nil {
+					t.Errorf("Lookup(%q,%q) absent but IndexOf succeeded", q, n)
+				}
+			default:
+				if err != nil || got != idx {
+					t.Errorf("Lookup(%q,%q)=%d but IndexOf=%d,%v", q, n, idx, got, err)
+				}
+			}
+		}
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := Schema{Attrs: []Attr{{Name: "a"}, {Qual: "r", Name: "b"}}}
+	if got := s.String(); got != "(a, r.b)" {
+		t.Errorf("String = %q", got)
+	}
+}

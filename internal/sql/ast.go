@@ -1,0 +1,170 @@
+package sql
+
+// The SQL abstract syntax tree. It is deliberately separate from the
+// algebra: the parser produces this untyped surface form, and translate.go
+// lowers it — resolving *, IN lists, aggregate extraction and subquery
+// kinds — onto internal/algebra.
+
+// Stmt is a full statement: a select possibly combined with set operations.
+type Stmt struct {
+	Left  *SelectStmt
+	SetOp *SetOpClause // nil when the statement is a plain select
+}
+
+// SetOpClause chains a set operation onto the left select.
+type SetOpClause struct {
+	Kind  string // "UNION", "INTERSECT", "EXCEPT"
+	All   bool   // UNION ALL keeps duplicates
+	Right *Stmt
+}
+
+// SelectStmt is one SELECT … query block.
+type SelectStmt struct {
+	Distinct   bool
+	Provenance bool // SELECT PROVENANCE …, the Perm language extension
+	Cols       []SelectCol
+	Star       bool
+	From       []TableRef
+	Where      Expr
+	GroupBy    []Expr
+	Having     Expr
+	OrderBy    []OrderKey
+	Limit      int // -1 when absent
+}
+
+// SelectCol is one output column with an optional alias.
+type SelectCol struct {
+	E     Expr
+	Alias string
+}
+
+// TableRef is a FROM item: either a base table, a parenthesized subquery, or
+// a join of two table refs.
+type TableRef struct {
+	// Base table:
+	Table string
+	Alias string
+	// Subquery (Table empty):
+	Sub *Stmt
+	// Join (Table empty, Sub nil):
+	Join *JoinRef
+}
+
+// JoinRef is an explicit join in the FROM clause.
+type JoinRef struct {
+	Left, Right TableRef
+	LeftOuter   bool
+	On          Expr
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	E    Expr
+	Desc bool
+}
+
+// Expr is a surface expression node.
+type Expr interface{ sqlExpr() }
+
+// Ident is a possibly-qualified column reference.
+type Ident struct {
+	Qual string
+	Name string
+}
+
+// NumLit is an integer or float literal (Float reports which).
+type NumLit struct {
+	Int   int64
+	Float float64
+	IsFlt bool
+}
+
+// StrLit is a string literal.
+type StrLit struct{ S string }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ B bool }
+
+// NullLit is NULL.
+type NullLit struct{}
+
+// Binary is a binary operator: comparison, arithmetic, AND, OR.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary is NOT or unary minus.
+type Unary struct {
+	Op string
+	E  Expr
+}
+
+// IsNull is "expr IS [NOT] NULL".
+type IsNull struct {
+	E   Expr
+	Not bool
+}
+
+// InList is "expr [NOT] IN (v1, v2, …)".
+type InList struct {
+	E    Expr
+	List []Expr
+	Not  bool
+}
+
+// InSub is "expr [NOT] IN (SELECT …)".
+type InSub struct {
+	E   Expr
+	Sub *Stmt
+	Not bool
+}
+
+// Quant is "expr op ANY|ALL (SELECT …)".
+type Quant struct {
+	Op  string // comparison operator
+	Any bool   // true for ANY/SOME, false for ALL
+	E   Expr
+	Sub *Stmt
+}
+
+// Exists is "[NOT] EXISTS (SELECT …)".
+type Exists struct {
+	Sub *Stmt
+	Not bool
+}
+
+// ScalarSub is a parenthesized subquery used as a value.
+type ScalarSub struct{ Sub *Stmt }
+
+// Call is a function call; Star marks count(*), Distinct marks
+// f(DISTINCT x).
+type Call struct {
+	Name     string
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+// Between is "expr [NOT] BETWEEN lo AND hi".
+type Between struct {
+	E      Expr
+	Lo, Hi Expr
+	Not    bool
+}
+
+func (Ident) sqlExpr()     {}
+func (NumLit) sqlExpr()    {}
+func (StrLit) sqlExpr()    {}
+func (BoolLit) sqlExpr()   {}
+func (NullLit) sqlExpr()   {}
+func (Binary) sqlExpr()    {}
+func (Unary) sqlExpr()     {}
+func (IsNull) sqlExpr()    {}
+func (InList) sqlExpr()    {}
+func (InSub) sqlExpr()     {}
+func (Quant) sqlExpr()     {}
+func (Exists) sqlExpr()    {}
+func (ScalarSub) sqlExpr() {}
+func (Call) sqlExpr()      {}
+func (Between) sqlExpr()   {}

@@ -1,0 +1,151 @@
+// Package sql implements the SQL front end of the Perm reproduction: a
+// lexer, a recursive-descent parser and a translator from the SQL AST to
+// the extended relational algebra of internal/algebra.
+//
+// The dialect covers the subset the paper's workloads need — SELECT
+// [DISTINCT] lists with expressions and aliases, FROM with base tables,
+// aliases, subqueries and INNER/LEFT JOIN … ON, WHERE/HAVING conditions
+// with IN, NOT IN, op ANY/SOME, op ALL, [NOT] EXISTS and scalar subqueries
+// (correlated or not, arbitrarily nested), GROUP BY, ORDER BY, LIMIT,
+// UNION/INTERSECT/EXCEPT [ALL] — plus Perm's extension keyword:
+//
+//	SELECT PROVENANCE … ;
+//
+// marks the query for provenance rewriting, exactly like the language
+// extension described in §4.1 of the paper.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+// token is one lexeme with its source position (1-based byte offset).
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased, identifiers lower-cased
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return t.text
+	}
+}
+
+// keywords of the dialect. SOME is an alias for ANY, as in SQL.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "PROVENANCE": true, "FROM": true,
+	"WHERE": true, "GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"LIMIT": true, "AS": true, "AND": true, "OR": true, "NOT": true,
+	"IN": true, "ANY": true, "SOME": true, "ALL": true, "EXISTS": true,
+	"IS": true, "NULL": true, "TRUE": true, "FALSE": true, "JOIN": true,
+	"INNER": true, "LEFT": true, "OUTER": true, "ON": true, "UNION": true,
+	"INTERSECT": true, "EXCEPT": true, "ASC": true, "DESC": true,
+	"BETWEEN": true, "LIKE": true, "CREATE": true, "VIEW": true,
+	"DROP": true,
+}
+
+// lex tokenizes the input. Errors carry byte positions for messages.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: start + 1})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: strings.ToLower(word), pos: start + 1})
+			}
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			seenDot := false
+			for i < n && (unicode.IsDigit(rune(input[i])) || (input[i] == '.' && !seenDot)) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start + 1})
+		case c == '\'':
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at position %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+		default:
+			start := i
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<>", "!=", "<=", ">=":
+				if two == "!=" {
+					two = "<>"
+				}
+				toks = append(toks, token{kind: tokSymbol, text: two, pos: start + 1})
+				i += 2
+				continue
+			}
+			switch c {
+			case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', '.', ';':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: start + 1})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at position %d", c, start+1)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n + 1})
+	return toks, nil
+}

@@ -1,0 +1,569 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses one SQL statement (an optional trailing semicolon is
+// allowed).
+func Parse(input string) (*Stmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected %s after end of statement", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: position %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+// accept consumes the next token if it matches, reporting success.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.peek().kind == kind && p.peek().text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// expect consumes a required token.
+func (p *parser) expect(kind tokenKind, text string) error {
+	if !p.accept(kind, text) {
+		return p.errf("expected %s, found %s", text, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool { return p.accept(tokKeyword, kw) }
+
+func (p *parser) parseStmt() (*Stmt, error) {
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &Stmt{Left: sel}
+	for _, kw := range []string{"UNION", "INTERSECT", "EXCEPT"} {
+		if p.acceptKeyword(kw) {
+			all := p.acceptKeyword("ALL")
+			right, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			stmt.SetOp = &SetOpClause{Kind: kw, All: all, Right: right}
+			return stmt, nil
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{Limit: -1}
+	if p.acceptKeyword("PROVENANCE") {
+		sel.Provenance = true
+	}
+	if p.acceptKeyword("DISTINCT") {
+		sel.Distinct = true
+	}
+	if p.accept(tokSymbol, "*") {
+		sel.Star = true
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			col := SelectCol{E: e}
+			if p.acceptKeyword("AS") {
+				if p.peek().kind != tokIdent {
+					return nil, p.errf("expected alias after AS, found %s", p.peek())
+				}
+				col.Alias = p.next().text
+			} else if p.peek().kind == tokIdent {
+				col.Alias = p.next().text
+			}
+			sel.Cols = append(sel.Cols, col)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, ref)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{E: e}
+			if p.acceptKeyword("DESC") {
+				key.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, key)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		if p.peek().kind != tokNumber {
+			return nil, p.errf("expected number after LIMIT, found %s", p.peek())
+		}
+		n, err := strconv.Atoi(p.next().text)
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid LIMIT value")
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+// parseTableRef parses one FROM item including any chained joins.
+func (p *parser) parseTableRef() (TableRef, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return TableRef{}, err
+	}
+	for {
+		leftOuter := false
+		switch {
+		case p.acceptKeyword("JOIN"):
+		case p.acceptKeyword("INNER"):
+			if err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return TableRef{}, err
+			}
+		case p.acceptKeyword("LEFT"):
+			p.acceptKeyword("OUTER")
+			if err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return TableRef{}, err
+			}
+			leftOuter = true
+		default:
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return TableRef{}, err
+		}
+		if err := p.expect(tokKeyword, "ON"); err != nil {
+			return TableRef{}, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return TableRef{}, err
+		}
+		left = TableRef{Join: &JoinRef{Left: left, Right: right, LeftOuter: leftOuter, On: on}}
+	}
+}
+
+func (p *parser) parseTablePrimary() (TableRef, error) {
+	if p.accept(tokSymbol, "(") {
+		sub, err := p.parseStmt()
+		if err != nil {
+			return TableRef{}, err
+		}
+		if err := p.expect(tokSymbol, ")"); err != nil {
+			return TableRef{}, err
+		}
+		p.acceptKeyword("AS")
+		if p.peek().kind != tokIdent {
+			return TableRef{}, p.errf("subquery in FROM requires an alias")
+		}
+		return TableRef{Sub: sub, Alias: p.next().text}, nil
+	}
+	if p.peek().kind != tokIdent {
+		return TableRef{}, p.errf("expected table name, found %s", p.peek())
+	}
+	ref := TableRef{Table: p.next().text}
+	if p.acceptKeyword("AS") {
+		if p.peek().kind != tokIdent {
+			return TableRef{}, p.errf("expected alias after AS, found %s", p.peek())
+		}
+		ref.Alias = p.next().text
+	} else if p.peek().kind == tokIdent {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}
+
+// --- expressions ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "NOT", E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+// cmpOps are the comparison operator spellings.
+var cmpOps = map[string]bool{"=": true, "<>": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	if p.acceptKeyword("EXISTS") {
+		sub, err := p.parseParenStmt()
+		if err != nil {
+			return nil, err
+		}
+		return Exists{Sub: sub}, nil
+	}
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// Comparison, possibly quantified.
+	if p.peek().kind == tokSymbol && cmpOps[p.peek().text] {
+		op := p.next().text
+		if p.acceptKeyword("ANY") || p.acceptKeyword("SOME") {
+			sub, err := p.parseParenStmt()
+			if err != nil {
+				return nil, err
+			}
+			return Quant{Op: op, Any: true, E: l, Sub: sub}, nil
+		}
+		if p.acceptKeyword("ALL") {
+			sub, err := p.parseParenStmt()
+			if err != nil {
+				return nil, err
+			}
+			return Quant{Op: op, Any: false, E: l, Sub: sub}, nil
+		}
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: op, L: l, R: r}, nil
+	}
+	not := false
+	if p.acceptKeyword("NOT") {
+		not = true
+		// After "expr NOT" only IN, BETWEEN and LIKE may follow.
+	}
+	switch {
+	case p.acceptKeyword("IS"):
+		if not {
+			return nil, p.errf("unexpected NOT before IS")
+		}
+		isNot := p.acceptKeyword("NOT")
+		if err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return IsNull{E: l, Not: isNot}, nil
+	case p.acceptKeyword("IN"):
+		if err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		if p.peek().kind == tokKeyword && p.peek().text == "SELECT" {
+			sub, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return InSub{E: l, Sub: sub, Not: not}, nil
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return InList{E: l, List: list, Not: not}, nil
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return Between{E: l, Lo: lo, Hi: hi, Not: not}, nil
+	}
+	if not {
+		return nil, p.errf("expected IN or BETWEEN after NOT")
+	}
+	return l, nil
+}
+
+func (p *parser) parseParenStmt() (*Stmt, error) {
+	if err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	sub, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.accept(tokSymbol, "+") {
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: "+", L: l, R: r}
+		} else if p.accept(tokSymbol, "-") {
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: "-", L: l, R: r}
+		} else {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tokSymbol, "*"):
+			op = "*"
+		case p.accept(tokSymbol, "/"):
+			op = "/"
+		case p.accept(tokSymbol, "%"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokSymbol, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "-", E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if i, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+			return NumLit{Int: i}, nil
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("invalid number %q", t.text)
+		}
+		return NumLit{Float: f, IsFlt: true}, nil
+	case tokString:
+		p.next()
+		return StrLit{S: t.text}, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.next()
+			return NullLit{}, nil
+		case "TRUE":
+			p.next()
+			return BoolLit{B: true}, nil
+		case "FALSE":
+			p.next()
+			return BoolLit{B: false}, nil
+		}
+		return nil, p.errf("unexpected keyword %s in expression", t.text)
+	case tokIdent:
+		p.next()
+		// Function call?
+		if p.accept(tokSymbol, "(") {
+			call := Call{Name: t.text}
+			if p.accept(tokSymbol, "*") {
+				call.Star = true
+				if err := p.expect(tokSymbol, ")"); err != nil {
+					return nil, err
+				}
+				return call, nil
+			}
+			if p.acceptKeyword("DISTINCT") {
+				call.Distinct = true
+			}
+			if !p.accept(tokSymbol, ")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.accept(tokSymbol, ",") {
+						break
+					}
+				}
+				if err := p.expect(tokSymbol, ")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		// Qualified reference?
+		if p.accept(tokSymbol, ".") {
+			if p.peek().kind != tokIdent {
+				return nil, p.errf("expected column name after %s.", t.text)
+			}
+			return Ident{Qual: t.text, Name: p.next().text}, nil
+		}
+		return Ident{Name: t.text}, nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.next()
+			if p.peek().kind == tokKeyword && p.peek().text == "SELECT" {
+				sub, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(tokSymbol, ")"); err != nil {
+					return nil, err
+				}
+				return ScalarSub{Sub: sub}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected %s in expression", t)
+}

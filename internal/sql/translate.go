@@ -1,0 +1,574 @@
+package sql
+
+import (
+	"fmt"
+
+	"perm/internal/algebra"
+	"perm/internal/catalog"
+	"perm/internal/types"
+)
+
+// Translated is the result of lowering a statement to algebra.
+type Translated struct {
+	// Plan is the algebra tree of the query (not provenance-rewritten).
+	Plan algebra.Op
+	// Provenance reports whether the statement used SELECT PROVENANCE.
+	Provenance bool
+}
+
+// Translate lowers a parsed statement to the extended relational algebra,
+// resolving base table schemas against the catalog.
+func Translate(cat *catalog.Catalog, stmt *Stmt) (*Translated, error) {
+	tr := &translator{cat: cat}
+	prov := stmt.Left.Provenance
+	plan, err := tr.stmt(stmt, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Translated{Plan: plan, Provenance: prov}, nil
+}
+
+// Compile parses and translates in one step.
+func Compile(cat *catalog.Catalog, query string) (*Translated, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Translate(cat, stmt)
+}
+
+type translator struct {
+	cat       *catalog.Catalog
+	views     map[string]*ViewDef
+	viewStack []string
+	fresh     int
+}
+
+func (tr *translator) freshName(stem string) string {
+	tr.fresh++
+	return fmt.Sprintf("%s%d", stem, tr.fresh)
+}
+
+func (tr *translator) stmt(s *Stmt, top bool) (algebra.Op, error) {
+	if s.Left.Provenance && !top {
+		return nil, fmt.Errorf("sql: SELECT PROVENANCE is only allowed at the top level")
+	}
+	left, err := tr.selectStmt(s.Left)
+	if err != nil {
+		return nil, err
+	}
+	if s.SetOp == nil {
+		return left, nil
+	}
+	if s.SetOp.Right.Left.Provenance {
+		return nil, fmt.Errorf("sql: SELECT PROVENANCE is only allowed at the top level")
+	}
+	right, err := tr.stmt(s.SetOp.Right, false)
+	if err != nil {
+		return nil, err
+	}
+	var kind algebra.SetOpKind
+	switch s.SetOp.Kind {
+	case "UNION":
+		kind = algebra.Union
+	case "INTERSECT":
+		kind = algebra.Intersect
+	case "EXCEPT":
+		kind = algebra.Except
+	default:
+		return nil, fmt.Errorf("sql: unknown set operation %q", s.SetOp.Kind)
+	}
+	if left.Schema().Len() != right.Schema().Len() {
+		return nil, fmt.Errorf("sql: %s of %d and %d columns", s.SetOp.Kind, left.Schema().Len(), right.Schema().Len())
+	}
+	return &algebra.SetOp{Kind: kind, Bag: s.SetOp.All, L: left, R: right}, nil
+}
+
+func (tr *translator) selectStmt(sel *SelectStmt) (algebra.Op, error) {
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("sql: missing FROM clause")
+	}
+	plan, err := tr.fromItem(sel.From[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, ref := range sel.From[1:] {
+		right, err := tr.fromItem(ref)
+		if err != nil {
+			return nil, err
+		}
+		plan = &algebra.Cross{L: plan, R: right}
+	}
+
+	if sel.Where != nil {
+		cond, err := tr.expr(sel.Where, nil)
+		if err != nil {
+			return nil, err
+		}
+		plan = &algebra.Select{Child: plan, Cond: cond}
+	}
+
+	// Aggregation: collect aggregate calls from the output list, HAVING and
+	// ORDER BY, then translate those clauses against the post-aggregation
+	// schema (aggregate calls become references to aggregate columns, and
+	// grouping expressions become references to grouping columns).
+	aggs := &aggCollector{tr: tr}
+	var groupExprs []algebra.GroupExpr
+	for _, g := range sel.GroupBy {
+		ge, err := tr.expr(g, nil)
+		if err != nil {
+			return nil, err
+		}
+		name := tr.freshName("g")
+		if id, ok := g.(Ident); ok {
+			name = id.Name
+		}
+		groupExprs = append(groupExprs, algebra.GroupExpr{E: ge, As: name})
+	}
+	// Sublinks in GROUP BY are evaluated by a projection below the
+	// aggregation (§2.2 of the paper: "this can be simulated … using
+	// projection on sublinks before applying aggregation"), which also
+	// lets the provenance rewrite see them as ordinary projection sublinks.
+	if plan, groupExprs, err = tr.pushGroupSublinks(plan, groupExprs); err != nil {
+		return nil, err
+	}
+
+	var outCols []algebra.ProjExpr
+	star := sel.Star
+	if star {
+		if len(sel.GroupBy) > 0 {
+			return nil, fmt.Errorf("sql: SELECT * cannot be combined with GROUP BY")
+		}
+		for _, a := range plan.Schema().Attrs {
+			outCols = append(outCols, algebra.KeepAttr(a))
+		}
+	} else {
+		for i, c := range sel.Cols {
+			e, err := tr.expr(c.E, aggs)
+			if err != nil {
+				return nil, err
+			}
+			name := c.Alias
+			if name == "" {
+				if id, ok := c.E.(Ident); ok {
+					name = id.Name
+				} else {
+					name = fmt.Sprintf("col%d", i+1)
+				}
+			}
+			outCols = append(outCols, algebra.Col(e, name))
+		}
+	}
+	var having algebra.Expr
+	if sel.Having != nil {
+		having, err = tr.expr(sel.Having, aggs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var orderKeys []algebra.SortKey
+	for _, k := range sel.OrderBy {
+		e, err := tr.expr(k.E, aggs)
+		if err != nil {
+			return nil, err
+		}
+		orderKeys = append(orderKeys, algebra.SortKey{E: e, Desc: k.Desc})
+	}
+
+	if len(groupExprs) > 0 || len(aggs.collected) > 0 {
+		if star {
+			return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
+		}
+		plan = &algebra.Aggregate{Child: plan, Group: groupExprs, Aggs: aggs.collected}
+		// Replace grouping expressions in the output clauses with
+		// references to the grouping columns.
+		replace := func(e algebra.Expr) algebra.Expr {
+			return algebra.MapExpr(e, func(x algebra.Expr) algebra.Expr {
+				for _, g := range groupExprs {
+					if algebra.ExprEqual(x, g.E) {
+						return algebra.Attr(g.As)
+					}
+				}
+				return x
+			})
+		}
+		for i := range outCols {
+			outCols[i].E = replace(outCols[i].E)
+		}
+		if having != nil {
+			having = replace(having)
+			plan = &algebra.Select{Child: plan, Cond: having}
+		}
+		for i := range orderKeys {
+			orderKeys[i].E = replace(orderKeys[i].E)
+		}
+	} else if having != nil {
+		return nil, fmt.Errorf("sql: HAVING requires GROUP BY or aggregates")
+	}
+
+	plan = &algebra.Project{Child: plan, Cols: outCols, Distinct: sel.Distinct}
+
+	// ORDER BY keys referencing output aliases resolve against the
+	// projection; keys referencing hidden attributes are not supported.
+	if len(orderKeys) > 0 {
+		for i := range orderKeys {
+			orderKeys[i].E = aliasKeys(orderKeys[i].E, outCols)
+		}
+		plan = &algebra.Order{Child: plan, Keys: orderKeys}
+	}
+	if sel.Limit >= 0 {
+		plan = &algebra.Limit{Child: plan, N: sel.Limit}
+	}
+	return plan, nil
+}
+
+// pushGroupSublinks rewrites grouping expressions containing sublinks into
+// references to a pre-aggregation projection that computes them, passing
+// every input attribute through.
+func (tr *translator) pushGroupSublinks(plan algebra.Op, groups []algebra.GroupExpr) (algebra.Op, []algebra.GroupExpr, error) {
+	any := false
+	for _, g := range groups {
+		if algebra.HasSublink(g.E) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return plan, groups, nil
+	}
+	cols := make([]algebra.ProjExpr, 0, plan.Schema().Len()+len(groups))
+	for _, a := range plan.Schema().Attrs {
+		cols = append(cols, algebra.KeepAttr(a))
+	}
+	out := make([]algebra.GroupExpr, len(groups))
+	for i, g := range groups {
+		if !algebra.HasSublink(g.E) {
+			out[i] = g
+			continue
+		}
+		name := tr.freshName("gsub")
+		cols = append(cols, algebra.Col(g.E, name))
+		out[i] = algebra.GroupExpr{E: algebra.Attr(name), As: g.As}
+	}
+	return algebra.NewProject(plan, cols...), out, nil
+}
+
+// aliasKeys maps ORDER BY references that name an output column's source
+// expression onto the output attribute, so sorting happens over the
+// projected schema.
+func aliasKeys(e algebra.Expr, cols []algebra.ProjExpr) algebra.Expr {
+	return algebra.MapExpr(e, func(x algebra.Expr) algebra.Expr {
+		for _, c := range cols {
+			if algebra.ExprEqual(x, c.E) {
+				return algebra.Attr(c.As)
+			}
+		}
+		return x
+	})
+}
+
+func (tr *translator) fromItem(ref TableRef) (algebra.Op, error) {
+	switch {
+	case ref.Join != nil:
+		l, err := tr.fromItem(ref.Join.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.fromItem(ref.Join.Right)
+		if err != nil {
+			return nil, err
+		}
+		on, err := tr.expr(ref.Join.On, nil)
+		if err != nil {
+			return nil, err
+		}
+		if ref.Join.LeftOuter {
+			return &algebra.LeftJoin{L: l, R: r, Cond: on}, nil
+		}
+		return &algebra.Join{L: l, R: r, Cond: on}, nil
+	case ref.Sub != nil:
+		sub, err := tr.stmt(ref.Sub, false)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]algebra.ProjExpr, sub.Schema().Len())
+		for i, a := range sub.Schema().Attrs {
+			cols[i] = algebra.ProjExpr{E: algebra.QAttr(a.Qual, a.Name), As: a.Name, Qual: ref.Alias}
+		}
+		return algebra.NewProject(sub, cols...), nil
+	default:
+		if def, ok := tr.views[ref.Table]; ok {
+			return tr.expandView(def, ref.Alias)
+		}
+		sch, err := tr.cat.Schema(ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.NewScan(ref.Table, ref.Alias, sch), nil
+	}
+}
+
+// aggCollector gathers aggregate calls during expression translation,
+// deduplicating structurally identical calls.
+type aggCollector struct {
+	tr        *translator
+	collected []algebra.AggExpr
+}
+
+func (c *aggCollector) add(fn algebra.AggFn, arg algebra.Expr, distinct bool) string {
+	for _, a := range c.collected {
+		if a.Fn == fn && a.Distinct == distinct && algebra.ExprEqual(a.Arg, arg) {
+			return a.As
+		}
+	}
+	name := c.tr.freshName("agg")
+	c.collected = append(c.collected, algebra.AggExpr{Fn: fn, Arg: arg, As: name, Distinct: distinct})
+	return name
+}
+
+// aggFns maps SQL aggregate names.
+var aggFns = map[string]algebra.AggFn{
+	"sum": algebra.AggSum, "count": algebra.AggCount, "avg": algebra.AggAvg,
+	"min": algebra.AggMin, "max": algebra.AggMax,
+}
+
+// cmpFromString maps operator spellings.
+func cmpFromString(op string) (types.CmpOp, bool) {
+	switch op {
+	case "=":
+		return types.CmpEq, true
+	case "<>":
+		return types.CmpNe, true
+	case "<":
+		return types.CmpLt, true
+	case "<=":
+		return types.CmpLe, true
+	case ">":
+		return types.CmpGt, true
+	case ">=":
+		return types.CmpGe, true
+	default:
+		return types.CmpEq, false
+	}
+}
+
+// expr lowers a surface expression. aggs is non-nil in clauses where
+// aggregate calls are allowed (SELECT list, HAVING, ORDER BY).
+func (tr *translator) expr(e Expr, aggs *aggCollector) (algebra.Expr, error) {
+	switch x := e.(type) {
+	case Ident:
+		return algebra.AttrRef{Qual: x.Qual, Name: x.Name}, nil
+	case NumLit:
+		if x.IsFlt {
+			return algebra.FloatConst(x.Float), nil
+		}
+		return algebra.IntConst(x.Int), nil
+	case StrLit:
+		return algebra.StrConst(x.S), nil
+	case BoolLit:
+		return algebra.BoolConst(x.B), nil
+	case NullLit:
+		return algebra.NullConst(), nil
+	case Binary:
+		switch x.Op {
+		case "AND", "OR":
+			l, err := tr.expr(x.L, aggs)
+			if err != nil {
+				return nil, err
+			}
+			r, err := tr.expr(x.R, aggs)
+			if err != nil {
+				return nil, err
+			}
+			if x.Op == "AND" {
+				return algebra.And{L: l, R: r}, nil
+			}
+			return algebra.Or{L: l, R: r}, nil
+		}
+		if op, ok := cmpFromString(x.Op); ok {
+			l, err := tr.expr(x.L, aggs)
+			if err != nil {
+				return nil, err
+			}
+			r, err := tr.expr(x.R, aggs)
+			if err != nil {
+				return nil, err
+			}
+			return algebra.Cmp{Op: op, L: l, R: r}, nil
+		}
+		var aop types.ArithOp
+		switch x.Op {
+		case "+":
+			aop = types.OpAdd
+		case "-":
+			aop = types.OpSub
+		case "*":
+			aop = types.OpMul
+		case "/":
+			aop = types.OpDiv
+		case "%":
+			aop = types.OpMod
+		default:
+			return nil, fmt.Errorf("sql: unknown operator %q", x.Op)
+		}
+		l, err := tr.expr(x.L, aggs)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.expr(x.R, aggs)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Arith{Op: aop, L: l, R: r}, nil
+	case Unary:
+		inner, err := tr.expr(x.E, aggs)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "NOT":
+			return algebra.Not{E: inner}, nil
+		case "-":
+			return algebra.Arith{Op: types.OpSub, L: algebra.IntConst(0), R: inner}, nil
+		default:
+			return nil, fmt.Errorf("sql: unknown unary operator %q", x.Op)
+		}
+	case IsNull:
+		inner, err := tr.expr(x.E, aggs)
+		if err != nil {
+			return nil, err
+		}
+		var out algebra.Expr = algebra.IsNull{E: inner}
+		if x.Not {
+			out = algebra.Not{E: out}
+		}
+		return out, nil
+	case InList:
+		test, err := tr.expr(x.E, aggs)
+		if err != nil {
+			return nil, err
+		}
+		var out algebra.Expr
+		for _, item := range x.List {
+			it, err := tr.expr(item, aggs)
+			if err != nil {
+				return nil, err
+			}
+			eq := algebra.Cmp{Op: types.CmpEq, L: test, R: it}
+			if out == nil {
+				out = eq
+			} else {
+				out = algebra.Or{L: out, R: eq}
+			}
+		}
+		if out == nil {
+			out = algebra.BoolConst(false)
+		}
+		if x.Not {
+			out = algebra.Not{E: out}
+		}
+		return out, nil
+	case InSub:
+		test, err := tr.expr(x.E, aggs)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := tr.stmt(x.Sub, false)
+		if err != nil {
+			return nil, err
+		}
+		if sub.Schema().Len() != 1 {
+			return nil, fmt.Errorf("sql: IN subquery must produce one column, got %d", sub.Schema().Len())
+		}
+		var out algebra.Expr = algebra.Sublink{Kind: algebra.AnySublink, Op: types.CmpEq, Test: test, Query: sub}
+		if x.Not {
+			out = algebra.Not{E: out}
+		}
+		return out, nil
+	case Quant:
+		op, ok := cmpFromString(x.Op)
+		if !ok {
+			return nil, fmt.Errorf("sql: invalid quantified comparison operator %q", x.Op)
+		}
+		test, err := tr.expr(x.E, aggs)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := tr.stmt(x.Sub, false)
+		if err != nil {
+			return nil, err
+		}
+		if sub.Schema().Len() != 1 {
+			return nil, fmt.Errorf("sql: quantified subquery must produce one column, got %d", sub.Schema().Len())
+		}
+		kind := algebra.AllSublink
+		if x.Any {
+			kind = algebra.AnySublink
+		}
+		return algebra.Sublink{Kind: kind, Op: op, Test: test, Query: sub}, nil
+	case Exists:
+		sub, err := tr.stmt(x.Sub, false)
+		if err != nil {
+			return nil, err
+		}
+		var out algebra.Expr = algebra.Sublink{Kind: algebra.ExistsSublink, Query: sub}
+		if x.Not {
+			out = algebra.Not{E: out}
+		}
+		return out, nil
+	case ScalarSub:
+		sub, err := tr.stmt(x.Sub, false)
+		if err != nil {
+			return nil, err
+		}
+		if sub.Schema().Len() != 1 {
+			return nil, fmt.Errorf("sql: scalar subquery must produce one column, got %d", sub.Schema().Len())
+		}
+		return algebra.Sublink{Kind: algebra.ScalarSublink, Query: sub}, nil
+	case Between:
+		v, err := tr.expr(x.E, aggs)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := tr.expr(x.Lo, aggs)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := tr.expr(x.Hi, aggs)
+		if err != nil {
+			return nil, err
+		}
+		var out algebra.Expr = algebra.And{
+			L: algebra.Cmp{Op: types.CmpGe, L: v, R: lo},
+			R: algebra.Cmp{Op: types.CmpLe, L: v, R: hi},
+		}
+		if x.Not {
+			out = algebra.Not{E: out}
+		}
+		return out, nil
+	case Call:
+		fn, ok := aggFns[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown function %q", x.Name)
+		}
+		if aggs == nil {
+			return nil, fmt.Errorf("sql: aggregate %s not allowed in this clause", x.Name)
+		}
+		if x.Star {
+			if fn != algebra.AggCount {
+				return nil, fmt.Errorf("sql: %s(*) is not valid", x.Name)
+			}
+			return algebra.Attr(aggs.add(algebra.AggCountStar, nil, false)), nil
+		}
+		if len(x.Args) != 1 {
+			return nil, fmt.Errorf("sql: %s takes exactly one argument", x.Name)
+		}
+		arg, err := tr.expr(x.Args[0], nil)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Attr(aggs.add(fn, arg, x.Distinct)), nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported expression %T", e)
+	}
+}

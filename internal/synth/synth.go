@@ -1,0 +1,109 @@
+// Package synth generates the synthetic workload of §4.2.2: two-column
+// integer tables (a, b) whose values are drawn from a gaussian
+// distribution, and the two parameterized queries
+//
+//	q1 = σ_{range ∧ a = ANY (σ_{range2}(R2))}(R1)   (equality ANY)
+//	q2 = σ_{range ∧ a < ALL (σ_{range2}(R2))}(R1)   (inequality ALL)
+//
+// where range and range2 restrict attribute b of each table to a random
+// window of fixed size. All four strategies apply to q1; Unn has no rule
+// for q2's ALL sublink, exactly as in the paper.
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"perm/internal/catalog"
+	"perm/internal/rel"
+	"perm/internal/schema"
+	"perm/internal/types"
+)
+
+// Workload describes one synthetic experiment configuration.
+type Workload struct {
+	// InputSize is the row count of R1 (the selection input).
+	InputSize int
+	// SublinkSize is the row count of R2 (the sublink relation).
+	SublinkSize int
+	// Seed drives both data generation and parameter instances.
+	Seed int64
+}
+
+// gaussian standard deviation, following the paper's "100 times the table
+// size" (values spread with the table so selectivities stay stable across
+// scales).
+func stddev(n int) float64 { return 100 * float64(n) }
+
+// windowWidth is the fixed size of the random range restriction on b.
+func windowWidth(n int) int64 { return int64(stddev(n) / 2) }
+
+type rng struct{ state uint64 }
+
+func newRng(seed int64) *rng { return &rng{state: uint64(seed)*0x9E3779B9 + 0x2545F4914F6CDD1D} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// gaussian returns a normal deviate via Box–Muller.
+func (r *rng) gaussian(mean, sd float64) float64 {
+	u1 := r.float()
+	for u1 == 0 {
+		u1 = r.float()
+	}
+	u2 := r.float()
+	return mean + sd*math.Sqrt(-2*math.Log(u1))*math.Cos(2*math.Pi*u2)
+}
+
+// table generates one (a, b) relation of n gaussian-valued rows.
+func table(n int, sd float64, r *rng) *rel.Relation {
+	out := rel.New(schema.New("", "a", "b"))
+	for i := 0; i < n; i++ {
+		out.Add(rel.Tuple{
+			types.NewInt(int64(r.gaussian(0, sd))),
+			types.NewInt(int64(r.gaussian(0, sd))),
+		}, 1)
+	}
+	return out
+}
+
+// Catalog materializes the workload: relation r1 with InputSize rows and r2
+// with SublinkSize rows.
+func (w Workload) Catalog() *catalog.Catalog {
+	cat := catalog.New()
+	r := newRng(w.Seed)
+	cat.Register("r1", table(w.InputSize, stddev(w.InputSize), r))
+	cat.Register("r2", table(w.SublinkSize, stddev(w.SublinkSize), r))
+	return cat
+}
+
+// ranges draws the two random windows for one query instance.
+func (w Workload) ranges(seed int64) (lo1, hi1, lo2, hi2 int64) {
+	r := newRng(w.Seed*31 + seed)
+	w1 := windowWidth(w.InputSize)
+	w2 := windowWidth(w.SublinkSize)
+	c1 := int64(r.gaussian(0, stddev(w.InputSize)))
+	c2 := int64(r.gaussian(0, stddev(w.SublinkSize)))
+	return c1 - w1/2, c1 + w1/2, c2 - w2/2, c2 + w2/2
+}
+
+// Q1 renders one instance of the equality-ANY query.
+func (w Workload) Q1(seed int64) string {
+	lo1, hi1, lo2, hi2 := w.ranges(seed)
+	return fmt.Sprintf(`SELECT * FROM r1 WHERE r1.b >= %d AND r1.b <= %d AND r1.a = ANY (SELECT r2.a FROM r2 WHERE r2.b >= %d AND r2.b <= %d)`,
+		lo1, hi1, lo2, hi2)
+}
+
+// Q2 renders one instance of the inequality-ALL query.
+func (w Workload) Q2(seed int64) string {
+	lo1, hi1, lo2, hi2 := w.ranges(seed)
+	return fmt.Sprintf(`SELECT * FROM r1 WHERE r1.b >= %d AND r1.b <= %d AND r1.a < ALL (SELECT r2.a FROM r2 WHERE r2.b >= %d AND r2.b <= %d)`,
+		lo1, hi1, lo2, hi2)
+}

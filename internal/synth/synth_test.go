@@ -1,0 +1,132 @@
+package synth
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"perm/internal/eval"
+	"perm/internal/opt"
+	"perm/internal/rel"
+	"perm/internal/rewrite"
+	"perm/internal/sql"
+)
+
+func TestCatalogDeterministicAndSized(t *testing.T) {
+	w := Workload{InputSize: 200, SublinkSize: 50, Seed: 3}
+	a := w.Catalog()
+	b := w.Catalog()
+	for _, name := range []string{"r1", "r2"} {
+		ra, err := a.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, _ := b.Relation(name)
+		if !ra.Equal(rb) {
+			t.Errorf("%s differs between runs", name)
+		}
+	}
+	r1, _ := a.Relation("r1")
+	if r1.Card() != 200 {
+		t.Errorf("r1 card = %d", r1.Card())
+	}
+	r2, _ := a.Relation("r2")
+	if r2.Card() != 50 {
+		t.Errorf("r2 card = %d", r2.Card())
+	}
+}
+
+func TestGaussianShape(t *testing.T) {
+	w := Workload{InputSize: 5000, SublinkSize: 10, Seed: 9}
+	cat := w.Catalog()
+	r1, _ := cat.Relation("r1")
+	var sum, sumSq float64
+	_ = r1.Each(func(tp rel.Tuple, n int) error {
+		v := float64(tp[0].Int())
+		sum += v
+		sumSq += v * v
+		return nil
+	})
+	n := float64(r1.Card())
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	want := stddev(5000)
+	if math.Abs(mean) > want/5 {
+		t.Errorf("mean %.0f too far from 0 (sd %.0f)", mean, want)
+	}
+	if sd < want/2 || sd > want*2 {
+		t.Errorf("sd %.0f outside [%0.f, %.0f]", sd, want/2, want*2)
+	}
+}
+
+func TestQueriesRunAndStrategiesApply(t *testing.T) {
+	w := Workload{InputSize: 300, SublinkSize: 100, Seed: 4}
+	cat := w.Catalog()
+	ev := eval.New(cat)
+	for seed := int64(0); seed < 3; seed++ {
+		for _, q := range []string{w.Q1(seed), w.Q2(seed)} {
+			tr, err := sql.Compile(cat, q)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			if _, err := ev.Eval(opt.Optimize(tr.Plan)); err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+		}
+	}
+	// Strategy applicability per §4.2.2: all four strategies handle q1;
+	// Unn has no rule for q2.
+	tr1, _ := sql.Compile(cat, w.Q1(0))
+	for _, s := range []rewrite.Strategy{rewrite.Gen, rewrite.Left, rewrite.Move, rewrite.Unn} {
+		if _, err := rewrite.Rewrite(tr1.Plan, s); err != nil {
+			t.Errorf("%v must apply to q1: %v", s, err)
+		}
+	}
+	tr2, _ := sql.Compile(cat, w.Q2(0))
+	for _, s := range []rewrite.Strategy{rewrite.Gen, rewrite.Left, rewrite.Move} {
+		if _, err := rewrite.Rewrite(tr2.Plan, s); err != nil {
+			t.Errorf("%v must apply to q2: %v", s, err)
+		}
+	}
+	if _, err := rewrite.Rewrite(tr2.Plan, rewrite.Unn); !errors.Is(err, rewrite.ErrNotApplicable) {
+		t.Errorf("Unn on q2 should be not applicable, got %v", err)
+	}
+}
+
+// TestStrategiesAgreeOnSynthetic checks all applicable strategies compute
+// identical provenance on moderate synthetic instances — the correctness
+// backbone behind the Figure 7–9 performance comparison.
+func TestStrategiesAgreeOnSynthetic(t *testing.T) {
+	w := Workload{InputSize: 120, SublinkSize: 40, Seed: 8}
+	cat := w.Catalog()
+	ev := eval.New(cat)
+	for seed := int64(0); seed < 2; seed++ {
+		for qi, q := range []string{w.Q1(seed), w.Q2(seed)} {
+			tr, err := sql.Compile(cat, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			strategies := []rewrite.Strategy{rewrite.Gen, rewrite.Left, rewrite.Move}
+			if qi == 0 {
+				strategies = append(strategies, rewrite.Unn)
+			}
+			var ref *rel.Relation
+			for _, s := range strategies {
+				res, err := rewrite.Rewrite(tr.Plan, s)
+				if err != nil {
+					t.Fatalf("%v: %v", s, err)
+				}
+				out, err := ev.Eval(opt.Optimize(res.Plan))
+				if err != nil {
+					t.Fatalf("%v: %v", s, err)
+				}
+				if ref == nil {
+					ref = out
+				} else if !out.Equal(ref.WithSchema(out.Schema)) {
+					t.Errorf("q%d seed %d: %v disagrees with Gen (%d vs %d tuples)",
+						qi+1, seed, s, out.Card(), ref.Card())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package tpch is a deterministic, in-process TPC-H-style workload
+// generator and the nine sublink query templates of the paper's Figure 6
+// experiment (§4.2.1).
+//
+// Substitutions relative to the official benchmark (documented in
+// DESIGN.md): dates are integers counting days from 1992-01-01; text
+// columns draw from small value pools; the "Customer Complaints" LIKE
+// predicate of Q16 becomes an equality on a comment pool value; Q22's
+// phone-prefix substring becomes integer division on a numeric phone; and
+// the scale factor multiplies micro row counts sized for an in-memory
+// interpreter rather than dbgen's millions. Schema names, key
+// relationships, distributions and — critically — the sublink structure of
+// every query are preserved.
+package tpch
+
+import (
+	"fmt"
+	"math"
+
+	"perm/internal/catalog"
+	"perm/internal/rel"
+	"perm/internal/schema"
+	"perm/internal/types"
+)
+
+// Config controls generation.
+type Config struct {
+	// SF is the scale factor; 1.0 produces the micro-base row counts below.
+	SF float64
+	// Seed makes generation deterministic; the same Config always yields
+	// byte-identical relations.
+	Seed int64
+}
+
+// Micro-base row counts at SF = 1. The official benchmark's ratios between
+// tables are kept approximately (partsupp 2/part, orders 3/customer,
+// lineitem 1–6/order); absolute counts are scaled down for the
+// tree-walking executor.
+const (
+	baseSupplier = 20
+	basePart     = 50
+	baseCustomer = 38
+	baseNation   = 25
+	baseRegion   = 5
+)
+
+// rng is a splitmix64 generator: tiny, deterministic, stdlib-free.
+type rng struct{ state uint64 }
+
+func newRng(seed int64) *rng { return &rng{state: uint64(seed)*2654435769 + 0x9E3779B97F4A7C15} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// rangeInt returns a value in [lo, hi].
+func (r *rng) rangeInt(lo, hi int) int64 { return int64(lo + r.intn(hi-lo+1)) }
+
+// float returns a value in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// money returns a price-like float with two decimals in [lo, hi].
+func (r *rng) money(lo, hi float64) float64 {
+	v := lo + r.float()*(hi-lo)
+	return math.Round(v*100) / 100
+}
+
+func (r *rng) choice(items []string) string { return items[r.intn(len(items))] }
+
+var (
+	regionNames     = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	segments        = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities      = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	containers      = []string{"SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP JAR"}
+	partTypes       = []string{"ECONOMY ANODIZED STEEL", "STANDARD POLISHED COPPER", "PROMO BURNISHED NICKEL", "MEDIUM PLATED BRASS", "SMALL BRUSHED TIN", "LARGE POLISHED STEEL"}
+	shipModes       = []string{"AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"}
+	shipInstructs   = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	supplierComment = []string{"none", "standard", "complaints", "prompt"}
+)
+
+// ComplaintsComment is the supplier comment value standing in for TPC-H
+// Q16's "%Customer%Complaints%" LIKE pattern.
+const ComplaintsComment = "complaints"
+
+// Counts reports the row counts for a scale factor.
+type Counts struct {
+	Region, Nation, Supplier, Part, PartSupp, Customer, Orders, Lineitem int
+}
+
+func scaled(base int, sf float64, min int) int {
+	n := int(math.Round(float64(base) * sf))
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// Generate builds a catalog with the eight TPC-H relations at the given
+// scale. Lineitem's count varies slightly with the seed (1–6 lines per
+// order, as in the official generator).
+func Generate(cfg Config) (*catalog.Catalog, Counts) {
+	r := newRng(cfg.Seed)
+	cat := catalog.New()
+	var cnt Counts
+	cnt.Region = baseRegion
+	// Nation and region are fixed-size in official TPC-H; nation scales
+	// down below SF 1 to keep the Gen strategy's CrossBase tractable on the
+	// smallest databases (documented substitution).
+	cnt.Nation = scaled(baseNation, math.Min(cfg.SF, 1), 4)
+	// At least four suppliers so the query templates' nation parameters
+	// (NATION00–NATION03) always have stock to report on.
+	cnt.Supplier = scaled(baseSupplier, cfg.SF, 4)
+	cnt.Part = scaled(basePart, cfg.SF, 3)
+	cnt.PartSupp = cnt.Part * 2
+	cnt.Customer = scaled(baseCustomer, cfg.SF, 2)
+	cnt.Orders = cnt.Customer * 3
+
+	region := rel.New(schema.New("", "r_regionkey", "r_name", "r_comment"))
+	for k := 0; k < cnt.Region; k++ {
+		region.Add(rel.Tuple{
+			types.NewInt(int64(k)),
+			types.NewString(regionNames[k%len(regionNames)]),
+			types.NewString("region comment"),
+		}, 1)
+	}
+	cat.Register("region", region)
+
+	nation := rel.New(schema.New("", "n_nationkey", "n_name", "n_regionkey", "n_comment"))
+	for k := 0; k < cnt.Nation; k++ {
+		nation.Add(rel.Tuple{
+			types.NewInt(int64(k)),
+			types.NewString(fmt.Sprintf("NATION%02d", k)),
+			types.NewInt(int64(k % cnt.Region)),
+			types.NewString("nation comment"),
+		}, 1)
+	}
+	cat.Register("nation", nation)
+
+	supplier := rel.New(schema.New("", "s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"))
+	for k := 1; k <= cnt.Supplier; k++ {
+		supplier.Add(rel.Tuple{
+			types.NewInt(int64(k)),
+			types.NewString(fmt.Sprintf("Supplier#%09d", k)),
+			types.NewString(fmt.Sprintf("address %d", k)),
+			// Round-robin keeps every nation supplied even at micro scale
+			// (dbgen's uniform distribution has the same effect at SF 1).
+			types.NewInt(int64((k - 1) % cnt.Nation)),
+			types.NewInt(r.rangeInt(1000000, 9999999)),
+			types.NewFloat(r.money(-999.99, 9999.99)),
+			types.NewString(r.choice(supplierComment)),
+		}, 1)
+	}
+	cat.Register("supplier", supplier)
+
+	part := rel.New(schema.New("", "p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container", "p_retailprice", "p_comment"))
+	for k := 1; k <= cnt.Part; k++ {
+		mfgr := r.rangeInt(1, 5)
+		part.Add(rel.Tuple{
+			types.NewInt(int64(k)),
+			types.NewString(fmt.Sprintf("part %d", k)),
+			types.NewString(fmt.Sprintf("MFGR#%d", mfgr)),
+			types.NewString(fmt.Sprintf("Brand#%d%d", mfgr, r.rangeInt(1, 5))),
+			types.NewString(r.choice(partTypes)),
+			types.NewInt(r.rangeInt(1, 50)),
+			types.NewString(r.choice(containers)),
+			types.NewFloat(r.money(900, 2000)),
+			types.NewString("part comment"),
+		}, 1)
+	}
+	cat.Register("part", part)
+
+	// partsupp: two suppliers per part, official-style striding so supplier
+	// keys spread over parts.
+	partsupp := rel.New(schema.New("", "ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"))
+	suppOf := make(map[int64][]int64, cnt.Part)
+	for k := 1; k <= cnt.Part; k++ {
+		s1 := int64((k % cnt.Supplier) + 1)
+		s2 := int64(((k + cnt.Supplier/2) % cnt.Supplier) + 1)
+		if s2 == s1 {
+			s2 = s1%int64(cnt.Supplier) + 1
+		}
+		suppOf[int64(k)] = []int64{s1, s2}
+		for _, s := range suppOf[int64(k)] {
+			partsupp.Add(rel.Tuple{
+				types.NewInt(int64(k)),
+				types.NewInt(s),
+				types.NewInt(r.rangeInt(1, 9999)),
+				types.NewFloat(r.money(1, 1000)),
+				types.NewString("partsupp comment"),
+			}, 1)
+		}
+	}
+	cat.Register("partsupp", partsupp)
+
+	customer := rel.New(schema.New("", "c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal", "c_mktsegment", "c_comment"))
+	for k := 1; k <= cnt.Customer; k++ {
+		nk := r.rangeInt(0, cnt.Nation-1)
+		// Phone = country code (nation + 10) * 100000 + local digits, so
+		// Q22's prefix extraction is integer division by 100000.
+		phone := (nk+10)*100000 + r.rangeInt(10000, 99999)
+		customer.Add(rel.Tuple{
+			types.NewInt(int64(k)),
+			types.NewString(fmt.Sprintf("Customer#%09d", k)),
+			types.NewString(fmt.Sprintf("address %d", k)),
+			types.NewInt(nk),
+			types.NewInt(phone),
+			types.NewFloat(r.money(-999.99, 9999.99)),
+			types.NewString(r.choice(segments)),
+			types.NewString("customer comment"),
+		}, 1)
+	}
+	cat.Register("customer", customer)
+
+	// Dates are day numbers from 1992-01-01 (day 0) to ~1998-12-31
+	// (day 2555).
+	const maxDate = 2555
+	orders := rel.New(schema.New("", "o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority", "o_comment"))
+	lineitem := rel.New(schema.New("", "l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipinstruct", "l_shipmode", "l_comment"))
+	orderKey := int64(0)
+	for ck := 1; ck <= cnt.Customer; ck++ {
+		for o := 0; o < 3; o++ {
+			orderKey++
+			cnt.Orders = int(orderKey)
+			odate := r.rangeInt(0, maxDate-151)
+			status := "O"
+			if odate < maxDate/2 {
+				status = "F"
+			} else if r.intn(10) == 0 {
+				status = "P"
+			}
+			orders.Add(rel.Tuple{
+				types.NewInt(orderKey),
+				types.NewInt(int64(ck)),
+				types.NewString(status),
+				types.NewFloat(r.money(1000, 400000)),
+				types.NewInt(odate),
+				types.NewString(r.choice(priorities)),
+				types.NewString(fmt.Sprintf("Clerk#%05d", r.rangeInt(1, 99))),
+				types.NewInt(0),
+				types.NewString("order comment"),
+			}, 1)
+			lines := 1 + r.intn(6)
+			for ln := 1; ln <= lines; ln++ {
+				cnt.Lineitem++
+				pk := r.rangeInt(1, cnt.Part)
+				sk := suppOf[pk][r.intn(2)]
+				qty := r.rangeInt(1, 50)
+				ship := odate + r.rangeInt(1, 121)
+				commit := odate + r.rangeInt(30, 90)
+				receipt := ship + r.rangeInt(1, 30)
+				lineitem.Add(rel.Tuple{
+					types.NewInt(orderKey),
+					types.NewInt(pk),
+					types.NewInt(sk),
+					types.NewInt(int64(ln)),
+					types.NewInt(qty),
+					types.NewFloat(r.money(900, 104000)),
+					types.NewFloat(math.Round(r.float()*10) / 100), // 0.00–0.10
+					types.NewFloat(math.Round(r.float()*8) / 100),  // 0.00–0.08
+					types.NewString(r.choice([]string{"R", "A", "N"})),
+					types.NewString(r.choice([]string{"O", "F"})),
+					types.NewInt(ship),
+					types.NewInt(commit),
+					types.NewInt(receipt),
+					types.NewString(r.choice(shipInstructs)),
+					types.NewString(r.choice(shipModes)),
+					types.NewString("lineitem comment"),
+				}, 1)
+			}
+		}
+	}
+	cat.Register("orders", orders)
+	cat.Register("lineitem", lineitem)
+	return cat, cnt
+}

@@ -1,0 +1,231 @@
+package tpch
+
+import (
+	"errors"
+	"testing"
+
+	"perm/internal/eval"
+	"perm/internal/opt"
+	"perm/internal/rel"
+	"perm/internal/rewrite"
+	"perm/internal/sql"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, ca := Generate(Config{SF: 0.2, Seed: 42})
+	b, cb := Generate(Config{SF: 0.2, Seed: 42})
+	if ca != cb {
+		t.Fatalf("counts differ: %+v vs %+v", ca, cb)
+	}
+	for _, name := range a.Names() {
+		ra, _ := a.Relation(name)
+		rb, err := b.Relation(name)
+		if err != nil {
+			t.Fatalf("missing %s in second run", name)
+		}
+		if !ra.Equal(rb) {
+			t.Errorf("relation %s differs between runs", name)
+		}
+	}
+	c, _ := Generate(Config{SF: 0.2, Seed: 43})
+	li1, _ := a.Relation("lineitem")
+	li2, _ := c.Relation("lineitem")
+	if li1.Equal(li2) {
+		t.Error("different seeds should produce different lineitem data")
+	}
+}
+
+func TestGenerateScaling(t *testing.T) {
+	_, small := Generate(Config{SF: 0.2, Seed: 1})
+	_, big := Generate(Config{SF: 2, Seed: 1})
+	if big.Part <= small.Part || big.Lineitem <= small.Lineitem {
+		t.Errorf("scaling broken: %+v vs %+v", small, big)
+	}
+	if small.PartSupp != 2*small.Part {
+		t.Errorf("partsupp should be 2 per part: %+v", small)
+	}
+	if small.Orders != 3*small.Customer {
+		t.Errorf("orders should be 3 per customer: %+v", small)
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	cat, _ := Generate(Config{SF: 0.3, Seed: 7})
+	keys := func(relName, attr string) map[int64]bool {
+		r, err := cat.Relation(relName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := r.Schema.IndexOf("", attr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[int64]bool{}
+		_ = r.Each(func(tp rel.Tuple, n int) error {
+			out[tp[idx].Int()] = true
+			return nil
+		})
+		return out
+	}
+	check := func(child, fk, parent, pk string) {
+		t.Helper()
+		parents := keys(parent, pk)
+		for k := range keys(child, fk) {
+			if !parents[k] {
+				t.Errorf("%s.%s = %d has no parent in %s.%s", child, fk, k, parent, pk)
+			}
+		}
+	}
+	check("nation", "n_regionkey", "region", "r_regionkey")
+	check("supplier", "s_nationkey", "nation", "n_nationkey")
+	check("customer", "c_nationkey", "nation", "n_nationkey")
+	check("partsupp", "ps_partkey", "part", "p_partkey")
+	check("partsupp", "ps_suppkey", "supplier", "s_suppkey")
+	check("orders", "o_custkey", "customer", "c_custkey")
+	check("lineitem", "l_orderkey", "orders", "o_orderkey")
+	check("lineitem", "l_partkey", "part", "p_partkey")
+	check("lineitem", "l_suppkey", "supplier", "s_suppkey")
+}
+
+func TestNineSublinkQueries(t *testing.T) {
+	qs := SublinkQueries()
+	if len(qs) != 9 {
+		t.Fatalf("the paper uses 9 sublink queries, have %d", len(qs))
+	}
+	uncorrelated := 0
+	for _, q := range qs {
+		if !q.Correlated {
+			uncorrelated++
+		}
+	}
+	if uncorrelated != 3 {
+		t.Fatalf("the paper identifies 3 uncorrelated queries (11, 15, 16), have %d", uncorrelated)
+	}
+	for _, n := range []int{11, 15, 16} {
+		q, err := QueryByNum(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Correlated {
+			t.Errorf("Q%d should be uncorrelated", n)
+		}
+	}
+	if _, err := QueryByNum(3); err == nil {
+		t.Error("Q3 has no sublinks and should not resolve")
+	}
+}
+
+func TestInstanceDeterminism(t *testing.T) {
+	for _, q := range SublinkQueries() {
+		if q.Instance(7) != q.Instance(7) {
+			t.Errorf("Q%d instance not deterministic", q.Num)
+		}
+		// Some templates have small parameter spaces (Q21 draws one of four
+		// nations), so distinctness is checked across a seed range.
+		distinct := map[string]bool{}
+		for seed := int64(0); seed < 10; seed++ {
+			distinct[q.Instance(seed)] = true
+		}
+		if len(distinct) < 2 {
+			t.Errorf("Q%d instances should vary with the seed", q.Num)
+		}
+	}
+}
+
+// TestQueriesCompileAndRun compiles every template instance, checks the
+// correlation analysis agrees with the paper's classification, and runs
+// the plain query on a small database.
+func TestQueriesCompileAndRun(t *testing.T) {
+	cat, _ := Generate(Config{SF: 0.2, Seed: 11})
+	for _, q := range SublinkQueries() {
+		for seed := int64(0); seed < 3; seed++ {
+			text := q.Instance(seed)
+			tr, err := sql.Compile(cat, text)
+			if err != nil {
+				t.Fatalf("Q%d seed %d: %v\n%s", q.Num, seed, err, text)
+			}
+			plan := opt.Optimize(tr.Plan)
+			if _, err := eval.New(cat).Eval(plan); err != nil {
+				t.Fatalf("Q%d seed %d eval: %v", q.Num, seed, err)
+			}
+		}
+	}
+}
+
+// TestStrategyApplicability mirrors §4.2.1: Gen applies to all nine
+// queries; Left and Move apply exactly to the three uncorrelated ones; Unn
+// applies to none of them.
+func TestStrategyApplicability(t *testing.T) {
+	cat, _ := Generate(Config{SF: 0.2, Seed: 11})
+	for _, q := range SublinkQueries() {
+		text := q.Instance(1)
+		tr, err := sql.Compile(cat, text)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q.Num, err)
+		}
+		// ORDER BY survives rewriting; LIMIT would not, and none of the
+		// templates uses it.
+		if _, err := rewrite.Rewrite(tr.Plan, rewrite.Gen); err != nil {
+			t.Errorf("Gen must apply to Q%d: %v", q.Num, err)
+		}
+		for _, strat := range []rewrite.Strategy{rewrite.Left, rewrite.Move} {
+			_, err := rewrite.Rewrite(tr.Plan, strat)
+			if q.Correlated && !errors.Is(err, rewrite.ErrNotApplicable) {
+				t.Errorf("%v on correlated Q%d: err = %v, want ErrNotApplicable", strat, q.Num, err)
+			}
+			if !q.Correlated && err != nil {
+				t.Errorf("%v must apply to uncorrelated Q%d: %v", strat, q.Num, err)
+			}
+		}
+		if _, err := rewrite.Rewrite(tr.Plan, rewrite.Unn); !errors.Is(err, rewrite.ErrNotApplicable) {
+			t.Errorf("Unn should not apply to Q%d (the paper found no TPC-H query matches Unn), got %v", q.Num, err)
+		}
+	}
+}
+
+// TestProvenancePreservesResults runs each query's cheapest applicable
+// strategy on a small database and verifies the rewritten query's original
+// attributes reproduce the plain result (Theorem 4 on real workloads).
+func TestProvenancePreservesResults(t *testing.T) {
+	cat, _ := Generate(Config{SF: 0.15, Seed: 5})
+	ev := eval.New(cat)
+	for _, q := range SublinkQueries() {
+		text := q.Instance(2)
+		tr, err := sql.Compile(cat, text)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q.Num, err)
+		}
+		plain, err := ev.Eval(opt.Optimize(tr.Plan))
+		if err != nil {
+			t.Fatalf("Q%d plain: %v", q.Num, err)
+		}
+		strat := rewrite.Move
+		if q.Correlated {
+			strat = rewrite.Gen
+		}
+		if q.Correlated && (q.Num == 2 || q.Num == 20 || q.Num == 21) {
+			// Gen over multi-relation CrossBases is the paper's
+			// several-hours case; covered by the benchmark harness with
+			// timeouts instead of unit tests.
+			continue
+		}
+		res, err := rewrite.Rewrite(tr.Plan, strat)
+		if err != nil {
+			t.Fatalf("Q%d rewrite: %v", q.Num, err)
+		}
+		out, err := ev.Eval(opt.Optimize(res.Plan))
+		if err != nil {
+			t.Fatalf("Q%d provenance eval: %v", q.Num, err)
+		}
+		width := res.Original.Len()
+		proj := rel.New(res.Original)
+		_ = out.Each(func(tp rel.Tuple, n int) error {
+			proj.Add(tp[:width].Clone(), n)
+			return nil
+		})
+		if !proj.EqualSet(plain.WithSchema(proj.Schema)) {
+			t.Errorf("Q%d: provenance query does not preserve the result\nplain: %d tuples\nprov:  %d tuples",
+				q.Num, plain.Card(), proj.Card())
+		}
+	}
+}

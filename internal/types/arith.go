@@ -1,0 +1,87 @@
+package types
+
+import "fmt"
+
+// ArithOp is a binary arithmetic operator usable in projection and selection
+// expressions (the paper's "expressions over attributes, constants and
+// functions").
+type ArithOp uint8
+
+// The arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+// String returns the SQL spelling of the operator.
+func (op ArithOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	default:
+		return fmt.Sprintf("arith(%d)", uint8(op))
+	}
+}
+
+// Apply evaluates a op b with SQL NULL propagation: any NULL operand yields
+// NULL. Integer pairs stay integral (except division by zero, which yields
+// NULL rather than an error, simplifying range predicates over generated
+// data); mixed pairs promote to float.
+func (op ArithOp) Apply(a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null(), nil
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Null(), fmt.Errorf("types: %s requires numeric operands, got %s and %s", op, a.Kind(), b.Kind())
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		x, y := a.i, b.i
+		switch op {
+		case OpAdd:
+			return NewInt(x + y), nil
+		case OpSub:
+			return NewInt(x - y), nil
+		case OpMul:
+			return NewInt(x * y), nil
+		case OpDiv:
+			if y == 0 {
+				return Null(), nil
+			}
+			// Integer division over integers, matching SQL.
+			return NewInt(x / y), nil
+		case OpMod:
+			if y == 0 {
+				return Null(), nil
+			}
+			return NewInt(x % y), nil
+		}
+	}
+	x, y := a.Float(), b.Float()
+	switch op {
+	case OpAdd:
+		return NewFloat(x + y), nil
+	case OpSub:
+		return NewFloat(x - y), nil
+	case OpMul:
+		return NewFloat(x * y), nil
+	case OpDiv:
+		if y == 0 {
+			return Null(), nil
+		}
+		return NewFloat(x / y), nil
+	case OpMod:
+		return Null(), fmt.Errorf("types: %% requires integer operands")
+	}
+	return Null(), fmt.Errorf("types: unknown arithmetic operator %d", op)
+}

@@ -1,0 +1,183 @@
+// Package types implements the value domain of the Perm reproduction:
+// SQL-style scalar values (integers, floats, strings, booleans and NULL)
+// together with three-valued comparison logic and the null-aware equality
+// operator =n used by the Gen rewrite strategy of Glavic & Alonso
+// (EDBT 2009), where a =n b ⇔ a = b ∨ (a IS NULL ∧ b IS NULL).
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+// The supported value kinds. KindNull is the zero value so that the zero
+// Value is SQL NULL, which is the only sensible default for a database value.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "boolean"
+	case KindInt:
+		return "integer"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL scalar. The zero Value is NULL. Values are small
+// (no pointers except the string header) and are passed by value throughout
+// the engine.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{} }
+
+// NewBool returns a boolean value.
+func NewBool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// NewInt returns an integer value.
+func NewInt(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// NewFloat returns a floating point value.
+func NewFloat(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// NewString returns a string value.
+func NewString(s string) Value { return Value{kind: KindString, s: s} }
+
+// Kind reports the runtime kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Bool returns the boolean payload. It panics if the value is not a boolean;
+// callers must check Kind first (the evaluator always does).
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic("types: Bool() on " + v.kind.String())
+	}
+	return v.b
+}
+
+// Int returns the integer payload, converting from float if necessary.
+func (v Value) Int() int64 {
+	switch v.kind {
+	case KindInt:
+		return v.i
+	case KindFloat:
+		return int64(v.f)
+	default:
+		panic("types: Int() on " + v.kind.String())
+	}
+}
+
+// Float returns the numeric payload as float64, converting from int if
+// necessary.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	default:
+		panic("types: Float() on " + v.kind.String())
+	}
+}
+
+// Str returns the string payload. It panics on non-strings.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic("types: Str() on " + v.kind.String())
+	}
+	return v.s
+}
+
+// IsNumeric reports whether the value is an integer or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// String renders the value the way the CLI and test fixtures print tuples.
+// NULL prints as "NULL" to match SQL conventions.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	default:
+		return "?"
+	}
+}
+
+// AppendKey appends a self-delimiting encoding of the value to buf. Two
+// values encode to the same bytes iff NullEq considers them equal, which is
+// exactly the grouping and duplicate-elimination equivalence the engine
+// needs (SQL GROUP BY and DISTINCT treat NULLs as equal, matching =n).
+func (v Value) AppendKey(buf []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(buf, 'n')
+	case KindBool:
+		if v.b {
+			return append(buf, 'b', 1)
+		}
+		return append(buf, 'b', 0)
+	case KindInt:
+		buf = append(buf, 'i')
+		return appendUint64(buf, uint64(v.i))
+	case KindFloat:
+		// Integral floats encode as their integer counterpart so that
+		// 1 and 1.0 group together, matching Compare's numeric coercion.
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) &&
+			v.f >= math.MinInt64 && v.f <= math.MaxInt64 {
+			buf = append(buf, 'i')
+			return appendUint64(buf, uint64(int64(v.f)))
+		}
+		buf = append(buf, 'f')
+		return appendUint64(buf, math.Float64bits(v.f))
+	case KindString:
+		buf = append(buf, 's')
+		buf = appendUint64(buf, uint64(len(v.s)))
+		return append(buf, v.s...)
+	default:
+		panic("types: AppendKey on unknown kind")
+	}
+}
+
+func appendUint64(buf []byte, u uint64) []byte {
+	return append(buf,
+		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}

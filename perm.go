@@ -1,0 +1,467 @@
+// Package perm is a pure-Go reproduction of the Perm provenance management
+// system as extended by Glavic & Alonso, "Provenance for Nested Subqueries"
+// (EDBT 2009): a relational engine that computes the Why-provenance of SQL
+// queries — including correlated and nested subqueries (sublinks) — purely
+// by query rewriting.
+//
+// A DB is an in-memory database. Queries use a SQL subset with the Perm
+// language extension SELECT PROVENANCE, which returns every result tuple
+// extended with the contributing tuples of each base relation:
+//
+//	db := perm.Open()
+//	db.Register("r", []string{"a", "b"}, [][]any{{1, 1}, {2, 1}, {3, 2}})
+//	db.Register("s", []string{"c"}, [][]any{{1}, {2}})
+//	res, err := db.Query(`SELECT PROVENANCE * FROM r WHERE a = ANY (SELECT c FROM s)`)
+//
+// The rewrite strategy (Gen, Left, Move, Unn or Auto — see the package
+// documentation of internal/rewrite and §3 of the paper) is selectable per
+// query with WithStrategy.
+package perm
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"perm/internal/algebra"
+	"perm/internal/catalog"
+	"perm/internal/eval"
+	"perm/internal/opt"
+	"perm/internal/rel"
+	"perm/internal/rewrite"
+	"perm/internal/schema"
+	"perm/internal/sql"
+	"perm/internal/types"
+)
+
+// Strategy selects the sublink rewrite strategy for provenance queries.
+type Strategy string
+
+// The rewrite strategies of the paper. Auto picks Unn where its patterns
+// match, Move for uncorrelated sublinks and Gen otherwise.
+const (
+	Gen  Strategy = "Gen"
+	Left Strategy = "Left"
+	Move Strategy = "Move"
+	Unn  Strategy = "Unn"
+	// UnnX extends Unn to ALL, negated and scalar sublinks — this
+	// reproduction's implementation of the paper's future-work unnesting
+	// direction.
+	UnnX Strategy = "UnnX"
+	Auto Strategy = "Auto"
+)
+
+func (s Strategy) internal() (rewrite.Strategy, error) {
+	return rewrite.ParseStrategy(string(s))
+}
+
+// DB is an in-memory database with provenance support.
+type DB struct {
+	cat   *catalog.Catalog
+	views map[string]*sql.ViewDef
+}
+
+// Open returns an empty database.
+func Open() *DB { return &DB{cat: catalog.New(), views: map[string]*sql.ViewDef{}} }
+
+// Exec runs any statement: SELECT queries return a Result; CREATE VIEW and
+// DROP VIEW return nil. Views are stored queries that may be used like
+// relations — including under SELECT PROVENANCE, which rewrites through
+// the view body (the Perm capability of §3.1).
+func (db *DB) Exec(statement string, opts ...Option) (*Result, error) {
+	st, err := sql.ParseStatement(statement)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case st.CreateView != nil:
+		name := st.CreateView.Name
+		// Validate the body now so errors surface at definition time.
+		probe := db.views
+		db.views = cloneViews(probe)
+		db.views[name] = st.CreateView
+		if _, err := sql.CompileEnv(db.env(), "SELECT * FROM "+name); err != nil {
+			db.views = probe
+			return nil, err
+		}
+		return nil, nil
+	case st.DropView != "":
+		if _, ok := db.views[st.DropView]; !ok {
+			return nil, fmt.Errorf("perm: unknown view %q", st.DropView)
+		}
+		delete(db.views, st.DropView)
+		return nil, nil
+	default:
+		return db.Query(statement, opts...)
+	}
+}
+
+// CreateView stores a named query.
+func (db *DB) CreateView(name, query string) error {
+	_, err := db.Exec(fmt.Sprintf("CREATE VIEW %s AS %s", name, query))
+	return err
+}
+
+// Views lists the defined view names.
+func (db *DB) Views() []string {
+	out := make([]string, 0, len(db.views))
+	for n := range db.views {
+		out = append(out, n)
+	}
+	sortStrings(out)
+	return out
+}
+
+func cloneViews(in map[string]*sql.ViewDef) map[string]*sql.ViewDef {
+	out := make(map[string]*sql.ViewDef, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func (db *DB) env() sql.Env { return sql.Env{Catalog: db.cat, Views: db.views} }
+
+// Register installs a base relation. Row values may be int, int64,
+// float64, string, bool or nil (NULL).
+func (db *DB) Register(name string, columns []string, rows [][]any) error {
+	r := rel.New(schema.New("", columns...))
+	for i, row := range rows {
+		if len(row) != len(columns) {
+			return fmt.Errorf("perm: row %d has %d values, want %d", i, len(row), len(columns))
+		}
+		t := make(rel.Tuple, len(row))
+		for j, v := range row {
+			val, err := toValue(v)
+			if err != nil {
+				return fmt.Errorf("perm: row %d column %q: %w", i, columns[j], err)
+			}
+			t[j] = val
+		}
+		r.Add(t, 1)
+	}
+	db.cat.Register(name, r)
+	return nil
+}
+
+// LoadCSV installs a base relation from CSV (header row of column names;
+// values type-inferred; "NULL" and empty fields become NULL).
+func (db *DB) LoadCSV(name string, r io.Reader) error {
+	relation, err := catalog.ReadCSV(r)
+	if err != nil {
+		return err
+	}
+	db.cat.Register(name, relation)
+	return nil
+}
+
+// Relations lists the registered relation names.
+func (db *DB) Relations() []string { return db.cat.Names() }
+
+// Drop removes a relation.
+func (db *DB) Drop(name string) { db.cat.Drop(name) }
+
+// Catalog exposes the underlying catalog for tools inside this module.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+func toValue(v any) (types.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return types.Null(), nil
+	case int:
+		return types.NewInt(int64(x)), nil
+	case int64:
+		return types.NewInt(x), nil
+	case float64:
+		return types.NewFloat(x), nil
+	case string:
+		return types.NewString(x), nil
+	case bool:
+		return types.NewBool(x), nil
+	default:
+		return types.Null(), fmt.Errorf("unsupported value type %T", v)
+	}
+}
+
+func fromValue(v types.Value) any {
+	switch v.Kind() {
+	case types.KindNull:
+		return nil
+	case types.KindBool:
+		return v.Bool()
+	case types.KindInt:
+		return v.Int()
+	case types.KindFloat:
+		return v.Float()
+	case types.KindString:
+		return v.Str()
+	default:
+		return nil
+	}
+}
+
+// Option configures one Query call.
+type Option func(*queryConfig)
+
+type queryConfig struct {
+	strategy   Strategy
+	ctx        context.Context
+	noOptimize bool
+}
+
+// WithStrategy selects the sublink rewrite strategy for PROVENANCE queries
+// (default Auto).
+func WithStrategy(s Strategy) Option {
+	return func(c *queryConfig) { c.strategy = s }
+}
+
+// WithContext attaches a context; cancellation aborts evaluation.
+func WithContext(ctx context.Context) Option {
+	return func(c *queryConfig) { c.ctx = ctx }
+}
+
+// WithoutOptimizer disables the logical optimizer — for ablation
+// experiments that measure the raw rewritten plans.
+func WithoutOptimizer() Option {
+	return func(c *queryConfig) { c.noOptimize = true }
+}
+
+// ProvGroup describes the provenance columns contributed by one base
+// relation access of a PROVENANCE query.
+type ProvGroup struct {
+	// Relation is the base relation name.
+	Relation string
+	// Columns are the provenance column names, in result order.
+	Columns []string
+}
+
+// Result is a materialized query result.
+type Result struct {
+	// Columns are all result column names; for PROVENANCE queries the
+	// original query's columns come first, provenance columns after.
+	Columns []string
+	// Rows hold the data in deterministic order (the query's ORDER BY when
+	// present, a canonical order otherwise). Values are int64, float64,
+	// string, bool or nil.
+	Rows [][]any
+	// DataColumns is the number of original (non-provenance) columns.
+	DataColumns int
+	// Provenance describes the provenance column groups (empty for plain
+	// queries).
+	Provenance []ProvGroup
+}
+
+// Query parses, plans and executes a SQL statement. SELECT PROVENANCE
+// statements are rewritten with the configured strategy before execution.
+func (db *DB) Query(query string, opts ...Option) (*Result, error) {
+	cfg := queryConfig{strategy: Auto, ctx: context.Background()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	tr, err := sql.CompileEnv(db.env(), query)
+	if err != nil {
+		return nil, err
+	}
+	plan := tr.Plan
+	out := &Result{}
+	if tr.Provenance {
+		strat, err := cfg.strategy.internal()
+		if err != nil {
+			return nil, err
+		}
+		res, err := rewrite.Rewrite(plan, strat)
+		if err != nil {
+			return nil, err
+		}
+		plan = res.Plan
+		out.DataColumns = res.Original.Len()
+		for _, p := range res.Prov {
+			g := ProvGroup{Relation: p.Rel}
+			for _, a := range p.Attrs {
+				g.Columns = append(g.Columns, a.Name)
+			}
+			out.Provenance = append(out.Provenance, g)
+		}
+	}
+	if !cfg.noOptimize {
+		plan = opt.Optimize(plan)
+	}
+	relOut, err := eval.New(db.cat).WithContext(cfg.ctx).Eval(plan)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range relOut.Schema.Attrs {
+		out.Columns = append(out.Columns, a.Name)
+	}
+	if !tr.Provenance {
+		out.DataColumns = len(out.Columns)
+	}
+	for _, t := range orderedTuples(plan, relOut) {
+		row := make([]any, len(t))
+		for i, v := range t {
+			row[i] = fromValue(v)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// StrategyAdvice is the cost model's estimate for one strategy.
+type StrategyAdvice struct {
+	// Strategy is the rewrite strategy being estimated.
+	Strategy Strategy
+	// Applicable reports whether the strategy can rewrite this query.
+	Applicable bool
+	// Cost is a unitless work estimate; lower is better. Comparable only
+	// across strategies for the same query.
+	Cost float64
+	// Reason names the dominant cost term, or why the strategy is
+	// inapplicable.
+	Reason string
+}
+
+// Advise ranks the rewrite strategies for a query using a provenance-aware
+// cost model over the catalog's relation cardinalities (the paper's
+// future-work direction of making the optimizer cost model
+// provenance-aware). The query must not use the PROVENANCE keyword — pass
+// the plain query you intend to ask provenance for.
+func (db *DB) Advise(query string) ([]StrategyAdvice, error) {
+	tr, err := sql.CompileEnv(db.env(), query)
+	if err != nil {
+		return nil, err
+	}
+	if tr.Provenance {
+		return nil, fmt.Errorf("perm: Advise takes the plain query, without PROVENANCE")
+	}
+	stats := rewrite.StatsFunc(func(rel string) int {
+		r, err := db.cat.Relation(rel)
+		if err != nil {
+			return 1000
+		}
+		return r.Card()
+	})
+	var out []StrategyAdvice
+	for _, a := range rewrite.Advise(tr.Plan, stats) {
+		out = append(out, StrategyAdvice{
+			Strategy:   Strategy(a.Strategy.String()),
+			Applicable: a.Applicable,
+			Cost:       a.Cost,
+			Reason:     a.Reason,
+		})
+	}
+	return out, nil
+}
+
+// Explain returns the (optimized) algebra plan of a statement, after the
+// provenance rewrite for PROVENANCE queries.
+func (db *DB) Explain(query string, opts ...Option) (string, error) {
+	cfg := queryConfig{strategy: Auto, ctx: context.Background()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	tr, err := sql.CompileEnv(db.env(), query)
+	if err != nil {
+		return "", err
+	}
+	plan := tr.Plan
+	if tr.Provenance {
+		strat, err := cfg.strategy.internal()
+		if err != nil {
+			return "", err
+		}
+		res, err := rewrite.Rewrite(plan, strat)
+		if err != nil {
+			return "", err
+		}
+		plan = res.Plan
+	}
+	if !cfg.noOptimize {
+		plan = opt.Optimize(plan)
+	}
+	return algebra.Indent(plan), nil
+}
+
+// orderedTuples respects a top-level ORDER BY; otherwise it returns the
+// canonical sorted order for deterministic output.
+func orderedTuples(plan algebra.Op, out *rel.Relation) []rel.Tuple {
+	// The evaluator materializes bags; re-sort explicitly when the plan's
+	// top (or top-below-projection) operator is an Order.
+	keys := findOrderKeys(plan)
+	if keys == nil {
+		return out.SortedTuples()
+	}
+	sorted, err := eval.SortTuples(out, keys)
+	if err != nil {
+		return out.SortedTuples()
+	}
+	return sorted
+}
+
+func findOrderKeys(plan algebra.Op) []algebra.SortKey {
+	switch o := plan.(type) {
+	case *algebra.Order:
+		return o.Keys
+	case *algebra.Project:
+		// The provenance rewrite may sit a projection above the Order.
+		if ord, ok := o.Child.(*algebra.Order); ok {
+			return ord.Keys
+		}
+	case *algebra.Limit:
+		return findOrderKeys(o.Child)
+	}
+	return nil
+}
+
+// FormatTable renders the result as an aligned text table for CLI output.
+func (r *Result) FormatTable() string {
+	var b strings.Builder
+	widths := make([]int, len(r.Columns))
+	cell := func(v any) string {
+		if v == nil {
+			return "NULL"
+		}
+		return fmt.Sprintf("%v", v)
+	}
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, v := range row {
+			if l := len(cell(v)); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	sep := make([]string, len(r.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range r.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = cell(v)
+		}
+		writeRow(cells)
+	}
+	return b.String()
+}
