@@ -6,6 +6,7 @@ package perm
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"perm/internal/catalog"
@@ -205,6 +206,65 @@ func BenchmarkAblationHashedAny(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkCorrelatedModes compares the executor modes on the correlated
+// sublink workload (synth q3, bounded correlation domain): the strict
+// re-evaluating executor the paper's cost model assumes, the per-binding
+// sublink memo, and the parallel worker pool. The memo turns the correlated
+// probe from O(outer × sublink) into O(distinct bindings × sublink); see
+// also `permbench -fig modes` for the full table.
+func BenchmarkCorrelatedModes(b *testing.B) {
+	w := synth.Workload{InputSize: 400, SublinkSize: 400, Domain: 32, Seed: 1}
+	cat := w.Catalog()
+	for _, strategy := range []string{"", "Gen"} {
+		stratName := strategy
+		if stratName == "" {
+			stratName = "baseline"
+		}
+		query := w.Q3(0)
+		if strategy == "Gen" {
+			// Gen's CrossBase makes size 400 a multi-second cell; keep the
+			// default bench run fast.
+			wg := synth.Workload{InputSize: 100, SublinkSize: 100, Domain: 32, Seed: 1}
+			cat = wg.Catalog()
+			query = wg.Q3(0)
+		}
+		tr, err := sql.Compile(cat, query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan := tr.Plan
+		if strategy != "" {
+			res, err := rewrite.Rewrite(plan, rewrite.Gen)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan = res.Plan
+		}
+		plan = opt.Optimize(plan)
+		for _, mode := range []struct {
+			name string
+			memo bool
+			par  int
+		}{
+			{"sequential", false, 1},
+			{"memo", true, 1},
+			{"parallel", false, runtime.GOMAXPROCS(0)},
+			{"memo+parallel", true, runtime.GOMAXPROCS(0)},
+		} {
+			b.Run(fmt.Sprintf("q3/%s/%s", stratName, mode.name), func(b *testing.B) {
+				ev := eval.New(cat)
+				ev.DisableSublinkMemo = !mode.memo
+				ev.Parallelism = mode.par
+				for i := 0; i < b.N; i++ {
+					if _, err := ev.Eval(plan); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -1,5 +1,7 @@
 // Command permbench regenerates the paper's evaluation tables (Figure 6:
-// TPC-H strategies across database sizes; Figures 7–9: synthetic sweeps).
+// TPC-H strategies across database sizes; Figures 7–9: synthetic sweeps)
+// and the executor-mode comparison of this reproduction's memoizing,
+// parallel execution layer.
 //
 // Examples:
 //
@@ -7,12 +9,15 @@
 //	permbench -fig 6 -scales 0.05,0.5 -queries 4,11,15 -timeout 10s
 //	permbench -fig 7 -sizes 10,100,1000 -instances 5
 //	permbench -fig all -timeout 5s       # everything, quick cutoff
+//	permbench -fig modes                 # sequential vs memo vs parallel
+//	permbench -fig 7 -parallel 8 -memo   # paper sweep on the fast executor
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -22,17 +27,22 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9 or all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, modes or all")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-cell timeout (the paper's 6h rule, scaled); slower cells print >timeout")
 		instances = flag.Int("instances", 3, "random query instances averaged per cell (the paper used 100)")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		scales    = flag.String("scales", "", "figure 6 database scales, comma-separated (default 0.05,0.5,5,50)")
 		queries   = flag.String("queries", "", "figure 6 TPC-H query numbers, comma-separated (default: all nine)")
 		sizes     = flag.String("sizes", "", "figures 7-9 sweep sizes, comma-separated (default 10,50,100,500,1000)")
+		parallel  = flag.Int("parallel", 0, "executor worker pool size for figures 6-9 (0: sequential, matching the paper)")
+		memo      = flag.Bool("memo", false, "enable per-binding sublink memoization for figures 6-9 (off matches the paper's PostgreSQL executor)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size of the modes comparison's parallel cells")
 	)
 	flag.Parse()
 
 	r := bench.New(os.Stdout, *timeout, *instances)
+	r.Parallelism = *parallel
+	r.SublinkMemo = *memo
 
 	f6 := bench.DefaultFig6()
 	f6.Seed = *seed
@@ -69,6 +79,9 @@ func main() {
 		}
 	}
 
+	mc := bench.DefaultModes(*workers)
+	mc.Seed = *seed
+
 	fmt.Printf("permbench: timeout=%v instances=%d seed=%d\n", *timeout, *instances, *seed)
 	switch *fig {
 	case "6":
@@ -79,13 +92,16 @@ func main() {
 		r.Figure8(sc)
 	case "9":
 		r.Figure9(sc)
+	case "modes":
+		r.Modes(mc)
 	case "all":
 		r.Figure6(f6)
 		r.Figure7(sc)
 		r.Figure8(sc)
 		r.Figure9(sc)
+		r.Modes(mc)
 	default:
-		fatalf("unknown figure %q (want 6, 7, 8, 9 or all)", *fig)
+		fatalf("unknown figure %q (want 6, 7, 8, 9, modes or all)", *fig)
 	}
 }
 

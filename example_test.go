@@ -3,6 +3,7 @@ package perm_test
 import (
 	"fmt"
 	"log"
+	"runtime"
 
 	"perm"
 )
@@ -48,6 +49,126 @@ func ExampleDB_Query_strategy() {
 	// Output:
 	// Left refuses correlated sublinks
 	// 1 provenance row(s) under Gen
+}
+
+// figure3 loads the R and S of the paper's Figure 3.
+func figure3() *perm.DB {
+	db := perm.Open()
+	_ = db.Register("r", []string{"a", "b"}, [][]any{{1, 1}, {2, 1}, {3, 2}})
+	_ = db.Register("s", []string{"c", "d"}, [][]any{{1, 3}, {2, 4}, {4, 5}})
+	return db
+}
+
+// ExampleWithStrategy_gen: the Gen strategy (rules G1/G2) rewrites every
+// sublink, including this correlated one, by joining against the
+// null-extended sublink base relations.
+func ExampleWithStrategy_gen() {
+	db := figure3()
+	res, err := db.Query(`SELECT PROVENANCE a FROM r WHERE EXISTS (SELECT c FROM s WHERE c = b)`,
+		perm.WithStrategy(perm.Gen))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row)
+	}
+	// Output:
+	// [1 1 1 1 3]
+	// [2 2 1 1 3]
+	// [3 3 2 2 4]
+}
+
+// ExampleWithStrategy_left: the Left strategy (rules L1/L2) left outer
+// joins the rewritten sublink query; it refuses correlated sublinks.
+func ExampleWithStrategy_left() {
+	db := figure3()
+	res, err := db.Query(`SELECT PROVENANCE a FROM r WHERE a = ANY (SELECT c FROM s)`,
+		perm.WithStrategy(perm.Left))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row)
+	}
+	// Output:
+	// [1 1 1 1 3]
+	// [2 2 1 2 4]
+}
+
+// ExampleWithStrategy_move: the Move strategy (rules T1/T2) computes the
+// sublink once in a projection and reuses its value in the join condition.
+func ExampleWithStrategy_move() {
+	db := figure3()
+	res, err := db.Query(`SELECT PROVENANCE a FROM r WHERE a = ANY (SELECT c FROM s)`,
+		perm.WithStrategy(perm.Move))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row)
+	}
+	// Output:
+	// [1 1 1 1 3]
+	// [2 2 1 2 4]
+}
+
+// ExampleWithStrategy_unn: the Unn strategy (rules U1/U2) unnests the
+// equality-ANY sublink into a plain equi-join — the paper's fastest
+// strategy where its patterns match.
+func ExampleWithStrategy_unn() {
+	db := figure3()
+	res, err := db.Query(`SELECT PROVENANCE a FROM r WHERE a = ANY (SELECT c FROM s)`,
+		perm.WithStrategy(perm.Unn))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row)
+	}
+	// Output:
+	// [1 1 1 1 3]
+	// [2 2 1 2 4]
+}
+
+// ExampleWithStrategy_unnX: UnnX extends unnesting to ALL, negated and
+// scalar sublinks (the paper's future-work direction); Unn itself has no
+// rule for this ALL sublink.
+func ExampleWithStrategy_unnX() {
+	db := figure3()
+	query := `SELECT PROVENANCE a FROM r WHERE a < ALL (SELECT c FROM s WHERE c > 3)`
+	if _, err := db.Query(query, perm.WithStrategy(perm.Unn)); err != nil {
+		fmt.Println("Unn has no rule for ALL sublinks")
+	}
+	res, err := db.Query(query, perm.WithStrategy(perm.UnnX))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row)
+	}
+	// Output:
+	// Unn has no rule for ALL sublinks
+	// [1 1 1 4 5]
+	// [2 2 1 4 5]
+	// [3 3 2 4 5]
+}
+
+// ExampleWithParallelism evaluates a query on a worker pool. Results are
+// identical to sequential execution — parallelism only changes how the
+// executor schedules tuple-independent work.
+func ExampleWithParallelism() {
+	db := figure3()
+	res, err := db.Query(`SELECT PROVENANCE * FROM r WHERE a = ANY (SELECT c FROM s)`,
+		perm.WithParallelism(runtime.GOMAXPROCS(0)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row)
+	}
+	// Output:
+	// [1 1 1 1 1 3]
+	// [2 1 2 1 2 4]
 }
 
 // ExampleDB_Advise ranks the strategies with the provenance-aware cost

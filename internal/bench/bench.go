@@ -39,6 +39,15 @@ type Runner struct {
 	// the cell exactly like a timeout (the Gen strategy's CrossBase can
 	// exhaust memory long before any clock fires).
 	MaxRows int
+	// Parallelism is the executor worker count per query (0 or 1 runs
+	// sequentially).
+	Parallelism int
+	// SublinkMemo enables the executor's per-binding memoization of
+	// correlated sublink results. It is off by default: the paper's
+	// measurements ran on PostgreSQL, whose SubPlans re-evaluate per outer
+	// binding, and the figures reproduce that cost asymmetry. The
+	// executor-modes table measures what the memo buys.
+	SublinkMemo bool
 	// Out receives the rendered tables.
 	Out io.Writer
 }
@@ -126,6 +135,8 @@ func (r *Runner) Measure(cat *catalog.Catalog, instances []string, strategy stri
 		ctx, cancel := context.WithTimeout(context.Background(), remaining)
 		ev := eval.New(cat).WithContext(ctx)
 		ev.MaxRows = r.MaxRows
+		ev.Parallelism = r.Parallelism
+		ev.DisableSublinkMemo = !r.SublinkMemo
 		start := time.Now()
 		out, err := ev.Eval(plan)
 		elapsed := time.Since(start)

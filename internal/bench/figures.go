@@ -122,6 +122,77 @@ func (r *Runner) Figure9(cfg SynthConfig) {
 	})
 }
 
+// ModesConfig parameterizes the executor-mode comparison. It is not a
+// figure of the paper: it measures this reproduction's memoizing/parallel
+// execution layer on the correlated-sublink workload (synth Q3) the paper
+// identifies as the inherently expensive case.
+type ModesConfig struct {
+	// Sizes sweeps both relation sizes together.
+	Sizes []int
+	// Domain bounds the correlation attribute's value domain so parameter
+	// bindings repeat across outer tuples.
+	Domain int
+	// Workers is the worker-pool size of the parallel modes.
+	Workers int
+	// Seed drives data and parameters.
+	Seed int64
+}
+
+// DefaultModes uses a domain of 32 distinct correlation values and one
+// worker per processor.
+func DefaultModes(workers int) ModesConfig {
+	return ModesConfig{Sizes: []int{100, 400, 1600}, Domain: 32, Workers: workers, Seed: 1}
+}
+
+// executorModes are the cells of the modes table: the strict re-evaluating
+// executor (the paper's cost model), the per-binding sublink memo, the
+// worker pool alone, and both combined.
+var executorModes = []struct {
+	name    string
+	memo    bool
+	workers bool
+}{
+	{"sequential", false, false},
+	{"memo", true, false},
+	{"parallel", false, true},
+	{"memo+parallel", true, true},
+}
+
+// Modes runs the executor-mode comparison: the correlated query q3 under
+// the baseline (no provenance) and the Gen strategy (the only strategy that
+// rewrites correlated sublinks), across the four executor modes.
+func (r *Runner) Modes(cfg ModesConfig) {
+	fmt.Fprintf(r.Out, "\nExecutor modes: correlated q3, domain %d, %d workers (not a paper figure)\n",
+		cfg.Domain, cfg.Workers)
+	for _, strat := range []string{Baseline, "Gen"} {
+		fmt.Fprintf(r.Out, "\nq3 (a > ANY, correlated) · %s\n", strat)
+		tb := &table{header: []string{"size"}}
+		for _, m := range executorModes {
+			tb.header = append(tb.header, m.name)
+		}
+		for _, size := range cfg.Sizes {
+			w := synth.Workload{InputSize: size, SublinkSize: size, Domain: cfg.Domain, Seed: cfg.Seed}
+			cat := w.Catalog()
+			instances := make([]string, r.Instances)
+			for i := range instances {
+				instances[i] = w.Q3(int64(i))
+			}
+			row := []string{fmt.Sprintf("%d", size)}
+			for _, m := range executorModes {
+				rm := *r
+				rm.SublinkMemo = m.memo
+				rm.Parallelism = 1
+				if m.workers {
+					rm.Parallelism = cfg.Workers
+				}
+				row = append(row, rm.Measure(cat, instances, strat).String())
+			}
+			tb.add(row...)
+		}
+		tb.render(r.Out)
+	}
+}
+
 func (r *Runner) synthSweep(cfg SynthConfig, mk func(size int) synth.Workload) {
 	for qi, queryName := range []string{"q1 (a = ANY)", "q2 (a < ALL)"} {
 		fmt.Fprintf(r.Out, "\n%s\n", queryName)

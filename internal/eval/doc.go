@@ -1,0 +1,53 @@
+// Package eval is the bag-semantics executor of the Perm reproduction. It
+// interprets algebra plans (Figure 1 of Glavic & Alonso, EDBT 2009) over an
+// in-memory catalog, including correlated and nested sublinks in selection,
+// projection and join conditions.
+//
+// # Execution model
+//
+// The executor materializes every operator's output as a counted bag
+// (rel.Relation). Equi-join conditions execute as hash joins; everything
+// else falls back to nested loops. A context attached with WithContext is
+// polled during execution so long-running plans can be cancelled (the
+// benchmark harness uses this for the paper's timeout rule), and MaxRows
+// bounds total materialization (the Gen strategy's CrossBase cross products
+// can exhaust memory long before a clock fires).
+//
+// # Sublink caching
+//
+// Like the PostgreSQL executor Perm ran on, the evaluator caches the result
+// of uncorrelated subplans, evaluating them once per query (InitPlan
+// behaviour), and hashes uncorrelated "= ANY" sublinks into a set probed per
+// outer tuple (hashed subplans).
+//
+// Beyond PostgreSQL, correlated sublinks — the case §4 of the paper
+// identifies as inherently expensive under provenance rewriting — are
+// memoized per binding: the subplan's free attribute references are resolved
+// against the enclosing scope and their encoded values key a cache of
+// materialized results, so outer tuples that agree on every correlated
+// parameter share one evaluation instead of re-executing the subplan once
+// per outer tuple. DisableSublinkMemo restores the strict re-evaluating
+// SubPlan behaviour (the benchmark harness sets it when reproducing the
+// paper's figures, whose cost model assumes it).
+//
+// # Parallelism
+//
+// Setting Evaluator.Parallelism > 1 lets one Eval call fan tuple-independent
+// work out across a bounded pool of worker goroutines: selection and
+// projection inputs (where sublink conditions are evaluated), hash-join and
+// nested-loop probes, aggregate key/argument evaluation, and the two build
+// sides of joins and set operations. The invariants that keep this safe:
+//
+//   - Fan-out happens only at the top level of a plan. Workers, and any
+//     evaluation under a correlated scope, run sequentially — nested
+//     fan-out would multiply goroutines per outer tuple.
+//   - Each worker appends to a private output relation; outputs merge in
+//     worker order, so results are deterministic and no relation is written
+//     concurrently. Materialized relations are immutable once built.
+//   - All workers of one Eval share a single run state: the row budget
+//     (atomic) and the memo tables (mutex-guarded). Workers may race to
+//     compute the same memo entry; the duplicated work is benign and the
+//     publish is serialized.
+//
+// The public API exposes this as perm.WithParallelism.
+package eval

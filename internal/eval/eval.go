@@ -1,13 +1,3 @@
-// Package eval is the bag-semantics executor of the Perm reproduction. It
-// interprets algebra plans (Figure 1 of Glavic & Alonso, EDBT 2009) over an
-// in-memory catalog, including correlated and nested sublinks in selection,
-// projection and join conditions.
-//
-// The executor materializes every operator's output as a counted bag. Like
-// the PostgreSQL executor Perm ran on, it caches the result of uncorrelated
-// subplans (evaluated once per query) and re-evaluates correlated subplans
-// for every outer binding — the cost asymmetry the paper's experiments
-// measure.
 package eval
 
 import (
@@ -38,7 +28,9 @@ var ErrCanceled = errors.New("eval: canceled")
 // exhaustion like a timeout (the paper's exclusion rule).
 var ErrBudget = errors.New("eval: row budget exceeded")
 
-// Evaluator executes algebra plans against a DB.
+// Evaluator executes algebra plans against a DB. An Evaluator is not safe
+// for concurrent Eval calls; the concurrency an Eval call uses internally
+// is configured with Parallelism.
 type Evaluator struct {
 	db  DB
 	ctx context.Context
@@ -48,19 +40,33 @@ type Evaluator struct {
 	// hence the paper's measurements) always hashes them.
 	DisableHashedAny bool
 
-	// MaxRows caps the total rows materialized across all operators of one
-	// Eval call; 0 means unlimited. Exceeding it returns ErrBudget.
-	MaxRows int
-	rows    int
+	// DisableSublinkMemo turns off the per-binding memoization of
+	// correlated sublink results. With it set, correlated subplans
+	// re-evaluate for every outer tuple — the PostgreSQL SubPlan behaviour
+	// the paper's measurements rely on; the benchmark harness sets it to
+	// reproduce the paper's figures.
+	DisableSublinkMemo bool
 
-	// memo caches materialized results of uncorrelated sublink queries,
-	// keyed by plan-node identity. It lives for one top-level Eval call.
-	memo map[algebra.Op]*rel.Relation
-	// anyMemo caches hash sets for uncorrelated = ANY sublinks
-	// (PostgreSQL's hashed subplans).
-	anyMemo map[algebra.Op]*anySet
-	// free caches correlation analysis per plan node.
-	free map[algebra.Op]bool
+	// Parallelism is the number of worker goroutines one Eval call may use
+	// for tuple-independent work: selection and projection over expensive
+	// (sublink) expressions, hash-join builds and probes, and aggregate
+	// input evaluation. 0 or 1 evaluates sequentially.
+	Parallelism int
+
+	// MaxRows caps the total rows materialized across all operators of one
+	// Eval call; 0 means unlimited. Exceeding it returns ErrBudget. The cap
+	// is approximate under parallelism: workers racing past a memo miss may
+	// transiently duplicate a subplan evaluation and charge it twice, so
+	// runs close to the budget can exceed it slightly earlier than a
+	// sequential run would.
+	MaxRows int
+
+	// shared is the per-Eval run state (row budget, memo tables), shared
+	// by every worker of one evaluation.
+	shared *runShared
+	// worker marks an evaluator forked into a worker goroutine; workers
+	// never fan out again.
+	worker bool
 
 	ticks int
 }
@@ -80,10 +86,10 @@ func (e *Evaluator) WithContext(ctx context.Context) *Evaluator {
 
 // Eval executes the plan and returns its materialized result.
 func (e *Evaluator) Eval(op algebra.Op) (*rel.Relation, error) {
-	e.memo = map[algebra.Op]*rel.Relation{}
-	e.anyMemo = map[algebra.Op]*anySet{}
-	e.free = map[algebra.Op]bool{}
-	e.rows = 0
+	e.shared = newRunShared()
+	if e.Parallelism > 1 {
+		e.shared.sem = make(chan struct{}, e.Parallelism)
+	}
 	return e.eval(op, nil)
 }
 
@@ -111,9 +117,10 @@ func (e *Evaluator) tick() error {
 
 // add materializes one output row, charging it against the row budget.
 func (e *Evaluator) add(out *rel.Relation, t rel.Tuple, n int) error {
-	e.rows++
-	if e.MaxRows > 0 && e.rows > e.MaxRows {
-		return fmt.Errorf("%w (%d rows)", ErrBudget, e.MaxRows)
+	if e.shared != nil {
+		if rows := e.shared.rows.Add(1); e.MaxRows > 0 && rows > int64(e.MaxRows) {
+			return fmt.Errorf("%w (%d rows)", ErrBudget, e.MaxRows)
+		}
 	}
 	out.Add(t, n)
 	return nil
@@ -177,21 +184,24 @@ func (e *Evaluator) evalSelect(o *algebra.Select, outer []frame) (*rel.Relation,
 	if err != nil {
 		return nil, err
 	}
-	out := rel.New(o.Schema())
-	err = in.Each(func(t rel.Tuple, n int) error {
-		if err := e.tick(); err != nil {
+	emit := func(w *Evaluator, out *rel.Relation, t rel.Tuple, n int) error {
+		if err := w.tick(); err != nil {
 			return err
 		}
-		keep, err := e.evalCond(o.Cond, in.Schema, t, outer)
+		keep, err := w.evalCond(o.Cond, in.Schema, t, outer)
 		if err != nil {
 			return err
 		}
 		if keep == types.True {
-			return e.add(out, t, n)
+			return w.add(out, t, n)
 		}
 		return nil
-	})
-	if err != nil {
+	}
+	if out, done, err := e.parallelEach(in, o.Schema(), outer, emit); done {
+		return out, err
+	}
+	out := rel.New(o.Schema())
+	if err := in.Each(func(t rel.Tuple, n int) error { return emit(e, out, t, n) }); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -202,24 +212,28 @@ func (e *Evaluator) evalProject(o *algebra.Project, outer []frame) (*rel.Relatio
 	if err != nil {
 		return nil, err
 	}
-	out := rel.New(o.Schema())
-	err = in.Each(func(t rel.Tuple, n int) error {
-		if err := e.tick(); err != nil {
+	emit := func(w *Evaluator, out *rel.Relation, t rel.Tuple, n int) error {
+		if err := w.tick(); err != nil {
 			return err
 		}
 		row := make(rel.Tuple, len(o.Cols))
 		for i, c := range o.Cols {
-			v, err := e.evalExpr(c.E, in.Schema, t, outer)
+			v, err := w.evalExpr(c.E, in.Schema, t, outer)
 			if err != nil {
 				return err
 			}
 			row[i] = v
 		}
 		if o.Distinct {
-			return e.add(out, row, 1) // collapsed below
+			return w.add(out, row, 1) // collapsed below
 		}
-		return e.add(out, row, n)
-	})
+		return w.add(out, row, n)
+	}
+	out, done, err := e.parallelEach(in, o.Schema(), outer, emit)
+	if !done {
+		out = rel.New(o.Schema())
+		err = in.Each(func(t rel.Tuple, n int) error { return emit(e, out, t, n) })
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -230,11 +244,7 @@ func (e *Evaluator) evalProject(o *algebra.Project, outer []frame) (*rel.Relatio
 }
 
 func (e *Evaluator) evalCross(o *algebra.Cross, outer []frame) (*rel.Relation, error) {
-	l, err := e.eval(o.L, outer)
-	if err != nil {
-		return nil, err
-	}
-	r, err := e.eval(o.R, outer)
+	l, r, err := e.evalPair(o.L, o.R, outer)
 	if err != nil {
 		return nil, err
 	}
@@ -254,11 +264,7 @@ func (e *Evaluator) evalCross(o *algebra.Cross, outer []frame) (*rel.Relation, e
 }
 
 func (e *Evaluator) evalJoin(o *algebra.Join, outer []frame) (*rel.Relation, error) {
-	l, err := e.eval(o.L, outer)
-	if err != nil {
-		return nil, err
-	}
-	r, err := e.eval(o.R, outer)
+	l, r, err := e.evalPair(o.L, o.R, outer)
 	if err != nil {
 		return nil, err
 	}
@@ -266,35 +272,34 @@ func (e *Evaluator) evalJoin(o *algebra.Join, outer []frame) (*rel.Relation, err
 		return e.hashJoin(o, l, r, keys, false, outer)
 	}
 	sch := o.Schema()
-	out := rel.New(sch)
-	err = l.Each(func(lt rel.Tuple, ln int) error {
+	emit := func(w *Evaluator, out *rel.Relation, lt rel.Tuple, ln int) error {
 		return r.Each(func(rt rel.Tuple, rn int) error {
-			if err := e.tick(); err != nil {
+			if err := w.tick(); err != nil {
 				return err
 			}
 			row := lt.Concat(rt)
-			keep, err := e.evalCond(o.Cond, sch, row, outer)
+			keep, err := w.evalCond(o.Cond, sch, row, outer)
 			if err != nil {
 				return err
 			}
 			if keep == types.True {
-				return e.add(out, row, ln*rn)
+				return w.add(out, row, ln*rn)
 			}
 			return nil
 		})
-	})
-	if err != nil {
+	}
+	if out, done, err := e.parallelEach(l, sch, outer, emit); done {
+		return out, err
+	}
+	out := rel.New(sch)
+	if err := l.Each(func(lt rel.Tuple, ln int) error { return emit(e, out, lt, ln) }); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
 func (e *Evaluator) evalLeftJoin(o *algebra.LeftJoin, outer []frame) (*rel.Relation, error) {
-	l, err := e.eval(o.L, outer)
-	if err != nil {
-		return nil, err
-	}
-	r, err := e.eval(o.R, outer)
+	l, r, err := e.evalPair(o.L, o.R, outer)
 	if err != nil {
 		return nil, err
 	}
@@ -302,22 +307,21 @@ func (e *Evaluator) evalLeftJoin(o *algebra.LeftJoin, outer []frame) (*rel.Relat
 		return e.hashJoin(o, l, r, keys, true, outer)
 	}
 	sch := o.Schema()
-	out := rel.New(sch)
 	rightWidth := o.R.Schema().Len()
-	err = l.Each(func(lt rel.Tuple, ln int) error {
+	emit := func(w *Evaluator, out *rel.Relation, lt rel.Tuple, ln int) error {
 		matched := false
 		err := r.Each(func(rt rel.Tuple, rn int) error {
-			if err := e.tick(); err != nil {
+			if err := w.tick(); err != nil {
 				return err
 			}
 			row := lt.Concat(rt)
-			keep, err := e.evalCond(o.Cond, sch, row, outer)
+			keep, err := w.evalCond(o.Cond, sch, row, outer)
 			if err != nil {
 				return err
 			}
 			if keep == types.True {
 				matched = true
-				return e.add(out, row, ln*rn)
+				return w.add(out, row, ln*rn)
 			}
 			return nil
 		})
@@ -325,22 +329,22 @@ func (e *Evaluator) evalLeftJoin(o *algebra.LeftJoin, outer []frame) (*rel.Relat
 			return err
 		}
 		if !matched {
-			return e.add(out, lt.Concat(rel.Nulls(rightWidth)), ln)
+			return w.add(out, lt.Concat(rel.Nulls(rightWidth)), ln)
 		}
 		return nil
-	})
-	if err != nil {
+	}
+	if out, done, err := e.parallelEach(l, sch, outer, emit); done {
+		return out, err
+	}
+	out := rel.New(sch)
+	if err := l.Each(func(lt rel.Tuple, ln int) error { return emit(e, out, lt, ln) }); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
 func (e *Evaluator) evalSetOp(o *algebra.SetOp, outer []frame) (*rel.Relation, error) {
-	l, err := e.eval(o.L, outer)
-	if err != nil {
-		return nil, err
-	}
-	r, err := e.eval(o.R, outer)
+	l, r, err := e.evalPair(o.L, o.R, outer)
 	if err != nil {
 		return nil, err
 	}

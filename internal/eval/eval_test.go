@@ -523,19 +523,37 @@ func TestUncorrelatedSublinkMemoized(t *testing.T) {
 	}
 }
 
-func TestCorrelatedSublinkReevaluated(t *testing.T) {
-	c := figure3DB()
-	cdb := &countingDB{DB: c}
-	sub := algebra.NewProject(&algebra.Select{
-		Child: scan(t, c, "s"),
-		Cond:  algebra.Cmp{Op: types.CmpEq, L: algebra.Attr("c"), R: algebra.Attr("b")},
-	}, algebra.KeepCol("c"))
-	op := &algebra.Select{Child: scan(t, c, "r"), Cond: anyEq(algebra.Attr("a"), sub)}
+func TestCorrelatedSublinkMemoizedPerBinding(t *testing.T) {
+	// R's outer tuples carry b = 1, 1, 2 — three bindings, two distinct
+	// parameter values. The per-binding memo evaluates the correlated
+	// sublink once per distinct value; the ablation knob restores the
+	// PostgreSQL SubPlan behaviour of once per outer tuple.
+	build := func() (*countingDB, algebra.Op) {
+		c := figure3DB()
+		cdb := &countingDB{DB: c}
+		sub := algebra.NewProject(&algebra.Select{
+			Child: scan(t, c, "s"),
+			Cond:  algebra.Cmp{Op: types.CmpEq, L: algebra.Attr("c"), R: algebra.Attr("b")},
+		}, algebra.KeepCol("c"))
+		return cdb, &algebra.Select{Child: scan(t, c, "r"), Cond: anyEq(algebra.Attr("a"), sub)}
+	}
+
+	cdb, op := build()
 	if _, err := New(cdb).Eval(op); err != nil {
 		t.Fatal(err)
 	}
+	if cdb.counts["s"] != 2 {
+		t.Errorf("correlated sublink evaluated %d times, want 2 (once per distinct binding)", cdb.counts["s"])
+	}
+
+	cdb, op = build()
+	ev := New(cdb)
+	ev.DisableSublinkMemo = true
+	if _, err := ev.Eval(op); err != nil {
+		t.Fatal(err)
+	}
 	if cdb.counts["s"] != 3 {
-		t.Errorf("correlated sublink evaluated %d times, want 3 (once per outer tuple)", cdb.counts["s"])
+		t.Errorf("unmemoized correlated sublink evaluated %d times, want 3 (once per outer tuple)", cdb.counts["s"])
 	}
 }
 

@@ -98,10 +98,11 @@ func sideOnly(e algebra.Expr, sch, other schema.Schema) bool {
 }
 
 // hashJoin executes l ⋈ r (or l ⟕ r when leftOuter) using the extracted
-// keys. The caller guarantees len(keys.lKeys) > 0.
+// keys. The caller guarantees len(keys.lKeys) > 0. The build side hashes
+// sequentially; the probe side fans out across workers when the evaluator
+// parallelizes (the hash table is read-only during the probe).
 func (e *Evaluator) hashJoin(o algebra.Op, l, r *rel.Relation, keys equiKeys, leftOuter bool, outer []frame) (*rel.Relation, error) {
 	sch := o.Schema()
-	out := rel.New(sch)
 	rightWidth := r.Schema.Len()
 
 	type bucket struct {
@@ -135,12 +136,12 @@ func (e *Evaluator) hashJoin(o algebra.Op, l, r *rel.Relation, keys equiKeys, le
 	}
 
 	// Probe side.
-	err = l.Each(func(lt rel.Tuple, ln int) error {
-		if err := e.tick(); err != nil {
+	probe := func(w *Evaluator, out *rel.Relation, lt rel.Tuple, ln int) error {
+		if err := w.tick(); err != nil {
 			return err
 		}
 		matched := false
-		key, ok, err := e.joinKey(keys.lKeys, keys.nullEq, l.Schema, lt, outer)
+		key, ok, err := w.joinKey(keys.lKeys, keys.nullEq, l.Schema, lt, outer)
 		if err != nil {
 			return err
 		}
@@ -149,7 +150,7 @@ func (e *Evaluator) hashJoin(o algebra.Op, l, r *rel.Relation, keys equiKeys, le
 				for i, rt := range b.tuples {
 					row := lt.Concat(rt)
 					if keys.residual != nil {
-						keep, err := e.evalCond(keys.residual, sch, row, outer)
+						keep, err := w.evalCond(keys.residual, sch, row, outer)
 						if err != nil {
 							return err
 						}
@@ -158,18 +159,22 @@ func (e *Evaluator) hashJoin(o algebra.Op, l, r *rel.Relation, keys equiKeys, le
 						}
 					}
 					matched = true
-					if err := e.add(out, row, ln*b.counts[i]); err != nil {
+					if err := w.add(out, row, ln*b.counts[i]); err != nil {
 						return err
 					}
 				}
 			}
 		}
 		if leftOuter && !matched {
-			return e.add(out, lt.Concat(rel.Nulls(rightWidth)), ln)
+			return w.add(out, lt.Concat(rel.Nulls(rightWidth)), ln)
 		}
 		return nil
-	})
-	if err != nil {
+	}
+	if out, done, err := e.parallelEach(l, sch, outer, probe); done {
+		return out, err
+	}
+	out := rel.New(sch)
+	if err := l.Each(func(lt rel.Tuple, ln int) error { return probe(e, out, lt, ln) }); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -1,0 +1,201 @@
+package eval
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"perm/internal/algebra"
+	"perm/internal/rel"
+	"perm/internal/schema"
+)
+
+// runShared is the state one top-level Eval call shares across all worker
+// goroutines: the row budget and the memo tables. The maps are guarded by
+// mu; rows is atomic so the hot add path never takes the lock. Memoized
+// relations are immutable once stored — workers may read them freely.
+type runShared struct {
+	rows atomic.Int64
+
+	// sem caps concurrently *running* tuple workers at Parallelism across
+	// the whole evaluation: concurrent plan branches (evalPair) may each
+	// request a fan-out, but their workers share this one token pool.
+	// Workers never block on each other while holding a token, so the cap
+	// cannot deadlock.
+	sem chan struct{}
+
+	mu sync.Mutex
+	// memo caches materialized results of uncorrelated sublink queries,
+	// keyed by plan-node identity (PostgreSQL's InitPlan behaviour).
+	memo map[algebra.Op]*rel.Relation
+	// anyMemo caches hash sets for uncorrelated = ANY sublinks
+	// (PostgreSQL's hashed subplans).
+	anyMemo map[algebra.Op]*anySet
+	// subMemo caches correlated sublink results per plan node, keyed by the
+	// encoded values of the node's free parameters — repeated outer
+	// bindings evaluate the sublink once instead of O(outer) times.
+	subMemo map[algebra.Op]map[string]*rel.Relation
+	// free caches the free-variable analysis per plan node.
+	free map[algebra.Op][]algebra.AttrRef
+}
+
+func newRunShared() *runShared {
+	return &runShared{
+		memo:    map[algebra.Op]*rel.Relation{},
+		anyMemo: map[algebra.Op]*anySet{},
+		subMemo: map[algebra.Op]map[string]*rel.Relation{},
+		free:    map[algebra.Op][]algebra.AttrRef{},
+	}
+}
+
+// minParallelSlots gates fan-out: inputs with fewer distinct tuples than
+// this run sequentially — goroutine startup would dominate.
+const minParallelSlots = 2
+
+// fanOut returns the worker count for a tuple-parallel operator over in, or
+// 0 for the sequential path. Fan-out happens only at the top level of a
+// plan: workers (and operators under a correlated scope, whose evaluation
+// is already per-outer-tuple work) never fan out again.
+func (e *Evaluator) fanOut(in *rel.Relation, outer []frame) int {
+	if e.Parallelism <= 1 || e.worker || len(outer) > 0 || e.shared == nil {
+		return 0
+	}
+	slots := in.NumSlots()
+	if slots < minParallelSlots {
+		return 0
+	}
+	if e.Parallelism < slots {
+		return e.Parallelism
+	}
+	return slots
+}
+
+// fork returns a copy of e for one worker goroutine: the same shared run
+// state and context, a fresh tick counter, and fan-out disabled.
+func (e *Evaluator) fork() *Evaluator {
+	cp := *e
+	cp.ticks = 0
+	cp.worker = true
+	return &cp
+}
+
+// parallelEach runs emit over in's positive slots with fanOut workers.
+// Slots are dealt round-robin for load balance; each worker appends to a
+// private output relation and the outputs merge in worker order, so the
+// result bag is deterministic. done reports whether the parallel path ran —
+// when false the caller must run its sequential loop.
+func (e *Evaluator) parallelEach(in *rel.Relation, outSch schema.Schema, outer []frame, emit func(w *Evaluator, out *rel.Relation, t rel.Tuple, n int) error) (_ *rel.Relation, done bool, _ error) {
+	p := e.fanOut(in, outer)
+	if p == 0 {
+		return nil, false, nil
+	}
+	outs := make([]*rel.Relation, p)
+	if err := e.runWorkers(in, p, func(w *Evaluator, wid, i int, t rel.Tuple, n int) error {
+		if outs[wid] == nil {
+			outs[wid] = rel.New(outSch)
+		}
+		return emit(w, outs[wid], t, n)
+	}); err != nil {
+		return nil, true, err
+	}
+	merged := rel.New(outSch)
+	for _, out := range outs {
+		if out == nil {
+			continue
+		}
+		_ = out.Each(func(t rel.Tuple, n int) error {
+			merged.Add(t, n)
+			return nil
+		})
+	}
+	return merged, true, nil
+}
+
+// parallelSlots runs fn over in's positive slots with fanOut workers,
+// passing each slot's index so callers can scatter results into a
+// pre-sized slice without synchronization. done=false means sequential.
+func (e *Evaluator) parallelSlots(in *rel.Relation, outer []frame, fn func(w *Evaluator, i int, t rel.Tuple, n int) error) (done bool, _ error) {
+	p := e.fanOut(in, outer)
+	if p == 0 {
+		return false, nil
+	}
+	return true, e.runWorkers(in, p, func(w *Evaluator, wid, i int, t rel.Tuple, n int) error {
+		return fn(w, i, t, n)
+	})
+}
+
+// runWorkers is the shared pool loop: p goroutines, slot i handled by
+// worker i%p, first error wins (lowest worker id).
+func (e *Evaluator) runWorkers(in *rel.Relation, p int, fn func(w *Evaluator, wid, i int, t rel.Tuple, n int) error) error {
+	errs := make([]error, p)
+	slots := in.NumSlots()
+	var wg sync.WaitGroup
+	for wid := 0; wid < p; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			if sem := e.shared.sem; sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			w := e.fork()
+			for i := wid; i < slots; i += p {
+				t, n := in.Slot(i)
+				if n <= 0 {
+					continue
+				}
+				if err := fn(w, wid, i, t, n); err != nil {
+					errs[wid] = err
+					return
+				}
+			}
+		}(wid)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalPair evaluates two independent subplans, concurrently when the
+// evaluator may fan out — this is what runs a join's build sides in
+// parallel. Unlike tuple fan-out, pair concurrency is bounded by the plan's
+// join depth, so the forked halves keep their own fan-out enabled.
+func (e *Evaluator) evalPair(l, r algebra.Op, outer []frame) (*rel.Relation, *rel.Relation, error) {
+	if e.Parallelism <= 1 || e.worker || len(outer) > 0 || e.shared == nil {
+		lRel, err := e.eval(l, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		rRel, err := e.eval(r, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		return lRel, rRel, nil
+	}
+	var (
+		lRel, rRel *rel.Relation
+		lErr, rErr error
+		wg         sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		le := *e
+		le.ticks = 0
+		lRel, lErr = le.eval(l, outer)
+	}()
+	re := *e
+	re.ticks = 0
+	rRel, rErr = re.eval(r, outer)
+	wg.Wait()
+	if lErr != nil {
+		return nil, nil, lErr
+	}
+	if rErr != nil {
+		return nil, nil, rErr
+	}
+	return lRel, rRel, nil
+}

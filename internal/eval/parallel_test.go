@@ -1,0 +1,174 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"perm/internal/catalog"
+	"perm/internal/opt"
+	"perm/internal/rewrite"
+	"perm/internal/sql"
+	"perm/internal/synth"
+)
+
+// equivalenceQueries covers every operator the parallel paths touch:
+// selections and projections with correlated and uncorrelated sublinks,
+// hash and nested-loop joins, left joins, aggregation and set operations.
+func equivalenceQueries() []string {
+	return []string{
+		`SELECT * FROM r WHERE a = ANY (SELECT c FROM s)`,
+		`SELECT * FROM r WHERE a = ANY (SELECT c FROM s WHERE c = b)`,
+		`SELECT * FROM r WHERE EXISTS (SELECT c FROM s WHERE c = a)`,
+		`SELECT * FROM r WHERE a < ALL (SELECT c FROM s WHERE c > b)`,
+		`SELECT a, (SELECT max(c) FROM s WHERE c <= a) FROM r`,
+		`SELECT r.a, s.d FROM r, s WHERE r.a = s.c`,
+		`SELECT r.a, s.d FROM r LEFT JOIN s ON r.a = s.c`,
+		`SELECT r.a, s.d FROM r, s WHERE r.a < s.c`,
+		`SELECT b, count(*), sum(a) FROM r GROUP BY b`,
+		`SELECT b, max(a) FROM r WHERE EXISTS (SELECT c FROM s WHERE c = b) GROUP BY b`,
+		`SELECT a FROM r UNION SELECT c FROM s`,
+		`SELECT a FROM r WHERE a > 0 INTERSECT SELECT c FROM s`,
+		`SELECT DISTINCT b FROM r`,
+	}
+}
+
+// checkModes runs one query under every executor mode and checks the
+// results are bag-equal to a fully sequential, unmemoized run.
+func checkModes(t *testing.T, cat *catalog.Catalog, query, strategy string) {
+	t.Helper()
+	tr, err := sql.Compile(cat, query)
+	if err != nil {
+		t.Fatalf("compile %q: %v", query, err)
+	}
+	plan := tr.Plan
+	if strategy != "" {
+		strat, err := rewrite.ParseStrategy(strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rewrite.Rewrite(plan, strat)
+		if errors.Is(err, rewrite.ErrNotApplicable) {
+			return
+		}
+		if err != nil {
+			t.Fatalf("rewrite %q: %v", query, err)
+		}
+		plan = res.Plan
+	}
+	plan = opt.Optimize(plan)
+
+	base := New(cat)
+	base.DisableSublinkMemo = true
+	want, err := base.Eval(plan)
+	if err != nil {
+		t.Fatalf("sequential eval %q: %v", query, err)
+	}
+	for _, mode := range []struct {
+		name string
+		memo bool
+		par  int
+	}{
+		{"memo", true, 1},
+		{"parallel", false, 4},
+		{"memo+parallel", true, 4},
+	} {
+		ev := New(cat)
+		ev.DisableSublinkMemo = !mode.memo
+		ev.Parallelism = mode.par
+		got, err := ev.Eval(plan)
+		if err != nil {
+			t.Fatalf("%s eval %q: %v", mode.name, query, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%s eval %q:\n got %s\nwant %s", mode.name, query, got, want)
+		}
+	}
+}
+
+func TestParallelAndMemoMatchSequential(t *testing.T) {
+	cat := figure3DB()
+	for _, query := range equivalenceQueries() {
+		for _, strategy := range []string{"", "Gen", "Left", "Move", "Unn", "UnnX"} {
+			checkModes(t, cat, query, strategy)
+		}
+	}
+}
+
+func TestParallelMatchesSequentialSynth(t *testing.T) {
+	// A larger workload so the fan-out gate actually opens, including the
+	// correlated query the per-binding memo targets.
+	w := synth.Workload{InputSize: 120, SublinkSize: 60, Domain: 8, Seed: 3}
+	cat := w.Catalog()
+	for _, query := range []string{w.Q1(0), w.Q2(0), w.Q3(0)} {
+		for _, strategy := range []string{"", "Gen"} {
+			checkModes(t, cat, query, strategy)
+		}
+	}
+}
+
+func TestParallelCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := synth.Workload{InputSize: 200, SublinkSize: 100, Seed: 1}
+	cat := w.Catalog()
+	tr, err := sql.Compile(cat, w.Q3(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := New(cat).WithContext(ctx)
+	ev.Parallelism = 4
+	if _, err := ev.Eval(opt.Optimize(tr.Plan)); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+func TestParallelRowBudget(t *testing.T) {
+	w := synth.Workload{InputSize: 200, SublinkSize: 100, Seed: 1}
+	cat := w.Catalog()
+	tr, err := sql.Compile(cat, `SELECT * FROM r1, r2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := New(cat)
+	ev.Parallelism = 4
+	ev.MaxRows = 100
+	if _, err := ev.Eval(tr.Plan); !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestParallelProvenanceRewrites(t *testing.T) {
+	// End-to-end over the synthetic provenance workload: every strategy's
+	// rewritten plan evaluates identically with and without fan-out.
+	w := synth.Workload{InputSize: 60, SublinkSize: 40, Domain: 6, Seed: 7}
+	cat := w.Catalog()
+	for i := int64(0); i < 2; i++ {
+		for _, strategy := range []string{"Gen", "Left", "Move", "Unn", "UnnX"} {
+			checkModes(t, cat, w.Q1(i), strategy)
+		}
+	}
+}
+
+func BenchmarkEvalParallelSelect(b *testing.B) {
+	w := synth.Workload{InputSize: 500, SublinkSize: 250, Domain: 32, Seed: 1}
+	cat := w.Catalog()
+	tr, err := sql.Compile(cat, w.Q3(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := opt.Optimize(tr.Plan)
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
+			ev := New(cat)
+			ev.Parallelism = par
+			ev.DisableSublinkMemo = true
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Eval(plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -97,7 +97,8 @@ func (e *Evaluator) quantify(s algebra.Sublink, a types.Value, sub *rel.Relation
 	return types.NewBool(true), nil
 }
 
-// anySet is the hashed form of an uncorrelated = ANY sublink result.
+// anySet is the hashed form of an uncorrelated = ANY sublink result. It is
+// immutable once published into the run's anyMemo.
 type anySet struct {
 	keys    map[string]bool
 	hasNull bool
@@ -108,10 +109,17 @@ type anySet struct {
 // PostgreSQL's hashed-subplan execution for uncorrelated IN/ANY, which the
 // paper's measurements implicitly rely on. Semantics match quantify: an
 // empty subquery yields false; a NULL test value or a NULL element that is
-// the only possible match yields unknown.
+// the only possible match yields unknown. Concurrent workers may race to
+// build the set; the duplicate work is benign and the map publish is
+// serialized.
 func (e *Evaluator) hashedAny(s algebra.Sublink, a types.Value, sub *rel.Relation) (types.Value, error) {
-	set, ok := e.anyMemo[s.Query]
-	if !ok {
+	var set *anySet
+	if e.shared != nil {
+		e.shared.mu.Lock()
+		set = e.shared.anyMemo[s.Query]
+		e.shared.mu.Unlock()
+	}
+	if set == nil {
 		if sub.Schema.Len() != 1 {
 			return types.Null(), fmt.Errorf("eval: %s sublink query produced %d attributes, want 1", s.Kind, sub.Schema.Len())
 		}
@@ -124,8 +132,10 @@ func (e *Evaluator) hashedAny(s algebra.Sublink, a types.Value, sub *rel.Relatio
 			}
 			return nil
 		})
-		if e.anyMemo != nil {
-			e.anyMemo[s.Query] = set
+		if e.shared != nil {
+			e.shared.mu.Lock()
+			e.shared.anyMemo[s.Query] = set
+			e.shared.mu.Unlock()
 		}
 	}
 	if set.empty {
@@ -144,39 +154,136 @@ func (e *Evaluator) hashedAny(s algebra.Sublink, a types.Value, sub *rel.Relatio
 }
 
 // evalSubplan evaluates a sublink query. Uncorrelated queries are evaluated
-// once per top-level Eval and memoized (PostgreSQL's InitPlan behaviour);
-// correlated queries re-evaluate for every outer binding (SubPlan
-// behaviour). The distinction is what makes correlated provenance rewrites
-// inherently expensive, as §4 of the paper observes.
+// once per top-level Eval and memoized (PostgreSQL's InitPlan behaviour).
+// Correlated queries — the case §4 of the paper identifies as inherently
+// expensive under provenance rewriting — are memoized per binding of their
+// free parameters: outer tuples that agree on every correlated value share
+// one evaluation instead of re-executing the subplan O(outer) times.
+// DisableSublinkMemo restores the strict PostgreSQL SubPlan behaviour of
+// re-evaluating per outer tuple.
 func (e *Evaluator) evalSubplan(q algebra.Op, scope []frame) (*rel.Relation, error) {
-	if e.isCorrelated(q) {
-		return e.eval(q, scope)
-	}
-	if e.memo != nil {
-		if cached, ok := e.memo[q]; ok {
+	fv := e.freeVars(q)
+	if len(fv) == 0 {
+		if cached, ok := e.lookupMemo(q); ok {
 			return cached, nil
 		}
+		out, err := e.eval(q, nil)
+		if err != nil {
+			return nil, err
+		}
+		e.storeMemo(q, out)
+		return out, nil
 	}
-	out, err := e.eval(q, nil)
+	if e.DisableSublinkMemo || e.shared == nil {
+		return e.eval(q, scope)
+	}
+	key, ok := paramKey(fv, scope)
+	if !ok {
+		// A parameter failed to resolve cleanly; fall back to direct
+		// evaluation, which reports the precise error if the value is used.
+		return e.eval(q, scope)
+	}
+	if cached, ok := e.lookupSubMemo(q, key); ok {
+		return cached, nil
+	}
+	out, err := e.eval(q, scope)
 	if err != nil {
 		return nil, err
 	}
-	if e.memo != nil {
-		e.memo[q] = out
-	}
+	e.storeSubMemo(q, key, out)
 	return out, nil
 }
 
-// isCorrelated reports whether the plan has free attribute references,
-// caching the analysis per node.
+// paramKey encodes the values of a subplan's free parameters under scope
+// into a memo key. ok is false when any parameter is ambiguous or unbound.
+func paramKey(fv []algebra.AttrRef, scope []frame) (string, bool) {
+	buf := make([]byte, 0, 16*len(fv))
+	for _, ref := range fv {
+		v, ok := lookupScope(ref, scope)
+		if !ok {
+			return "", false
+		}
+		buf = v.AppendKey(buf)
+	}
+	return string(buf), true
+}
+
+// lookupScope resolves a free reference against the scope stack
+// innermost-out, mirroring resolveAttr.
+func lookupScope(ref algebra.AttrRef, scope []frame) (types.Value, bool) {
+	for i := len(scope) - 1; i >= 0; i-- {
+		idx, ambiguous := scope[i].sch.Lookup(ref.Qual, ref.Name)
+		if ambiguous {
+			return types.Null(), false
+		}
+		if idx >= 0 {
+			return scope[i].t[idx], true
+		}
+	}
+	return types.Null(), false
+}
+
+func (e *Evaluator) lookupMemo(q algebra.Op) (*rel.Relation, bool) {
+	if e.shared == nil {
+		return nil, false
+	}
+	e.shared.mu.Lock()
+	defer e.shared.mu.Unlock()
+	cached, ok := e.shared.memo[q]
+	return cached, ok
+}
+
+func (e *Evaluator) storeMemo(q algebra.Op, out *rel.Relation) {
+	if e.shared == nil {
+		return
+	}
+	e.shared.mu.Lock()
+	e.shared.memo[q] = out
+	e.shared.mu.Unlock()
+}
+
+func (e *Evaluator) lookupSubMemo(q algebra.Op, key string) (*rel.Relation, bool) {
+	e.shared.mu.Lock()
+	defer e.shared.mu.Unlock()
+	m := e.shared.subMemo[q]
+	if m == nil {
+		return nil, false
+	}
+	cached, ok := m[key]
+	return cached, ok
+}
+
+func (e *Evaluator) storeSubMemo(q algebra.Op, key string, out *rel.Relation) {
+	e.shared.mu.Lock()
+	m := e.shared.subMemo[q]
+	if m == nil {
+		m = map[string]*rel.Relation{}
+		e.shared.subMemo[q] = m
+	}
+	m[key] = out
+	e.shared.mu.Unlock()
+}
+
+// freeVars returns the plan's free attribute references, cached per node in
+// the run's shared state.
+func (e *Evaluator) freeVars(q algebra.Op) []algebra.AttrRef {
+	if e.shared == nil {
+		return algebra.FreeVars(q)
+	}
+	e.shared.mu.Lock()
+	fv, ok := e.shared.free[q]
+	e.shared.mu.Unlock()
+	if ok {
+		return fv
+	}
+	fv = algebra.FreeVars(q) // computed outside the lock; idempotent
+	e.shared.mu.Lock()
+	e.shared.free[q] = fv
+	e.shared.mu.Unlock()
+	return fv
+}
+
+// isCorrelated reports whether the plan has free attribute references.
 func (e *Evaluator) isCorrelated(q algebra.Op) bool {
-	if e.free == nil {
-		return len(algebra.FreeVars(q)) > 0
-	}
-	if v, ok := e.free[q]; ok {
-		return v
-	}
-	v := len(algebra.FreeVars(q)) > 0
-	e.free[q] = v
-	return v
+	return len(e.freeVars(q)) > 0
 }

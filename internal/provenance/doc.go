@@ -1,0 +1,28 @@
+// Package provenance provides two reference implementations of the paper's
+// provenance semantics that are independent of the query rewriter:
+//
+//   - an Oracle computing the closed forms of Theorems 1–3 directly, under
+//     either Definition 1 (with the ind influence role) or Definition 2
+//     (the paper's extension, which eliminates ind);
+//   - a brute-force Checker that verifies the raw conditions of
+//     Definitions 1 and 2 — including maximality — by exhaustive
+//     substitution on tiny relations.
+//
+// Tests use the oracle to cross-check the rewrite strategies and the
+// checker to cross-check the oracle, closing the verification loop: a
+// rewrite bug, an oracle bug and a checker bug would all have to agree for
+// a wrong provenance result to pass.
+//
+// # Invariants
+//
+// The oracle evaluates original (unrewritten) plans with its own evaluator
+// and derives the contributing tuple sets per base relation access; its
+// output is compared against rewritten-plan execution by set equality on
+// witness lists, so it must enumerate provenance in the same base-relation
+// access order as rewrite.Result.Prov.
+//
+// The checker is exponential in spirit (maximality probes every excluded
+// tuple) and is only meant for the hand-sized relations of the test suite.
+// Neither the oracle nor the checker is used on any production query path;
+// they exist to keep the rewriter honest.
+package provenance

@@ -1,15 +1,3 @@
-// Package provenance provides two reference implementations of the paper's
-// provenance semantics that are independent of the query rewriter:
-//
-//   - an oracle computing the closed forms of Theorems 1–3 directly, under
-//     either Definition 1 (with the ind influence role) or Definition 2
-//     (the paper's extension, which eliminates ind);
-//   - a brute-force checker that verifies the conditions of Definitions 1
-//     and 2 — including maximality — by exhaustive substitution on tiny
-//     relations.
-//
-// Tests use the oracle to cross-check the rewrite strategies and the
-// checker to cross-check the oracle, closing the verification loop.
 package provenance
 
 import (

@@ -1,0 +1,53 @@
+// Package rewrite implements the contribution of Glavic & Alonso,
+// "Provenance for Nested Subqueries" (EDBT 2009): algebraic rewrite rules
+// that transform a query q into a query q+ computing q's result together
+// with its Why-provenance under the paper's extended contribution
+// definition (Definition 2).
+//
+// The package provides the Perm standard rules R1–R5 of Figure 4 (scan,
+// projection, selection, cross product, aggregation — extended here with
+// joins and set operations following the Perm system), and the sublink
+// rewrite strategies of Figure 5.
+//
+// # Strategies
+//
+//   - Gen (rules G1/G2, §3.3): applicable to every sublink, including
+//     correlated and nested ones — the paper's general fallback. The query
+//     is joined with CrossBase(Tsub), the cross product of the
+//     null-extended base relations of the sublink query, and filtered with
+//     the simulated join condition Csub+ that replays the sublink's
+//     semantics over the cross product. Complete but expensive: the
+//     CrossBase grows as the product of the sublink's base relation sizes.
+//
+//   - Left (rules L1/L2, §3.4): uncorrelated sublinks only. The rewritten
+//     sublink query is attached with a left outer join whose condition Jsub
+//     keeps exactly the sublink-result tuples that played the influence
+//     role for each outer tuple; the outer join's null row represents
+//     "sublink contributed nothing".
+//
+//   - Move (rules T1/T2, §3.4): a variant of Left that first moves the
+//     sublink into a projection, so its (per-tuple constant) value is
+//     computed once and reused inside Jsub rather than re-derived by the
+//     join condition.
+//
+//   - Unn (rules U1/U2, §3.5): unnesting special cases with the paper's
+//     best measured performance — EXISTS sublinks become a cross product
+//     (plus duplicate elimination on the outer key), equality-ANY sublinks
+//     become an equi-join.
+//
+//   - UnnX: this reproduction's extension of Unn to ALL, negated and
+//     scalar sublinks — the unnesting direction the paper names as future
+//     work. See unnx.go for the per-form rules.
+//
+//   - Auto: picks per query, preferring Unn/UnnX where their patterns
+//     match, then Move for uncorrelated sublinks, then Gen.
+//
+// Advise ranks the strategies with a cardinality-based cost model (the
+// paper's provenance-aware-optimizer future-work direction); Rewrite
+// applies one strategy and reports the provenance attribute groups
+// (ProvSource) appended to the original schema.
+//
+// Strategies that cannot rewrite a query (Left/Move on correlated
+// sublinks, Unn outside its patterns) return ErrNotApplicable, matching
+// the "n/a" cells of the paper's tables.
+package rewrite

@@ -1,24 +1,3 @@
-// Package rewrite implements the contribution of Glavic & Alonso,
-// "Provenance for Nested Subqueries" (EDBT 2009): algebraic rewrite rules
-// that transform a query q into a query q+ computing q's result together
-// with its Why-provenance under the paper's extended contribution
-// definition (Definition 2).
-//
-// The package provides the Perm standard rules R1–R5 of Figure 4 (scan,
-// projection, selection, cross product, aggregation — extended here with
-// joins and set operations following the Perm system), and the four sublink
-// rewrite strategies of Figure 5:
-//
-//   - Gen  (rules G1/G2): applicable to every sublink, including correlated
-//     and nested ones. Joins the query with CrossBase(Tsub) — the cross
-//     product of the null-extended base relations of the sublink — and
-//     filters it with the simulated join condition Csub+.
-//   - Left (rules L1/L2): uncorrelated sublinks only; left outer joins the
-//     rewritten sublink query on the influence-role condition Jsub.
-//   - Move (rules T1/T2): Left with the sublink moved into a projection so
-//     its value is computed once and reused in Jsub.
-//   - Unn  (rules U1/U2): unnesting special cases — EXISTS becomes a cross
-//     product, equality-ANY becomes an equi-join.
 package rewrite
 
 import (

@@ -28,6 +28,11 @@ type Workload struct {
 	SublinkSize int
 	// Seed drives both data generation and parameter instances.
 	Seed int64
+	// Domain, when positive, draws attribute b of both relations uniformly
+	// from [0, Domain) instead of the gaussian. A bounded domain makes the
+	// correlated query Q3 repeat parameter bindings across outer tuples —
+	// the workload the executor's per-binding sublink memo targets.
+	Domain int
 }
 
 // gaussian standard deviation, following the paper's "100 times the table
@@ -62,13 +67,18 @@ func (r *rng) gaussian(mean, sd float64) float64 {
 	return mean + sd*math.Sqrt(-2*math.Log(u1))*math.Cos(2*math.Pi*u2)
 }
 
-// table generates one (a, b) relation of n gaussian-valued rows.
-func table(n int, sd float64, r *rng) *rel.Relation {
+// table generates one (a, b) relation of n rows: a is always gaussian; b is
+// gaussian, or uniform over [0, domain) when domain is positive.
+func table(n int, sd float64, domain int, r *rng) *rel.Relation {
 	out := rel.New(schema.New("", "a", "b"))
 	for i := 0; i < n; i++ {
+		b := int64(r.gaussian(0, sd))
+		if domain > 0 {
+			b = int64(r.next() % uint64(domain))
+		}
 		out.Add(rel.Tuple{
 			types.NewInt(int64(r.gaussian(0, sd))),
-			types.NewInt(int64(r.gaussian(0, sd))),
+			types.NewInt(b),
 		}, 1)
 	}
 	return out
@@ -79,14 +89,22 @@ func table(n int, sd float64, r *rng) *rel.Relation {
 func (w Workload) Catalog() *catalog.Catalog {
 	cat := catalog.New()
 	r := newRng(w.Seed)
-	cat.Register("r1", table(w.InputSize, stddev(w.InputSize), r))
-	cat.Register("r2", table(w.SublinkSize, stddev(w.SublinkSize), r))
+	cat.Register("r1", table(w.InputSize, stddev(w.InputSize), w.Domain, r))
+	cat.Register("r2", table(w.SublinkSize, stddev(w.SublinkSize), w.Domain, r))
 	return cat
 }
 
-// ranges draws the two random windows for one query instance.
+// ranges draws the two random windows for one query instance. With a
+// bounded Domain the windows select half the domain so query selectivity
+// stays comparable to the gaussian configuration.
 func (w Workload) ranges(seed int64) (lo1, hi1, lo2, hi2 int64) {
 	r := newRng(w.Seed*31 + seed)
+	if w.Domain > 0 {
+		half := int64(w.Domain) / 2
+		lo1 = int64(r.next() % uint64(half+1))
+		lo2 = int64(r.next() % uint64(half+1))
+		return lo1, lo1 + half, lo2, lo2 + half
+	}
 	w1 := windowWidth(w.InputSize)
 	w2 := windowWidth(w.SublinkSize)
 	c1 := int64(r.gaussian(0, stddev(w.InputSize)))
@@ -106,4 +124,18 @@ func (w Workload) Q2(seed int64) string {
 	lo1, hi1, lo2, hi2 := w.ranges(seed)
 	return fmt.Sprintf(`SELECT * FROM r1 WHERE r1.b >= %d AND r1.b <= %d AND r1.a < ALL (SELECT r2.a FROM r2 WHERE r2.b >= %d AND r2.b <= %d)`,
 		lo1, hi1, lo2, hi2)
+}
+
+// Q3 renders one instance of the correlated-ANY query
+//
+//	q3 = σ_{range ∧ a > ANY (σ_{b = outer.b}(R2))}(R1)
+//
+// Its sublink is correlated on r1.b — only the Gen strategy rewrites it,
+// and the baseline executor must re-evaluate the sublink per outer tuple
+// unless the per-binding memo is enabled. This is the workload behind the
+// executor-mode comparison (not a query of the paper).
+func (w Workload) Q3(seed int64) string {
+	lo1, hi1, _, _ := w.ranges(seed)
+	return fmt.Sprintf(`SELECT * FROM r1 WHERE r1.b >= %d AND r1.b <= %d AND r1.a > ANY (SELECT r2.a FROM r2 WHERE r2.b = r1.b)`,
+		lo1, hi1)
 }

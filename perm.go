@@ -16,6 +16,10 @@
 // The rewrite strategy (Gen, Left, Move, Unn or Auto — see the package
 // documentation of internal/rewrite and §3 of the paper) is selectable per
 // query with WithStrategy.
+//
+// The executor memoizes correlated sublink results per parameter binding
+// and can evaluate tuple-independent work on a bounded worker pool — see
+// WithParallelism and the package documentation of internal/eval.
 package perm
 
 import (
@@ -213,9 +217,10 @@ func fromValue(v types.Value) any {
 type Option func(*queryConfig)
 
 type queryConfig struct {
-	strategy   Strategy
-	ctx        context.Context
-	noOptimize bool
+	strategy    Strategy
+	ctx         context.Context
+	noOptimize  bool
+	parallelism int
 }
 
 // WithStrategy selects the sublink rewrite strategy for PROVENANCE queries
@@ -227,6 +232,16 @@ func WithStrategy(s Strategy) Option {
 // WithContext attaches a context; cancellation aborts evaluation.
 func WithContext(ctx context.Context) Option {
 	return func(c *queryConfig) { c.ctx = ctx }
+}
+
+// WithParallelism lets the executor use up to n worker goroutines for one
+// query: tuple-independent work — sublink probes in selections and
+// projections, hash-join builds and probes, aggregate input evaluation —
+// fans out across the pool. n <= 1 evaluates sequentially (the default).
+// Results are identical to sequential execution regardless of n; a natural
+// choice is runtime.GOMAXPROCS(0).
+func WithParallelism(n int) Option {
+	return func(c *queryConfig) { c.parallelism = n }
 }
 
 // WithoutOptimizer disables the logical optimizer — for ablation
@@ -295,7 +310,9 @@ func (db *DB) Query(query string, opts ...Option) (*Result, error) {
 	if !cfg.noOptimize {
 		plan = opt.Optimize(plan)
 	}
-	relOut, err := eval.New(db.cat).WithContext(cfg.ctx).Eval(plan)
+	ev := eval.New(db.cat).WithContext(cfg.ctx)
+	ev.Parallelism = cfg.parallelism
+	relOut, err := ev.Eval(plan)
 	if err != nil {
 		return nil, err
 	}
