@@ -268,6 +268,38 @@ func BenchmarkCorrelatedModes(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamingExecutor compares the push-based streaming pipeline
+// against the materializing operator-at-a-time engine on the
+// EXISTS-dominated correlated workload (q4), both without the sublink memo
+// — the per-binding probe cost is exactly what early termination removes.
+func BenchmarkStreamingExecutor(b *testing.B) {
+	w := synth.Workload{InputSize: 400, SublinkSize: 400, Domain: 32, Seed: 1}
+	cat := w.Catalog()
+	tr, err := sql.Compile(cat, w.Q4(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := opt.Optimize(tr.Plan)
+	for _, mode := range []struct {
+		name        string
+		materialize bool
+	}{
+		{"materializing", true},
+		{"streaming", false},
+	} {
+		b.Run("q4/baseline/"+mode.name, func(b *testing.B) {
+			ev := eval.New(cat)
+			ev.DisableSublinkMemo = true
+			ev.DisableStreaming = mode.materialize
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Eval(plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRewriteOnly isolates the rewrite cost itself (plan construction,
 // no execution) — negligible next to execution, as the paper assumes.
 func BenchmarkRewriteOnly(b *testing.B) {

@@ -1,7 +1,8 @@
 // Command permbench regenerates the paper's evaluation tables (Figure 6:
 // TPC-H strategies across database sizes; Figures 7–9: synthetic sweeps)
-// and the executor-mode comparison of this reproduction's memoizing,
-// parallel execution layer.
+// and the two executor comparisons of this reproduction's execution layer:
+// the memoizing/parallel modes table and the streaming-vs-materializing
+// table.
 //
 // Examples:
 //
@@ -10,6 +11,8 @@
 //	permbench -fig 7 -sizes 10,100,1000 -instances 5
 //	permbench -fig all -timeout 5s       # everything, quick cutoff
 //	permbench -fig modes                 # sequential vs memo vs parallel
+//	permbench -fig stream                # streaming vs materializing executor
+//	permbench -fig stream -sizes 100,400 -instances 1
 //	permbench -fig 7 -parallel 8 -memo   # paper sweep on the fast executor
 package main
 
@@ -27,13 +30,13 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, modes or all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, modes, stream or all")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-cell timeout (the paper's 6h rule, scaled); slower cells print >timeout")
 		instances = flag.Int("instances", 3, "random query instances averaged per cell (the paper used 100)")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		scales    = flag.String("scales", "", "figure 6 database scales, comma-separated (default 0.05,0.5,5,50)")
 		queries   = flag.String("queries", "", "figure 6 TPC-H query numbers, comma-separated (default: all nine)")
-		sizes     = flag.String("sizes", "", "figures 7-9 sweep sizes, comma-separated (default 10,50,100,500,1000)")
+		sizes     = flag.String("sizes", "", "sweep sizes for figures 7-9 and the modes/stream tables, comma-separated")
 		parallel  = flag.Int("parallel", 0, "executor worker pool size for figures 6-9 (0: sequential, matching the paper)")
 		memo      = flag.Bool("memo", false, "enable per-binding sublink memoization for figures 6-9 (off matches the paper's PostgreSQL executor)")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size of the modes comparison's parallel cells")
@@ -81,6 +84,12 @@ func main() {
 
 	mc := bench.DefaultModes(*workers)
 	mc.Seed = *seed
+	st := bench.DefaultStream()
+	st.Seed = *seed
+	if *sizes != "" {
+		mc.Sizes = append([]int(nil), sc.Sizes...)
+		st.Sizes = append([]int(nil), sc.Sizes...)
+	}
 
 	fmt.Printf("permbench: timeout=%v instances=%d seed=%d\n", *timeout, *instances, *seed)
 	switch *fig {
@@ -94,14 +103,17 @@ func main() {
 		r.Figure9(sc)
 	case "modes":
 		r.Modes(mc)
+	case "stream":
+		r.FigureStream(st)
 	case "all":
 		r.Figure6(f6)
 		r.Figure7(sc)
 		r.Figure8(sc)
 		r.Figure9(sc)
 		r.Modes(mc)
+		r.FigureStream(st)
 	default:
-		fatalf("unknown figure %q (want 6, 7, 8, 9, modes or all)", *fig)
+		fatalf("unknown figure %q (want 6, 7, 8, 9, modes, stream or all)", *fig)
 	}
 }
 

@@ -391,10 +391,13 @@ func (o *Order) Children() []Op { return []Op{o.Child} }
 
 func (o *Order) String() string { return fmt.Sprintf("sort[%s](%s)", exprList(o.Keys), o.Child) }
 
-// Limit keeps the first N tuples of its (ordered) input.
+// Limit keeps N tuples of its (ordered) input after skipping the first
+// Offset tuples. N < 0 means "no limit" (an OFFSET-only clause); Offset 0
+// skips nothing.
 type Limit struct {
-	Child Op
-	N     int
+	Child  Op
+	N      int
+	Offset int
 }
 
 func (*Limit) opNode() {}
@@ -405,7 +408,12 @@ func (l *Limit) Schema() schema.Schema { return l.Child.Schema() }
 // Children implements Op.
 func (l *Limit) Children() []Op { return []Op{l.Child} }
 
-func (l *Limit) String() string { return fmt.Sprintf("limit[%d](%s)", l.N, l.Child) }
+func (l *Limit) String() string {
+	if l.Offset > 0 {
+		return fmt.Sprintf("limit[%d offset %d](%s)", l.N, l.Offset, l.Child)
+	}
+	return fmt.Sprintf("limit[%d](%s)", l.N, l.Child)
+}
 
 // Walk visits the plan in pre-order, descending into children and into the
 // queries of sublinks found in operator conditions/columns. If fn returns
@@ -527,7 +535,11 @@ func indent(b *strings.Builder, op Op, depth int) {
 		fmt.Fprintf(b, "%sOrder [%s]\n", pad, exprList(o.Keys))
 		indent(b, o.Child, depth+1)
 	case *Limit:
-		fmt.Fprintf(b, "%sLimit %d\n", pad, o.N)
+		if o.Offset > 0 {
+			fmt.Fprintf(b, "%sLimit %d offset %d\n", pad, o.N, o.Offset)
+		} else {
+			fmt.Fprintf(b, "%sLimit %d\n", pad, o.N)
+		}
 		indent(b, o.Child, depth+1)
 	default:
 		fmt.Fprintf(b, "%s%s\n", pad, op)

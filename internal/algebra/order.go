@@ -1,0 +1,139 @@
+package algebra
+
+import "perm/internal/schema"
+
+// LiftOrderKeys returns the sort keys that establish the presentation order
+// of op's output, rewritten so they resolve against op's own schema, or nil
+// when no order reaches the output.
+//
+// An Order node's keys propagate upward through the operators that preserve
+// row identity: Limit, Select (a filter keeps the surviving rows' order)
+// and Project (including the re-qualifying projection wrapping every
+// derived table, which is how `SELECT a FROM (SELECT a FROM r ORDER BY a
+// DESC) t LIMIT 2` keeps its inner order — the PostgreSQL behaviour this
+// executor stands in for). Every other operator either destroys order
+// (joins, aggregation, set operations) or establishes its own (a nested
+// Order), so the walk stops there.
+//
+// Through a projection each key is remapped onto the output attributes that
+// carry it: an attribute-reference key matches a column whose expression
+// resolves to the same input attribute; any other key expression matches a
+// column expression structurally, or has each of its attribute references
+// rewritten through pass-through columns. A key the output cannot express
+// ends the propagation — the order is genuinely lost.
+func LiftOrderKeys(op Op) []SortKey {
+	switch o := op.(type) {
+	case *Order:
+		return o.Keys
+	case *Limit:
+		return LiftOrderKeys(o.Child)
+	case *Select:
+		// A selection's schema is its child's; the keys pass unchanged.
+		return LiftOrderKeys(o.Child)
+	case *Project:
+		inner := LiftOrderKeys(o.Child)
+		if inner == nil {
+			return nil
+		}
+		childSch := o.Child.Schema()
+		out := make([]SortKey, len(inner))
+		for i, k := range inner {
+			mapped, ok := liftKeyExpr(k.E, o, childSch)
+			if !ok {
+				return nil
+			}
+			out[i] = SortKey{E: mapped, Desc: k.Desc}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// liftKeyExpr rewrites one sort-key expression over p.Child's schema into a
+// reference to the projection column that carries it, if any.
+func liftKeyExpr(e Expr, p *Project, childSch schema.Schema) (Expr, bool) {
+	if ref, isRef := e.(AttrRef); isRef {
+		return liftKeyRef(ref, p, childSch)
+	}
+	// A column computing the exact expression carries the key directly.
+	for _, c := range p.Cols {
+		if ExprEqual(c.E, e) {
+			return AttrRef{Qual: c.Qual, Name: c.As}, true
+		}
+	}
+	// Otherwise rewrite the expression's attribute references through the
+	// projection's pass-through columns (ORDER BY a + b survives a
+	// projection that carries a and b).
+	ok := true
+	mapped := MapExpr(e, func(x Expr) Expr {
+		ref, isRef := x.(AttrRef)
+		if !isRef {
+			return x
+		}
+		out, found := liftKeyRef(ref, p, childSch)
+		if !found {
+			ok = false
+			return x
+		}
+		return out
+	})
+	if !ok {
+		return nil, false
+	}
+	return mapped, true
+}
+
+// PushLimit rewrites a Limit below bag (non-DISTINCT) projections when the
+// order it must honour is not expressible over the projected schema — the
+// derived-table case where the subquery orders by a column the outer SELECT
+// list drops (`SELECT a FROM (SELECT a, b FROM r ORDER BY b DESC) t LIMIT
+// 2` must cut by b). A bag projection maps each input row to exactly one
+// output row with the same multiplicity, so cutting before or after
+// projecting selects the same rows; cutting below additionally evaluates
+// the projections (and any sublinks in them) only for the surviving rows.
+// ok reports whether a rewrite applied; both executors consult this before
+// evaluating a Limit, so the correctness does not depend on the optional
+// optimizer.
+func PushLimit(l *Limit) (Op, bool) {
+	if LiftOrderKeys(l.Child) != nil {
+		return l, false // the limit sees its keys where it stands
+	}
+	var projs []*Project
+	cur := l.Child
+	for {
+		p, isProj := cur.(*Project)
+		if !isProj || p.Distinct {
+			break
+		}
+		projs = append(projs, p)
+		cur = p.Child
+	}
+	if len(projs) == 0 || LiftOrderKeys(cur) == nil {
+		return l, false // no order below either; the cut is arbitrary anywhere
+	}
+	out := Op(&Limit{Child: cur, N: l.N, Offset: l.Offset})
+	for i := len(projs) - 1; i >= 0; i-- {
+		out = &Project{Child: out, Cols: projs[i].Cols}
+	}
+	return out, true
+}
+
+// liftKeyRef finds the projection output attribute carrying an input
+// attribute reference.
+func liftKeyRef(ref AttrRef, p *Project, childSch schema.Schema) (Expr, bool) {
+	want, amb := childSch.Lookup(ref.Qual, ref.Name)
+	if want < 0 || amb {
+		return nil, false
+	}
+	for _, c := range p.Cols {
+		src, isPass := c.E.(AttrRef)
+		if !isPass {
+			continue
+		}
+		if got, gamb := childSch.Lookup(src.Qual, src.Name); !gamb && got == want {
+			return AttrRef{Qual: c.Qual, Name: c.As}, true
+		}
+	}
+	return nil, false
+}

@@ -20,6 +20,7 @@ import (
 	"perm/internal/catalog"
 	"perm/internal/eval"
 	"perm/internal/opt"
+	"perm/internal/rel"
 	"perm/internal/rewrite"
 	"perm/internal/sql"
 )
@@ -48,6 +49,12 @@ type Runner struct {
 	// binding, and the figures reproduce that cost asymmetry. The
 	// executor-modes table measures what the memo buys.
 	SublinkMemo bool
+	// Materialize switches the executor from the streaming pipeline to
+	// operator-at-a-time full materialization. The paper figures (6-9) and
+	// the modes table force it on regardless — they reproduce the paper's
+	// engine, whose costs streaming early termination would remove; the
+	// streaming table (permbench -fig stream) measures both sides.
+	Materialize bool
 	// Out receives the rendered tables.
 	Out io.Writer
 }
@@ -66,6 +73,10 @@ type Measurement struct {
 	Mean time.Duration
 	// Rows is the average output cardinality.
 	Rows int
+	// PeakRows is the average number of rows the executor materialized into
+	// counted bags per instance — the memory high-water mark the streaming
+	// pipeline exists to shrink.
+	PeakRows int64
 	// Excluded marks a timeout, NA an inapplicable strategy, Err a failure.
 	Excluded bool
 	NA       bool
@@ -103,25 +114,34 @@ const Baseline = "base"
 // Measure runs the given SQL instances under one strategy name (Baseline,
 // "Gen", "Left", "Move", "Unn") and returns the averaged cell.
 func (r *Runner) Measure(cat *catalog.Catalog, instances []string, strategy string) Measurement {
+	m, _ := r.measure(cat, instances, strategy)
+	return m
+}
+
+// measure is Measure plus the last instance's materialized result, which
+// the streaming table uses to assert executor-mode agreement.
+func (r *Runner) measure(cat *catalog.Catalog, instances []string, strategy string) (Measurement, *rel.Relation) {
 	var total time.Duration
 	var rows int
+	var peak int64
+	var last *rel.Relation
 	for _, text := range instances {
 		tr, err := sql.Compile(cat, text)
 		if err != nil {
-			return Measurement{Err: err}
+			return Measurement{Err: err}, nil
 		}
 		plan := tr.Plan
 		if strategy != Baseline {
 			strat, err := rewrite.ParseStrategy(strategy)
 			if err != nil {
-				return Measurement{Err: err}
+				return Measurement{Err: err}, nil
 			}
 			res, err := rewrite.Rewrite(plan, strat)
 			if errors.Is(err, rewrite.ErrNotApplicable) {
-				return Measurement{NA: true}
+				return Measurement{NA: true}, nil
 			}
 			if err != nil {
-				return Measurement{Err: err}
+				return Measurement{Err: err}, nil
 			}
 			plan = res.Plan
 		}
@@ -130,31 +150,34 @@ func (r *Runner) Measure(cat *catalog.Catalog, instances []string, strategy stri
 		}
 		remaining := r.Timeout - total
 		if remaining <= 0 {
-			return Measurement{Excluded: true}
+			return Measurement{Excluded: true}, nil
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), remaining)
 		ev := eval.New(cat).WithContext(ctx)
 		ev.MaxRows = r.MaxRows
 		ev.Parallelism = r.Parallelism
 		ev.DisableSublinkMemo = !r.SublinkMemo
+		ev.DisableStreaming = r.Materialize
 		start := time.Now()
 		out, err := ev.Eval(plan)
 		elapsed := time.Since(start)
 		cancel()
 		if err != nil {
 			if errors.Is(err, eval.ErrCanceled) || errors.Is(err, eval.ErrBudget) {
-				return Measurement{Excluded: true}
+				return Measurement{Excluded: true}, nil
 			}
-			return Measurement{Err: err}
+			return Measurement{Err: err}, nil
 		}
 		total += elapsed
 		rows += out.Card()
+		peak += ev.LastStats().PeakRows
+		last = out
 	}
 	n := len(instances)
 	if n == 0 {
-		return Measurement{Err: errors.New("bench: no instances")}
+		return Measurement{Err: errors.New("bench: no instances")}, nil
 	}
-	return Measurement{Mean: total / time.Duration(n), Rows: rows / n}
+	return Measurement{Mean: total / time.Duration(n), Rows: rows / n, PeakRows: peak / int64(n)}, last
 }
 
 // table renders one aligned text table.

@@ -90,6 +90,47 @@ func TestFigure7SmallRun(t *testing.T) {
 	}
 }
 
+func TestFigureStreamSmallRun(t *testing.T) {
+	var sb strings.Builder
+	r := New(&sb, 5*time.Second, 1)
+	r.FigureStream(StreamConfig{Sizes: []int{40}, Domain: 8, Seed: 1})
+	out := sb.String()
+	for _, want := range []string{"Streaming vs materializing", "q4 (correlated EXISTS)", "matrows", "streamrows", "speedup", "agree"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Errorf("streaming and materializing executors disagree:\n%s", out)
+	}
+}
+
+// TestStreamEarlyTerminationWins asserts the harness-level acceptance
+// numbers: on the EXISTS-dominated correlated workload the streaming
+// executor materializes at least 10x fewer rows and is not slower.
+func TestStreamEarlyTerminationWins(t *testing.T) {
+	w := synth.Workload{InputSize: 400, SublinkSize: 400, Domain: 32, Seed: 1}
+	cat := w.Catalog()
+	instances := []string{w.Q4(0), w.Q4(1)}
+	r := New(nil, 30*time.Second, 2)
+	r.Materialize = true
+	mat, matOut := r.measure(cat, instances, Baseline)
+	r.Materialize = false
+	str, strOut := r.measure(cat, instances, Baseline)
+	if mat.Err != nil || str.Err != nil || mat.Excluded || str.Excluded {
+		t.Fatalf("mat %+v str %+v", mat, str)
+	}
+	if strOut == nil || matOut == nil || !matOut.Equal(strOut.WithSchema(matOut.Schema)) {
+		t.Fatal("result bags differ between executors")
+	}
+	if str.PeakRows == 0 || mat.PeakRows < 10*str.PeakRows {
+		t.Errorf("peak rows: materializing %d vs streaming %d — want >= 10x reduction", mat.PeakRows, str.PeakRows)
+	}
+	if str.Mean > mat.Mean {
+		t.Errorf("streaming (%v) slower than materializing (%v)", str.Mean, mat.Mean)
+	}
+}
+
 func TestDurationFormatting(t *testing.T) {
 	cases := map[time.Duration]string{
 		500 * time.Microsecond:  "500µs",

@@ -5,45 +5,86 @@
 //
 // # Execution model
 //
-// The executor materializes every operator's output as a counted bag
-// (rel.Relation). Equi-join conditions execute as hash joins; everything
-// else falls back to nested loops. A context attached with WithContext is
+// The executor is a push-based streaming pipeline: every operator emits its
+// output rows to a consumer callback (emitFn) instead of materializing a
+// bag, and rows flow from the scans at the bottom straight through
+// selections, projections, unions, join probes and limits to the single
+// materialization point at the top of the plan. Pipeline breakers buffer
+// exactly the state their semantics force:
+//
+//   - sort: a LIMIT over an ORDER BY keeps a top-(offset+n) heap; an
+//     OFFSET-only cut sorts its input;
+//   - aggregation: the per-group accumulator table;
+//   - hash-join and nested-loop builds: the materialized right input;
+//   - intersection/difference: both inputs (full multiplicities);
+//   - DISTINCT: the dedup set (rows still stream out on first sight).
+//
+// A stop signal (an errStop sentinel travelling the error path) propagates
+// from a satisfied consumer through every producer beneath it, ceasing the
+// upstream scans: a LIMIT that has its rows, or a sublink probe that has
+// its answer, terminates the pipeline below it early. The signal is
+// absorbed by the operator that raised it and never escapes Eval.
+//
+// DisableStreaming restores operator-at-a-time full materialization (every
+// operator's output built as a counted bag). The materializing engine is
+// the regression baseline and the comparison target of the benchmark
+// harness's streaming table (permbench -fig stream); LastStats reports the
+// rows either engine materialized. A context attached with WithContext is
 // polled during execution so long-running plans can be cancelled (the
 // benchmark harness uses this for the paper's timeout rule), and MaxRows
 // bounds total materialization (the Gen strategy's CrossBase cross products
 // can exhaust memory long before a clock fires).
 //
-// # Sublink caching
+// # Sublink probes, early termination and caching
 //
 // Like the PostgreSQL executor Perm ran on, the evaluator caches the result
 // of uncorrelated subplans, evaluating them once per query (InitPlan
 // behaviour), and hashes uncorrelated "= ANY" sublinks into a set probed per
 // outer tuple (hashed subplans).
 //
+// Under the streaming pipeline a sublink probe pulls rows from the subplan
+// and stops at the first deciding row: EXISTS at any row, ANY at a True
+// comparison, ALL at a False one, a scalar sublink at its second row. An
+// early-terminated probe has seen only part of the subplan's bag, so the
+// memo never stores partial bags — it stores the verdict (EXISTS' boolean,
+// the scalar value), keyed exactly like the bag memo by the resolved values
+// of the subplan's free parameters. Probes whose cached bag outlives one
+// test value — uncorrelated ANY/ALL, the hashed = ANY set, and correlated
+// ANY/ALL under the per-binding memo — still materialize the subplan: the
+// bag answers every test value of a binding, which one verdict cannot.
+//
 // Beyond PostgreSQL, correlated sublinks — the case §4 of the paper
 // identifies as inherently expensive under provenance rewriting — are
 // memoized per binding: the subplan's free attribute references are resolved
 // against the enclosing scope and their encoded values key a cache of
-// materialized results, so outer tuples that agree on every correlated
-// parameter share one evaluation instead of re-executing the subplan once
-// per outer tuple. DisableSublinkMemo restores the strict re-evaluating
-// SubPlan behaviour (the benchmark harness sets it when reproducing the
-// paper's figures, whose cost model assumes it).
+// results, so outer tuples that agree on every correlated parameter share
+// one evaluation instead of re-executing the subplan once per outer tuple.
+// DisableSublinkMemo restores the strict re-evaluating SubPlan behaviour
+// (the benchmark harness sets it when reproducing the paper's figures,
+// whose cost model assumes it); with the memo off, streaming probes still
+// early-terminate — the regime the streaming table measures.
 //
 // # Parallelism
 //
 // Setting Evaluator.Parallelism > 1 lets one Eval call fan tuple-independent
-// work out across a bounded pool of worker goroutines: selection and
-// projection inputs (where sublink conditions are evaluated), hash-join and
-// nested-loop probes, aggregate key/argument evaluation, and the two build
-// sides of joins and set operations. The invariants that keep this safe:
+// work out across a bounded pool of worker goroutines. In streaming mode the
+// unit of fan-out is a pipeline segment: the producer streams child rows
+// into per-worker mailboxes dealt round-robin (bounded channels — the input
+// is never materialized), each worker runs the segment body (where the
+// sublink probes live) over its rows into a private output buffer, and the
+// buffers merge in worker order, so the output bag is deterministic.
+// Segments open at the topmost sublink-bearing selection, projection or
+// nested-loop probe of a plan. The materializing engine keeps its original
+// scheme of dealing the slots of the materialized input. The invariants
+// that keep both safe:
 //
-//   - Fan-out happens only at the top level of a plan. Workers, and any
-//     evaluation under a correlated scope, run sequentially — nested
-//     fan-out would multiply goroutines per outer tuple.
+//   - Fan-out happens only at the top level of a plan. Workers, segment
+//     producers, and any evaluation under a correlated scope run
+//     sequentially — nested fan-out would multiply goroutines per outer
+//     tuple (and a nested segment would deadlock on the shared worker
+//     token pool).
 //   - Each worker appends to a private output relation; outputs merge in
-//     worker order, so results are deterministic and no relation is written
-//     concurrently. Materialized relations are immutable once built.
+//     worker order. Materialized relations are immutable once built.
 //   - All workers of one Eval share a single run state: the row budget
 //     (atomic) and the memo tables (mutex-guarded). Workers may race to
 //     compute the same memo entry; the duplicated work is benign and the

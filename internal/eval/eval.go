@@ -47,6 +47,14 @@ type Evaluator struct {
 	// reproduce the paper's figures.
 	DisableSublinkMemo bool
 
+	// DisableStreaming switches the executor from the default push-based
+	// streaming pipeline back to operator-at-a-time full materialization
+	// (every operator's output built as a counted bag before its parent
+	// runs). The materializing mode is kept as an ablation/regression
+	// baseline; the benchmark harness compares the two (permbench -fig
+	// stream).
+	DisableStreaming bool
+
 	// Parallelism is the number of worker goroutines one Eval call may use
 	// for tuple-independent work: selection and projection over expensive
 	// (sublink) expressions, hash-join builds and probes, and aggregate
@@ -93,6 +101,29 @@ func (e *Evaluator) Eval(op algebra.Op) (*rel.Relation, error) {
 	return e.eval(op, nil)
 }
 
+// Stats describes the materialization behaviour of one Eval call.
+type Stats struct {
+	// PeakRows counts the rows of resident state the run accumulated:
+	// materialized bags (pipeline-breaker buffers, hash-join builds,
+	// set-op inputs, memoized sublink results, parallel-worker output
+	// buffers, the final result) plus the streaming breakers' in-operator
+	// state (aggregate groups, DISTINCT dedup keys, top-N heap fills).
+	// That state lives until Eval returns, so the total is the run's
+	// high-water mark of resident rows. Under the materializing executor
+	// every operator output counts, which is what the streaming pipeline
+	// avoids.
+	PeakRows int64
+}
+
+// LastStats reports the materialization counters of the most recent Eval
+// call on this evaluator.
+func (e *Evaluator) LastStats() Stats {
+	if e.shared == nil {
+		return Stats{}
+	}
+	return Stats{PeakRows: e.shared.rows.Load()}
+}
+
 // frame is one level of the correlation scope stack: the schema and current
 // tuple of an enclosing operator's input.
 type frame struct {
@@ -115,18 +146,60 @@ func (e *Evaluator) tick() error {
 	}
 }
 
-// add materializes one output row, charging it against the row budget.
-func (e *Evaluator) add(out *rel.Relation, t rel.Tuple, n int) error {
+// charge counts n rows of resident executor state — materialized bag slots,
+// streaming breaker state (aggregate groups, dedup keys, heap fills) —
+// against the row budget and the PeakRows counter.
+func (e *Evaluator) charge(n int) error {
 	if e.shared != nil {
-		if rows := e.shared.rows.Add(1); e.MaxRows > 0 && rows > int64(e.MaxRows) {
+		if rows := e.shared.rows.Add(int64(n)); e.MaxRows > 0 && rows > int64(e.MaxRows) {
 			return fmt.Errorf("%w (%d rows)", ErrBudget, e.MaxRows)
 		}
+	}
+	return nil
+}
+
+// add materializes one output row, charging it against the row budget.
+func (e *Evaluator) add(out *rel.Relation, t rel.Tuple, n int) error {
+	if err := e.charge(1); err != nil {
+		return err
 	}
 	out.Add(t, n)
 	return nil
 }
 
+// eval materializes the plan's result as a counted bag. In streaming mode
+// (the default) the rows are produced by the push pipeline and only this
+// bag is materialized; with DisableStreaming every operator materializes
+// its own output recursively (operator-at-a-time execution).
 func (e *Evaluator) eval(op algebra.Op, outer []frame) (*rel.Relation, error) {
+	if e.DisableStreaming {
+		return e.evalMat(op, outer)
+	}
+	switch o := op.(type) {
+	case *algebra.Scan:
+		// Base relations are materialized in the catalog already; a view
+		// costs nothing and charges nothing.
+		base, err := e.db.Relation(o.Name)
+		if err != nil {
+			return nil, err
+		}
+		return base.WithSchema(o.Schema()), nil
+	case *algebra.Order:
+		// A bag has no intrinsic order; Order is honoured by Limit above it
+		// and by result presentation.
+		return e.eval(o.Child, outer)
+	}
+	out := rel.New(op.Schema())
+	if err := e.stream(op, outer, func(t rel.Tuple, n int) error {
+		return e.add(out, t, n)
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// evalMat is the materializing (operator-at-a-time) evaluator.
+func (e *Evaluator) evalMat(op algebra.Op, outer []frame) (*rel.Relation, error) {
 	if err := e.tick(); err != nil {
 		return nil, err
 	}
@@ -393,13 +466,15 @@ func (e *Evaluator) evalSetOp(o *algebra.SetOp, outer []frame) (*rel.Relation, e
 }
 
 func (e *Evaluator) evalLimit(o *algebra.Limit, outer []frame) (*rel.Relation, error) {
-	keys := []algebra.SortKey(nil)
-	child := o.Child
-	if ord, ok := child.(*algebra.Order); ok {
-		keys = ord.Keys
-		child = ord.Child
+	// When the ordering column is projected away above the Order, cut below
+	// the projections, where the key is still visible.
+	if pushed, ok := algebra.PushLimit(o); ok {
+		return e.eval(pushed, outer)
 	}
-	in, err := e.eval(child, outer)
+	// The order a Limit honours may sit below projection wrappers — the
+	// derived-table case `SELECT a FROM (… ORDER BY a DESC) t LIMIT 2`.
+	keys := algebra.LiftOrderKeys(o.Child)
+	in, err := e.eval(o.Child, outer)
 	if err != nil {
 		return nil, err
 	}
@@ -408,31 +483,75 @@ func (e *Evaluator) evalLimit(o *algebra.Limit, outer []frame) (*rel.Relation, e
 		return nil, err
 	}
 	out := rel.New(o.Schema())
-	for i, t := range rows {
-		if i >= o.N {
-			break
-		}
+	for _, t := range limitSlice(rows, o.N, o.Offset) {
 		out.Add(t, 1)
 	}
 	return out, nil
 }
 
+// limitSlice applies OFFSET and LIMIT (n < 0 means no limit) to sorted rows.
+func limitSlice(rows []rel.Tuple, n, offset int) []rel.Tuple {
+	if offset >= len(rows) {
+		return nil
+	}
+	rows = rows[offset:]
+	if n >= 0 && n < len(rows) {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// sortRow pairs a tuple with its evaluated sort-key values.
+type sortRow struct {
+	t    rel.Tuple
+	keys rel.Tuple
+}
+
+// lessSortRows is the total order of ORDER BY: key comparison with NULLs
+// last (PostgreSQL's default), ties broken by tuple key so the order — and
+// therefore any LIMIT cut through it — is deterministic.
+func lessSortRows(keys []algebra.SortKey, a, b sortRow) bool {
+	for k := range keys {
+		cmp, ok := types.Compare(a.keys[k], b.keys[k])
+		if !ok {
+			an := a.keys[k].IsNull()
+			bn := b.keys[k].IsNull()
+			if an != bn {
+				return bn != keys[k].Desc
+			}
+			continue
+		}
+		if cmp != 0 {
+			if keys[k].Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+	}
+	return a.t.Key() < b.t.Key()
+}
+
+// sortKeyVals evaluates the key expressions for one tuple.
+func (e *Evaluator) sortKeyVals(keys []algebra.SortKey, sch schema.Schema, t rel.Tuple, outer []frame) (rel.Tuple, error) {
+	kv := make(rel.Tuple, len(keys))
+	for i, k := range keys {
+		v, err := e.evalExpr(k.E, sch, t, outer)
+		if err != nil {
+			return nil, err
+		}
+		kv[i] = v
+	}
+	return kv, nil
+}
+
 // sortedRows expands the bag and sorts by keys (stable; ties in key order
 // fall back to tuple key so output is deterministic).
 func (e *Evaluator) sortedRows(in *rel.Relation, keys []algebra.SortKey, outer []frame) ([]rel.Tuple, error) {
-	type sortRow struct {
-		t    rel.Tuple
-		keys rel.Tuple
-	}
 	var rows []sortRow
 	err := in.Each(func(t rel.Tuple, n int) error {
-		kv := make(rel.Tuple, len(keys))
-		for i, k := range keys {
-			v, err := e.evalExpr(k.E, in.Schema, t, outer)
-			if err != nil {
-				return err
-			}
-			kv[i] = v
+		kv, err := e.sortKeyVals(keys, in.Schema, t, outer)
+		if err != nil {
+			return err
 		}
 		for ; n > 0; n-- {
 			rows = append(rows, sortRow{t: t, keys: kv})
@@ -442,27 +561,7 @@ func (e *Evaluator) sortedRows(in *rel.Relation, keys []algebra.SortKey, outer [
 	if err != nil {
 		return nil, err
 	}
-	sort.SliceStable(rows, func(i, j int) bool {
-		for k := range keys {
-			cmp, ok := types.Compare(rows[i].keys[k], rows[j].keys[k])
-			if !ok {
-				// NULLs sort last, matching PostgreSQL's default.
-				in := rows[i].keys[k].IsNull()
-				jn := rows[j].keys[k].IsNull()
-				if in != jn {
-					return jn != keys[k].Desc
-				}
-				continue
-			}
-			if cmp != 0 {
-				if keys[k].Desc {
-					return cmp > 0
-				}
-				return cmp < 0
-			}
-		}
-		return rows[i].t.Key() < rows[j].t.Key()
-	})
+	sort.SliceStable(rows, func(i, j int) bool { return lessSortRows(keys, rows[i], rows[j]) })
 	out := make([]rel.Tuple, len(rows))
 	for i, r := range rows {
 		out[i] = r.t

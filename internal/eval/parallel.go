@@ -1,12 +1,14 @@
 package eval
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
 	"perm/internal/algebra"
 	"perm/internal/rel"
 	"perm/internal/schema"
+	"perm/internal/types"
 )
 
 // runShared is the state one top-level Eval call shares across all worker
@@ -34,16 +36,25 @@ type runShared struct {
 	// encoded values of the node's free parameters — repeated outer
 	// bindings evaluate the sublink once instead of O(outer) times.
 	subMemo map[algebra.Op]map[string]*rel.Relation
+	// existsMemo and scalarMemo cache the verdicts of early-terminating
+	// streaming probes per plan node and parameter binding. A probe that
+	// stopped at its deciding row has seen only part of the subplan's bag,
+	// so the bag caches above must never receive it — the verdict is the
+	// memoizable result.
+	existsMemo map[algebra.Op]map[string]bool
+	scalarMemo map[algebra.Op]map[string]types.Value
 	// free caches the free-variable analysis per plan node.
 	free map[algebra.Op][]algebra.AttrRef
 }
 
 func newRunShared() *runShared {
 	return &runShared{
-		memo:    map[algebra.Op]*rel.Relation{},
-		anyMemo: map[algebra.Op]*anySet{},
-		subMemo: map[algebra.Op]map[string]*rel.Relation{},
-		free:    map[algebra.Op][]algebra.AttrRef{},
+		memo:       map[algebra.Op]*rel.Relation{},
+		anyMemo:    map[algebra.Op]*anySet{},
+		subMemo:    map[algebra.Op]map[string]*rel.Relation{},
+		existsMemo: map[algebra.Op]map[string]bool{},
+		scalarMemo: map[algebra.Op]map[string]types.Value{},
+		free:       map[algebra.Op][]algebra.AttrRef{},
 	}
 }
 
@@ -153,6 +164,102 @@ func (e *Evaluator) runWorkers(in *rel.Relation, p int, fn func(w *Evaluator, wi
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// segmentFanOut reports the worker count for a parallel pipeline segment of
+// the streaming executor, or 0 for the sequential path. Like fanOut it only
+// opens at the top level of a plan — workers and correlated scopes never
+// fan out again — but the gate cannot inspect the input size (the input is
+// a stream, not a bag), so callers additionally restrict fan-out to
+// segments with sublink-bearing expressions, where per-row work dwarfs the
+// exchange overhead.
+func (e *Evaluator) segmentFanOut(outer []frame) int {
+	if e.Parallelism <= 1 || e.worker || len(outer) > 0 || e.shared == nil {
+		return 0
+	}
+	return e.Parallelism
+}
+
+// streamRow is one row group in flight between a segment producer and its
+// workers.
+type streamRow struct {
+	t rel.Tuple
+	n int
+}
+
+// parallelSegment fans a pipeline segment out across workers: the producer
+// streams child rows into per-worker mailboxes dealt round-robin (bounded
+// channels, so the input is never materialized), each worker applies the
+// segment body to its rows and buffers output in a private bag, and the
+// buffers merge into emit in worker order once all workers finish. The
+// round-robin deal and ordered merge make the output bag deterministic.
+// The merge is a synchronization barrier: a downstream stop signal arriving
+// during the merge cannot cease the (already finished) upstream work.
+func (e *Evaluator) parallelSegment(child algebra.Op, outSch schema.Schema, outer []frame, emit emitFn, apply func(w *Evaluator, t rel.Tuple, n int, out emitFn) error) error {
+	p := e.segmentFanOut(outer)
+	chans := make([]chan streamRow, p)
+	for i := range chans {
+		chans[i] = make(chan streamRow, 64)
+	}
+	outs := make([]*rel.Relation, p)
+	errs := make([]error, p)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for wid := 0; wid < p; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			if sem := e.shared.sem; sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			w := e.fork()
+			out := rel.New(outSch)
+			outs[wid] = out
+			sink := func(t rel.Tuple, n int) error { return w.add(out, t, n) }
+			for row := range chans[wid] {
+				if errs[wid] != nil {
+					continue // drain after an error so the producer never blocks
+				}
+				if err := apply(w, row.t, row.n, sink); err != nil {
+					errs[wid] = err
+					failed.Store(true)
+				}
+			}
+		}(wid)
+	}
+	// The producer streams with a forked evaluator: fan-out below the
+	// segment is disabled (a nested segment would need sem tokens the
+	// segment's own workers hold — deadlock), so one pipeline opens at most
+	// one segment, at its topmost eligible operator.
+	prod := e.fork()
+	i := 0
+	perr := prod.stream(child, outer, func(t rel.Tuple, n int) error {
+		if failed.Load() {
+			return errStop
+		}
+		chans[i%p] <- streamRow{t: t, n: n}
+		i++
+		return nil
+	})
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if perr != nil && !errors.Is(perr, errStop) {
+		return perr
+	}
+	for _, out := range outs {
+		if err := out.Each(func(t rel.Tuple, n int) error { return emit(t, n) }); err != nil {
 			return err
 		}
 	}

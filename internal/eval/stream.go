@@ -1,0 +1,606 @@
+package eval
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"perm/internal/algebra"
+	"perm/internal/rel"
+	"perm/internal/schema"
+	"perm/internal/types"
+)
+
+// emitFn is the consumer callback of the push pipeline: an operator calls
+// it once per produced row group (a tuple with multiplicity n > 0).
+// Returning errStop tells the producer that the consumer is satisfied;
+// returning any other error aborts the whole evaluation.
+type emitFn func(t rel.Tuple, n int) error
+
+// errStop is the pipeline stop signal. It travels the same path as real
+// errors — up through every producer of the pipeline, ending the scans at
+// the bottom — and is absorbed by the operator that raised it (a satisfied
+// LIMIT, an EXISTS probe that found its row). It must never escape Eval.
+var errStop = errors.New("eval: pipeline stop")
+
+// stream pushes the plan's output rows into emit. Pipeline breakers — sort
+// (Order under Limit), aggregation, hash-join and nested-loop build sides,
+// set-operation inputs, DISTINCT's dedup state — materialize exactly the
+// state their semantics force; everything else forwards rows one by one.
+func (e *Evaluator) stream(op algebra.Op, outer []frame, emit emitFn) error {
+	if err := e.tick(); err != nil {
+		return err
+	}
+	switch o := op.(type) {
+	case *algebra.Scan:
+		base, err := e.db.Relation(o.Name)
+		if err != nil {
+			return err
+		}
+		return base.WithSchema(o.Schema()).Each(func(t rel.Tuple, n int) error {
+			if err := e.tick(); err != nil {
+				return err
+			}
+			return emit(t, n)
+		})
+	case *algebra.Values:
+		for _, row := range o.Rows {
+			if len(row) != o.Sch.Len() {
+				return fmt.Errorf("eval: VALUES row width %d, schema width %d", len(row), o.Sch.Len())
+			}
+			t := make(rel.Tuple, len(row))
+			for i, x := range row {
+				v, err := e.evalExpr(x, schema.Schema{}, nil, outer)
+				if err != nil {
+					return err
+				}
+				t[i] = v
+			}
+			if err := emit(t, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *algebra.Select:
+		return e.streamSelect(o, outer, emit)
+	case *algebra.Project:
+		return e.streamProject(o, outer, emit)
+	case *algebra.Cross:
+		return e.streamCross(o, outer, emit)
+	case *algebra.Join:
+		return e.streamJoin(o.L, o.R, o.Cond, false, outer, emit)
+	case *algebra.LeftJoin:
+		return e.streamJoin(o.L, o.R, o.Cond, true, outer, emit)
+	case *algebra.Aggregate:
+		return e.streamAggregate(o, outer, emit)
+	case *algebra.SetOp:
+		return e.streamSetOp(o, outer, emit)
+	case *algebra.Order:
+		// A bag has no intrinsic order; Order is honoured by Limit above it
+		// and by result presentation.
+		return e.stream(o.Child, outer, emit)
+	case *algebra.Limit:
+		return e.streamLimit(o, outer, emit)
+	default:
+		return fmt.Errorf("eval: unsupported operator %T", op)
+	}
+}
+
+func (e *Evaluator) streamSelect(o *algebra.Select, outer []frame, emit emitFn) error {
+	sch := o.Child.Schema()
+	apply := func(w *Evaluator, t rel.Tuple, n int, out emitFn) error {
+		if err := w.tick(); err != nil {
+			return err
+		}
+		keep, err := w.evalCond(o.Cond, sch, t, outer)
+		if err != nil {
+			return err
+		}
+		if keep == types.True {
+			return out(t, n)
+		}
+		return nil
+	}
+	if e.segmentFanOut(outer) > 0 && algebra.HasSublink(o.Cond) {
+		return e.parallelSegment(o.Child, o.Schema(), outer, emit, apply)
+	}
+	return e.stream(o.Child, outer, func(t rel.Tuple, n int) error {
+		return apply(e, t, n, emit)
+	})
+}
+
+func (e *Evaluator) streamProject(o *algebra.Project, outer []frame, emit emitFn) error {
+	sch := o.Child.Schema()
+	hasSublink := false
+	for _, c := range o.Cols {
+		if algebra.HasSublink(c.E) {
+			hasSublink = true
+			break
+		}
+	}
+	if o.Distinct {
+		emit = e.dedupEmit(emit)
+	}
+	apply := func(w *Evaluator, t rel.Tuple, n int, out emitFn) error {
+		if err := w.tick(); err != nil {
+			return err
+		}
+		row := make(rel.Tuple, len(o.Cols))
+		for i, c := range o.Cols {
+			v, err := w.evalExpr(c.E, sch, t, outer)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		return out(row, n)
+	}
+	if e.segmentFanOut(outer) > 0 && hasSublink {
+		// Dedup happens in the wrapped emit at merge time, after the
+		// barrier, so DISTINCT stays correct under fan-out.
+		return e.parallelSegment(o.Child, o.Schema(), outer, emit, apply)
+	}
+	return e.stream(o.Child, outer, func(t rel.Tuple, n int) error {
+		return apply(e, t, n, emit)
+	})
+}
+
+func (e *Evaluator) streamCross(o *algebra.Cross, outer []frame, emit emitFn) error {
+	r, err := e.eval(o.R, outer) // build side: the only materialized state
+	if err != nil {
+		return err
+	}
+	return e.stream(o.L, outer, func(lt rel.Tuple, ln int) error {
+		return r.Each(func(rt rel.Tuple, rn int) error {
+			if err := e.tick(); err != nil {
+				return err
+			}
+			return emit(lt.Concat(rt), ln*rn)
+		})
+	})
+}
+
+// streamJoin runs l ⋈ r (or l ⟕ r) with r as the materialized build side
+// and l streaming through the probe. Equi-key conditions use a hash table;
+// everything else probes with a nested loop.
+func (e *Evaluator) streamJoin(l, r algebra.Op, cond algebra.Expr, leftOuter bool, outer []frame, emit emitFn) error {
+	joined := l.Schema().Concat(r.Schema())
+	rightWidth := r.Schema().Len()
+	rRel, err := e.eval(r, outer)
+	if err != nil {
+		return err
+	}
+	keys := splitEquiJoin(cond, l.Schema(), r.Schema())
+	if len(keys.lKeys) > 0 {
+		return e.streamHashJoin(l, rRel, keys, leftOuter, joined, rightWidth, outer, emit)
+	}
+	apply := func(w *Evaluator, lt rel.Tuple, ln int, out emitFn) error {
+		matched := false
+		err := rRel.Each(func(rt rel.Tuple, rn int) error {
+			if err := w.tick(); err != nil {
+				return err
+			}
+			row := lt.Concat(rt)
+			keep, err := w.evalCond(cond, joined, row, outer)
+			if err != nil {
+				return err
+			}
+			if keep == types.True {
+				matched = true
+				return out(row, ln*rn)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if leftOuter && !matched {
+			return out(lt.Concat(rel.Nulls(rightWidth)), ln)
+		}
+		return nil
+	}
+	if e.segmentFanOut(outer) > 0 && algebra.HasSublink(cond) {
+		return e.parallelSegment(l, joined, outer, emit, apply)
+	}
+	return e.stream(l, outer, func(lt rel.Tuple, ln int) error {
+		return apply(e, lt, ln, emit)
+	})
+}
+
+func (e *Evaluator) streamHashJoin(l algebra.Op, rRel *rel.Relation, keys equiKeys, leftOuter bool, joined schema.Schema, rightWidth int, outer []frame, emit emitFn) error {
+	type bucket struct {
+		tuples []rel.Tuple
+		counts []int
+	}
+	table := map[string]*bucket{}
+	err := rRel.Each(func(rt rel.Tuple, rn int) error {
+		if err := e.tick(); err != nil {
+			return err
+		}
+		key, ok, err := e.joinKey(keys.rKeys, keys.nullEq, rRel.Schema, rt, outer)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil // a plain-= key is NULL; the row cannot match
+		}
+		b := table[key]
+		if b == nil {
+			b = &bucket{}
+			table[key] = b
+		}
+		b.tuples = append(b.tuples, rt)
+		b.counts = append(b.counts, rn)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	lsch := l.Schema()
+	apply := func(w *Evaluator, lt rel.Tuple, ln int, out emitFn) error {
+		if err := w.tick(); err != nil {
+			return err
+		}
+		matched := false
+		key, ok, err := w.joinKey(keys.lKeys, keys.nullEq, lsch, lt, outer)
+		if err != nil {
+			return err
+		}
+		if ok {
+			if b := table[key]; b != nil {
+				for i, rt := range b.tuples {
+					row := lt.Concat(rt)
+					if keys.residual != nil {
+						keep, err := w.evalCond(keys.residual, joined, row, outer)
+						if err != nil {
+							return err
+						}
+						if keep != types.True {
+							continue
+						}
+					}
+					matched = true
+					if err := out(row, ln*b.counts[i]); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if leftOuter && !matched {
+			return out(lt.Concat(rel.Nulls(rightWidth)), ln)
+		}
+		return nil
+	}
+	if e.segmentFanOut(outer) > 0 && keys.residual != nil && algebra.HasSublink(keys.residual) {
+		return e.parallelSegment(l, joined, outer, emit, apply)
+	}
+	return e.stream(l, outer, func(lt rel.Tuple, ln int) error {
+		return apply(e, lt, ln, emit)
+	})
+}
+
+func (e *Evaluator) streamAggregate(o *algebra.Aggregate, outer []frame, emit emitFn) error {
+	// Sublink-bearing aggregate expressions fan out over the materialized
+	// input exactly like the materializing engine; the streaming fold below
+	// is sequential per definition (the group table is the breaker state).
+	if e.segmentFanOut(outer) > 0 && aggregateHasSublink(o) {
+		out, err := e.evalAggregate(o, outer)
+		if err != nil {
+			return err
+		}
+		return out.Each(emit)
+	}
+	sch := o.Child.Schema()
+	type group struct {
+		keys rel.Tuple
+		aggs []aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+	newGroup := func(keys rel.Tuple) *group {
+		g := &group{keys: keys, aggs: make([]aggState, len(o.Aggs))}
+		for i, a := range o.Aggs {
+			g.aggs[i].fn = a.Fn
+			if a.Distinct {
+				g.aggs[i].distinct = map[string]struct{}{}
+			}
+		}
+		return g
+	}
+	err := e.stream(o.Child, outer, func(t rel.Tuple, n int) error {
+		if err := e.tick(); err != nil {
+			return err
+		}
+		keys := make(rel.Tuple, len(o.Group))
+		for ki, gx := range o.Group {
+			v, err := e.evalExpr(gx.E, sch, t, outer)
+			if err != nil {
+				return err
+			}
+			keys[ki] = v
+		}
+		k := keys.Key()
+		g, ok := groups[k]
+		if !ok {
+			// Each group's accumulator is resident breaker state.
+			if err := e.charge(1); err != nil {
+				return err
+			}
+			g = newGroup(keys)
+			groups[k] = g
+			order = append(order, k)
+		}
+		for ai, ax := range o.Aggs {
+			var v types.Value
+			if ax.Arg != nil {
+				av, err := e.evalExpr(ax.Arg, sch, t, outer)
+				if err != nil {
+					return err
+				}
+				v = av
+			}
+			if err := g.aggs[ai].add(v, n); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// SQL semantics: with no GROUP BY, aggregation over an empty input
+	// still yields one tuple (count 0, other aggregates NULL).
+	if len(o.Group) == 0 && len(groups) == 0 {
+		groups[""] = newGroup(rel.Tuple{})
+		order = append(order, "")
+	}
+	for _, k := range order {
+		g := groups[k]
+		row := make(rel.Tuple, 0, len(o.Group)+len(o.Aggs))
+		row = append(row, g.keys...)
+		for i := range g.aggs {
+			row = append(row, g.aggs[i].result())
+		}
+		if err := emit(row, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dedupEmit wraps a consumer with first-sight deduplication — DISTINCT's
+// pipeline state: each distinct row is emitted once with multiplicity 1,
+// duplicates are dropped without a bag. The dedup set is resident state,
+// charged against the budget per distinct key.
+func (e *Evaluator) dedupEmit(emit emitFn) emitFn {
+	seen := map[string]struct{}{}
+	return func(t rel.Tuple, n int) error {
+		k := t.Key()
+		if _, dup := seen[k]; dup {
+			return nil
+		}
+		if err := e.charge(1); err != nil {
+			return err
+		}
+		seen[k] = struct{}{}
+		return emit(t, 1)
+	}
+}
+
+// aggregateHasSublink reports whether any grouping or aggregate expression
+// contains a sublink — the case worth fanning out per input tuple.
+func aggregateHasSublink(o *algebra.Aggregate) bool {
+	for _, g := range o.Group {
+		if algebra.HasSublink(g.E) {
+			return true
+		}
+	}
+	for _, a := range o.Aggs {
+		if a.Arg != nil && algebra.HasSublink(a.Arg) {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Evaluator) streamSetOp(o *algebra.SetOp, outer []frame, emit emitFn) error {
+	if !o.Bag {
+		// Set semantics: dedup at the output boundary, first occurrence
+		// emitted with multiplicity 1.
+		emit = e.dedupEmit(emit)
+	}
+	if o.L.Schema().Len() != o.R.Schema().Len() {
+		return fmt.Errorf("eval: %s of width %d and width %d", o.Kind, o.L.Schema().Len(), o.R.Schema().Len())
+	}
+	if o.Kind == algebra.Union {
+		// Union is no breaker: both inputs stream straight through.
+		if err := e.stream(o.L, outer, emit); err != nil {
+			return err
+		}
+		return e.stream(o.R, outer, emit)
+	}
+	// Intersection and difference need full multiplicities of both sides:
+	// inherent breakers.
+	l, err := e.eval(o.L, outer)
+	if err != nil {
+		return err
+	}
+	r, err := e.eval(o.R, outer)
+	if err != nil {
+		return err
+	}
+	switch o.Kind {
+	case algebra.Intersect:
+		return l.Each(func(t rel.Tuple, n int) error {
+			if m := r.Count(t); m > 0 {
+				return emit(t, min(n, m))
+			}
+			return nil
+		})
+	case algebra.Except:
+		return l.Each(func(t rel.Tuple, n int) error {
+			m := r.Count(t)
+			if o.Bag {
+				if n > m {
+					return emit(t, n-m)
+				}
+			} else if m == 0 {
+				return emit(t, n)
+			}
+			return nil
+		})
+	default:
+		return fmt.Errorf("eval: unknown set operation %v", o.Kind)
+	}
+}
+
+// streamLimit implements LIMIT/OFFSET. Under an order (an Order node
+// reachable through projection wrappers) a bounded top-(offset+n) heap
+// replaces the full sort of the materializing executor. Without an order
+// and with a finite limit, the limit takes the first rows of the stream and
+// raises the stop signal, ceasing the upstream scans — which rows a bare
+// LIMIT returns is unspecified, exactly as in PostgreSQL.
+func (e *Evaluator) streamLimit(o *algebra.Limit, outer []frame, emit emitFn) error {
+	// When the ordering column is projected away above the Order, cut below
+	// the projections, where the key is still visible.
+	if pushed, ok := algebra.PushLimit(o); ok {
+		return e.stream(pushed, outer, emit)
+	}
+	keys := algebra.LiftOrderKeys(o.Child)
+	if len(keys) == 0 {
+		if o.N < 0 {
+			// OFFSET without LIMIT and without order: skip arbitrary rows.
+			skip := o.Offset
+			return e.stream(o.Child, outer, func(t rel.Tuple, n int) error {
+				if skip > 0 {
+					if n <= skip {
+						skip -= n
+						return nil
+					}
+					n -= skip
+					skip = 0
+				}
+				return emit(t, n)
+			})
+		}
+		skip, remain := o.Offset, o.N
+		err := e.stream(o.Child, outer, func(t rel.Tuple, n int) error {
+			if skip > 0 {
+				if n <= skip {
+					skip -= n
+					return nil
+				}
+				n -= skip
+				skip = 0
+			}
+			if remain == 0 {
+				return errStop
+			}
+			take := n
+			if take > remain {
+				take = remain
+			}
+			remain -= take
+			if err := emit(t, take); err != nil {
+				return err
+			}
+			if remain == 0 {
+				return errStop
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, errStop) {
+			return err
+		}
+		return nil
+	}
+	if o.N < 0 {
+		// OFFSET-only over an ordered input: the cut needs the full sorted
+		// prefix, so sort everything (breaker).
+		in, err := e.eval(o.Child, outer)
+		if err != nil {
+			return err
+		}
+		rows, err := e.sortedRows(in, keys, outer)
+		if err != nil {
+			return err
+		}
+		for _, t := range limitSlice(rows, o.N, o.Offset) {
+			if err := emit(t, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Top-(offset+n) heap: the breaker state is bounded by the limit, not
+	// by the input size.
+	cap := o.Offset + o.N
+	sch := o.Child.Schema()
+	h := &topNHeap{keys: keys}
+	err := e.stream(o.Child, outer, func(t rel.Tuple, n int) error {
+		if err := e.tick(); err != nil {
+			return err
+		}
+		kv, err := e.sortKeyVals(keys, sch, t, outer)
+		if err != nil {
+			return err
+		}
+		for ; n > 0; n-- {
+			if h.Len() < cap {
+				// The heap's fill (bounded by offset+n) is resident state;
+				// replacements after the fill do not grow it.
+				if err := e.charge(1); err != nil {
+					return err
+				}
+				heap.Push(h, sortRow{t: t, keys: kv})
+				continue
+			}
+			if cap == 0 {
+				return errStop
+			}
+			// Replace the current maximum if this row sorts before it.
+			if lessSortRows(keys, sortRow{t: t, keys: kv}, h.rows[0]) {
+				h.rows[0] = sortRow{t: t, keys: kv}
+				heap.Fix(h, 0)
+			}
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStop) {
+		return err
+	}
+	rows := make([]sortRow, len(h.rows))
+	copy(rows, h.rows)
+	sortRowsInPlace(keys, rows)
+	for i, r := range rows {
+		if i < o.Offset {
+			continue
+		}
+		if err := emit(r.t, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// topNHeap is a max-heap under the ORDER BY total order: the root is the
+// largest retained row, evicted when a smaller one arrives.
+type topNHeap struct {
+	keys []algebra.SortKey
+	rows []sortRow
+}
+
+func (h *topNHeap) Len() int           { return len(h.rows) }
+func (h *topNHeap) Less(i, j int) bool { return lessSortRows(h.keys, h.rows[j], h.rows[i]) }
+func (h *topNHeap) Swap(i, j int)      { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
+func (h *topNHeap) Push(x any)         { h.rows = append(h.rows, x.(sortRow)) }
+func (h *topNHeap) Pop() any {
+	r := h.rows[len(h.rows)-1]
+	h.rows = h.rows[:len(h.rows)-1]
+	return r
+}
+
+func sortRowsInPlace(keys []algebra.SortKey, rows []sortRow) {
+	sort.SliceStable(rows, func(i, j int) bool { return lessSortRows(keys, rows[i], rows[j]) })
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"errors"
 	"fmt"
 
 	"perm/internal/algebra"
@@ -13,41 +14,213 @@ import (
 // operator's input tuple. ANY/ALL/EXISTS yield a (three-valued) boolean;
 // scalar sublinks yield the single attribute of their single result tuple,
 // or NULL for an empty result.
+//
+// Under the streaming executor a probe pulls rows from the subplan pipeline
+// and raises the stop signal at the first deciding row: EXISTS stops at any
+// row, ANY at a True comparison, ALL at a False one, a scalar probe at its
+// second row. An early-terminated probe has seen only part of the subplan's
+// bag, so what the memo stores for it is the verdict, never the bag.
+// Probes that want a reusable bag — uncorrelated ANY/ALL (PostgreSQL's
+// InitPlan), the hashed = ANY set, and correlated ANY/ALL under the
+// per-binding memo, whose bag serves every test value of a binding —
+// materialize the subplan and are the executor's remaining sublink
+// breakers.
 func (e *Evaluator) evalSublink(s algebra.Sublink, sch schema.Schema, t rel.Tuple, outer []frame) (types.Value, error) {
 	scope := append(outer, frame{sch: sch, t: t})
-	sub, err := e.evalSubplan(s.Query, scope)
-	if err != nil {
-		return types.Null(), err
-	}
 	switch s.Kind {
 	case algebra.ExistsSublink:
-		return types.NewBool(!sub.Empty()), nil
+		if e.DisableStreaming {
+			sub, err := e.evalSubplan(s.Query, scope)
+			if err != nil {
+				return types.Null(), err
+			}
+			return types.NewBool(!sub.Empty()), nil
+		}
+		return e.probeExists(s.Query, scope)
 	case algebra.ScalarSublink:
-		if sub.Schema.Len() != 1 {
-			return types.Null(), fmt.Errorf("eval: scalar sublink produced %d attributes, want 1", sub.Schema.Len())
+		if e.DisableStreaming {
+			sub, err := e.evalSubplan(s.Query, scope)
+			if err != nil {
+				return types.Null(), err
+			}
+			if sub.Schema.Len() != 1 {
+				return types.Null(), fmt.Errorf("eval: scalar sublink produced %d attributes, want 1", sub.Schema.Len())
+			}
+			switch sub.Card() {
+			case 0:
+				return types.Null(), nil
+			case 1:
+				var out types.Value
+				_ = sub.Each(func(st rel.Tuple, n int) error { out = st[0]; return nil })
+				return out, nil
+			default:
+				return types.Null(), fmt.Errorf("eval: scalar sublink produced %d tuples, want at most 1", sub.Card())
+			}
 		}
-		switch sub.Card() {
-		case 0:
-			return types.Null(), nil
-		case 1:
-			var out types.Value
-			_ = sub.Each(func(st rel.Tuple, n int) error { out = st[0]; return nil })
-			return out, nil
-		default:
-			return types.Null(), fmt.Errorf("eval: scalar sublink produced %d tuples, want at most 1", sub.Card())
-		}
+		return e.probeScalar(s.Query, scope)
 	case algebra.AnySublink, algebra.AllSublink:
 		a, err := e.evalExpr(s.Test, sch, t, outer)
 		if err != nil {
 			return types.Null(), err
 		}
 		if s.Kind == algebra.AnySublink && s.Op == types.CmpEq && !e.DisableHashedAny && !e.isCorrelated(s.Query) {
+			sub, err := e.evalSubplan(s.Query, scope)
+			if err != nil {
+				return types.Null(), err
+			}
 			return e.hashedAny(s, a, sub)
 		}
-		return e.quantify(s, a, sub)
+		if e.DisableStreaming || !e.isCorrelated(s.Query) || !e.DisableSublinkMemo {
+			// Bag path: an uncorrelated bag evaluates once per query; a
+			// correlated bag is memoized per binding and answers every test
+			// value of that binding without re-running the subplan.
+			sub, err := e.evalSubplan(s.Query, scope)
+			if err != nil {
+				return types.Null(), err
+			}
+			return e.quantify(s, a, sub)
+		}
+		// Correlated and unmemoized (the PostgreSQL SubPlan regime the
+		// paper's figures measure): stream the probe, stop at the first
+		// deciding row.
+		return e.probeQuantified(s, a, scope)
 	default:
 		return types.Null(), fmt.Errorf("eval: unknown sublink kind %v", s.Kind)
 	}
+}
+
+// streamSub runs a subplan pipeline for one probe, absorbing the stop
+// signal the probe's emit raises once it has its answer.
+func (e *Evaluator) streamSub(q algebra.Op, scope []frame, emit emitFn) error {
+	if err := e.stream(q, scope, emit); err != nil && !errors.Is(err, errStop) {
+		return err
+	}
+	return nil
+}
+
+// sublinkMemoKey resolves the cache key for a sublink probe: ok is false
+// when the probe must not be cached (memoization disabled for correlated
+// queries, no shared run state, or unresolvable parameters).
+func (e *Evaluator) sublinkMemoKey(q algebra.Op, scope []frame) (string, bool) {
+	if e.shared == nil {
+		return "", false
+	}
+	fv := e.freeVars(q)
+	if len(fv) == 0 {
+		return "", true
+	}
+	if e.DisableSublinkMemo {
+		return "", false
+	}
+	return paramKey(fv, scope)
+}
+
+// probeExists streams the subplan until the first row proves EXISTS true,
+// caching the verdict (not the partial bag) per parameter binding.
+func (e *Evaluator) probeExists(q algebra.Op, scope []frame) (types.Value, error) {
+	key, cache := e.sublinkMemoKey(q, scope)
+	if cache {
+		e.shared.mu.Lock()
+		v, ok := e.shared.existsMemo[q][key]
+		e.shared.mu.Unlock()
+		if ok {
+			return types.NewBool(v), nil
+		}
+	}
+	found := false
+	err := e.streamSub(q, scope, func(t rel.Tuple, n int) error {
+		found = true
+		return errStop
+	})
+	if err != nil {
+		return types.Null(), err
+	}
+	if cache {
+		e.shared.mu.Lock()
+		if e.shared.existsMemo[q] == nil {
+			e.shared.existsMemo[q] = map[string]bool{}
+		}
+		e.shared.existsMemo[q][key] = found
+		e.shared.mu.Unlock()
+	}
+	return types.NewBool(found), nil
+}
+
+// probeScalar streams the subplan, stopping after the second row (which is
+// already an error), and caches the scalar value per parameter binding.
+func (e *Evaluator) probeScalar(q algebra.Op, scope []frame) (types.Value, error) {
+	if q.Schema().Len() != 1 {
+		return types.Null(), fmt.Errorf("eval: scalar sublink produced %d attributes, want 1", q.Schema().Len())
+	}
+	key, cache := e.sublinkMemoKey(q, scope)
+	if cache {
+		e.shared.mu.Lock()
+		v, ok := e.shared.scalarMemo[q][key]
+		e.shared.mu.Unlock()
+		if ok {
+			return v, nil
+		}
+	}
+	out := types.Null()
+	count := 0
+	err := e.streamSub(q, scope, func(t rel.Tuple, n int) error {
+		count += n
+		if count > 1 {
+			return fmt.Errorf("eval: scalar sublink produced %d tuples, want at most 1", count)
+		}
+		out = t[0]
+		return nil
+	})
+	if err != nil {
+		return types.Null(), err
+	}
+	if cache {
+		e.shared.mu.Lock()
+		if e.shared.scalarMemo[q] == nil {
+			e.shared.scalarMemo[q] = map[string]types.Value{}
+		}
+		e.shared.scalarMemo[q][key] = out
+		e.shared.mu.Unlock()
+	}
+	return out, nil
+}
+
+// probeQuantified streams an ANY/ALL probe under SQL three-valued logic,
+// stopping at the first deciding comparison: True decides ANY, False
+// decides ALL.
+func (e *Evaluator) probeQuantified(s algebra.Sublink, a types.Value, scope []frame) (types.Value, error) {
+	if s.Query.Schema().Len() != 1 {
+		return types.Null(), fmt.Errorf("eval: %s sublink query produced %d attributes, want 1", s.Kind, s.Query.Schema().Len())
+	}
+	decided := false
+	sawUnknown := false
+	err := e.streamSub(s.Query, scope, func(t rel.Tuple, n int) error {
+		switch s.Op.Apply(a, t[0]) {
+		case types.True:
+			if s.Kind == algebra.AnySublink {
+				decided = true
+				return errStop
+			}
+		case types.False:
+			if s.Kind == algebra.AllSublink {
+				decided = true
+				return errStop
+			}
+		case types.Unknown:
+			sawUnknown = true
+		}
+		return nil
+	})
+	if err != nil {
+		return types.Null(), err
+	}
+	if decided {
+		return types.NewBool(s.Kind == algebra.AnySublink), nil
+	}
+	if sawUnknown {
+		return types.Null(), nil
+	}
+	return types.NewBool(s.Kind == algebra.AllSublink), nil
 }
 
 // quantify applies the ANY (existential) or ALL (universal) quantifier of
@@ -65,6 +238,7 @@ func (e *Evaluator) quantify(s algebra.Sublink, a types.Value, sub *rel.Relation
 			switch s.Op.Apply(a, st[0]) {
 			case types.True:
 				found = true
+				return errStop // a True comparison decides ANY
 			case types.Unknown:
 				sawUnknown = true
 			}
@@ -83,6 +257,7 @@ func (e *Evaluator) quantify(s algebra.Sublink, a types.Value, sub *rel.Relation
 		switch s.Op.Apply(a, st[0]) {
 		case types.False:
 			allTrue = false
+			return errStop // a False comparison decides ALL
 		case types.Unknown:
 			sawUnknown = true
 		}

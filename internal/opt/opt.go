@@ -64,7 +64,7 @@ func Optimize(op algebra.Op) algebra.Op {
 	case *algebra.Order:
 		return &algebra.Order{Child: Optimize(o.Child), Keys: o.Keys}
 	case *algebra.Limit:
-		return &algebra.Limit{Child: Optimize(o.Child), N: o.N}
+		return &algebra.Limit{Child: Optimize(o.Child), N: o.N, Offset: o.Offset}
 	default:
 		return op
 	}

@@ -277,7 +277,7 @@ func mapOpExprs(op algebra.Op, fn func(algebra.Expr) algebra.Expr) algebra.Op {
 	case *algebra.Order:
 		return &algebra.Order{Child: mapOpExprs(q.Child, fn), Keys: q.Keys}
 	case *algebra.Limit:
-		return &algebra.Limit{Child: mapOpExprs(q.Child, fn), N: q.N}
+		return &algebra.Limit{Child: mapOpExprs(q.Child, fn), N: q.N, Offset: q.Offset}
 	default:
 		return op
 	}

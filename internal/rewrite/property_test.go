@@ -216,10 +216,19 @@ func TestPropertyCorrelated(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: Gen must always apply: %v", seed, err)
 		}
-		checkInvariants(t, g.cat, q, res, "Gen(correlated)")
-		for _, s := range []Strategy{Left, Move, Unn, UnnX} {
+		genOut := checkInvariants(t, g.cat, q, res, "Gen(correlated)")
+		for _, s := range []Strategy{Left, Move, Unn} {
 			if _, err := Rewrite(q, s); err == nil {
 				t.Errorf("seed %d: %v should refuse correlated sublinks", seed, s)
+			}
+		}
+		// UnnX may decorrelate an equality-correlated EXISTS (rule X5);
+		// when it applies it must agree with Gen, otherwise it must refuse.
+		if xres, err := Rewrite(q, UnnX); err == nil {
+			out := checkInvariants(t, g.cat, q, xres, "UnnX(correlated)")
+			if !out.Equal(genOut.WithSchema(out.Schema)) {
+				t.Errorf("seed %d: UnnX disagrees with Gen on correlated EXISTS\nGen:  %s\nUnnX: %s\nquery: %s",
+					seed, genOut, out, q)
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"errors"
 	"fmt"
 
 	"perm/internal/algebra"
@@ -99,12 +100,27 @@ func flattenAnd(e algebra.Expr) []algebra.Expr {
 }
 
 // autoSelect picks the cheapest applicable strategy for one selection:
-// Unn when its patterns match, otherwise Move for uncorrelated sublinks,
-// otherwise Gen (which always applies). This mirrors how the paper positions
-// the strategies: specialized ≫ outer-join ≫ general.
+// Unn when its patterns match, then the extended unnesting UnnX (which
+// additionally covers ALL, negated and scalar shapes and decorrelates
+// equality-correlated EXISTS via rule X5), then Move for uncorrelated
+// sublinks, then Gen (which always applies). This mirrors how the paper
+// positions the strategies — specialized ≫ outer-join ≫ general — with the
+// reproduction's extension slotted between.
 func (rw *rewriter) autoSelect(s *algebra.Select) (algebra.Op, []ProvSource, error) {
 	if unnApplicable(s.Cond) {
 		return rw.unnSelect(s)
+	}
+	if unnxApplicable(s.Cond) {
+		out, prov, err := rw.unnxSelect(s)
+		if err == nil {
+			return out, prov, nil
+		}
+		// unnxApplicable is a structural pre-check; the rewrite proper may
+		// still refuse (e.g. a correlation escaping to a higher scope).
+		// Fall through to the general strategies in that case.
+		if !errors.Is(err, ErrNotApplicable) {
+			return nil, nil, err
+		}
 	}
 	if allUncorrelated(algebra.CollectSublinks(s.Cond)) {
 		return rw.moveSelect(s)

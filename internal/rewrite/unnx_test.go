@@ -2,6 +2,7 @@ package rewrite
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"perm/internal/algebra"
@@ -85,6 +86,96 @@ func TestUnnXAgreesWithGen(t *testing.T) {
 					shape.name, seed, refOut, got, algebra.Indent(res.Plan))
 			}
 		}
+	}
+}
+
+// correlatedExists builds σ_{EXISTS(Π_c(σ_{c = outer.b [∧ extra]}(s)))}(r)
+// — the canonical equality-correlated EXISTS pattern rule X5 decorrelates.
+func correlatedExists(t *testing.T, c *catalog.Catalog, extra algebra.Expr) algebra.Op {
+	t.Helper()
+	cond := algebra.Expr(algebra.Cmp{Op: types.CmpEq, L: algebra.Attr("c"), R: algebra.Attr("b")})
+	if extra != nil {
+		cond = algebra.And{L: cond, R: extra}
+	}
+	sub := algebra.NewProject(
+		&algebra.Select{Child: scan(t, c, "s"), Cond: cond},
+		algebra.KeepCol("c"),
+	)
+	return &algebra.Select{
+		Child: scan(t, c, "r"),
+		Cond:  algebra.Sublink{Kind: algebra.ExistsSublink, Query: sub},
+	}
+}
+
+// TestUnnXDecorrelatesExists: rule X5 must rewrite the equality-correlated
+// EXISTS pattern and agree with Gen on randomized databases.
+func TestUnnXDecorrelatesExists(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		c := randomDB(seed)
+		for _, extra := range []algebra.Expr{
+			nil,
+			algebra.Cmp{Op: types.CmpGt, L: algebra.Attr("d"), R: algebra.IntConst(1)},
+		} {
+			q := correlatedExists(t, c, extra)
+			ref, err := Rewrite(q, Gen)
+			if err != nil {
+				t.Fatalf("seed %d Gen: %v", seed, err)
+			}
+			res, err := Rewrite(q, UnnX)
+			if err != nil {
+				t.Fatalf("seed %d UnnX should decorrelate correlated EXISTS: %v", seed, err)
+			}
+			refOut := run(t, c, ref.Plan)
+			got := run(t, c, res.Plan)
+			if !got.Equal(refOut.WithSchema(got.Schema)) {
+				t.Errorf("seed %d: X5 disagrees with Gen\nGen:  %s\nUnnX: %s\nplan:\n%s",
+					seed, refOut, got, algebra.Indent(res.Plan))
+			}
+		}
+	}
+}
+
+// TestUnnXDecorrelationRefusalsArePrecise: genuinely inapplicable
+// correlated sublinks must name the exact obstacle (Advise surfaces these
+// reasons verbatim).
+func TestUnnXDecorrelationRefusalsArePrecise(t *testing.T) {
+	c := figure3DB()
+	// Inequality correlation: no equality conjunct to lift.
+	ineq := &algebra.Select{
+		Child: scan(t, c, "r"),
+		Cond: algebra.Sublink{Kind: algebra.ExistsSublink,
+			Query: &algebra.Select{Child: scan(t, c, "s"),
+				Cond: algebra.Cmp{Op: types.CmpGt, L: algebra.Attr("c"), R: algebra.Attr("b")}}},
+	}
+	_, err := Rewrite(ineq, UnnX)
+	if !errors.Is(err, ErrNotApplicable) || !strings.Contains(err.Error(), "no top-level equality conjunct") {
+		t.Errorf("inequality correlation: %v", err)
+	}
+	// Correlated ANY: X5 covers EXISTS only.
+	anyCorr := &algebra.Select{
+		Child: scan(t, c, "r"),
+		Cond: algebra.Sublink{Kind: algebra.AnySublink, Op: types.CmpEq, Test: algebra.Attr("a"),
+			Query: &algebra.Select{Child: scan(t, c, "s"),
+				Cond: algebra.Cmp{Op: types.CmpEq, L: algebra.Attr("c"), R: algebra.Attr("b")}}},
+	}
+	_, err = Rewrite(anyCorr, UnnX)
+	if !errors.Is(err, ErrNotApplicable) || !strings.Contains(err.Error(), "decorrelates only EXISTS") {
+		t.Errorf("correlated ANY: %v", err)
+	}
+	// Correlation hidden under a disjunction inside the sublink: lifting
+	// must leave it alone and report the residual free variables.
+	buried := &algebra.Select{
+		Child: scan(t, c, "r"),
+		Cond: algebra.Sublink{Kind: algebra.ExistsSublink,
+			Query: &algebra.Select{Child: scan(t, c, "s"),
+				Cond: algebra.Or{
+					L: algebra.Cmp{Op: types.CmpEq, L: algebra.Attr("c"), R: algebra.Attr("b")},
+					R: algebra.Cmp{Op: types.CmpEq, L: algebra.Attr("d"), R: algebra.IntConst(3)},
+				}}},
+	}
+	_, err = Rewrite(buried, UnnX)
+	if !errors.Is(err, ErrNotApplicable) || !strings.Contains(err.Error(), "equality conjunct") {
+		t.Errorf("buried correlation: %v", err)
 	}
 }
 

@@ -30,6 +30,7 @@ type SelectStmt struct {
 	Having     Expr
 	OrderBy    []OrderKey
 	Limit      int // -1 when absent
+	Offset     int // 0 when absent
 }
 
 // SelectCol is one output column with an optional alias.

@@ -6,7 +6,7 @@
 // [DISTINCT] lists with expressions and aliases, FROM with base tables,
 // aliases, subqueries and INNER/LEFT JOIN … ON, WHERE/HAVING conditions
 // with IN, NOT IN, op ANY/SOME, op ALL, [NOT] EXISTS and scalar subqueries
-// (correlated or not, arbitrarily nested), GROUP BY, ORDER BY, LIMIT,
+// (correlated or not, arbitrarily nested), GROUP BY, ORDER BY, LIMIT/OFFSET,
 // UNION/INTERSECT/EXCEPT [ALL] — plus Perm's extension keyword:
 //
 //	SELECT PROVENANCE … ;
@@ -55,7 +55,7 @@ func (t token) String() string {
 var keywords = map[string]bool{
 	"SELECT": true, "DISTINCT": true, "PROVENANCE": true, "FROM": true,
 	"WHERE": true, "GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
-	"LIMIT": true, "AS": true, "AND": true, "OR": true, "NOT": true,
+	"LIMIT": true, "OFFSET": true, "AS": true, "AND": true, "OR": true, "NOT": true,
 	"IN": true, "ANY": true, "SOME": true, "ALL": true, "EXISTS": true,
 	"IS": true, "NULL": true, "TRUE": true, "FALSE": true, "JOIN": true,
 	"INNER": true, "LEFT": true, "OUTER": true, "ON": true, "UNION": true,

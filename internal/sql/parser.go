@@ -171,17 +171,35 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			}
 		}
 	}
-	if p.acceptKeyword("LIMIT") {
-		if p.peek().kind != tokNumber {
-			return nil, p.errf("expected number after LIMIT, found %s", p.peek())
+	// LIMIT and OFFSET, in either order (PostgreSQL accepts both spellings),
+	// each at most once.
+	sawLimit, sawOffset := false, false
+	for {
+		switch {
+		case !sawLimit && p.acceptKeyword("LIMIT"):
+			sawLimit = true
+			if p.peek().kind != tokNumber {
+				return nil, p.errf("expected number after LIMIT, found %s", p.peek())
+			}
+			n, err := strconv.Atoi(p.next().text)
+			if err != nil || n < 0 {
+				return nil, p.errf("invalid LIMIT value")
+			}
+			sel.Limit = n
+		case !sawOffset && p.acceptKeyword("OFFSET"):
+			sawOffset = true
+			if p.peek().kind != tokNumber {
+				return nil, p.errf("expected number after OFFSET, found %s", p.peek())
+			}
+			n, err := strconv.Atoi(p.next().text)
+			if err != nil || n < 0 {
+				return nil, p.errf("invalid OFFSET value")
+			}
+			sel.Offset = n
+		default:
+			return sel, nil
 		}
-		n, err := strconv.Atoi(p.next().text)
-		if err != nil || n < 0 {
-			return nil, p.errf("invalid LIMIT value")
-		}
-		sel.Limit = n
 	}
-	return sel, nil
 }
 
 // parseTableRef parses one FROM item including any chained joins.

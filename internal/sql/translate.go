@@ -216,8 +216,8 @@ func (tr *translator) selectStmt(sel *SelectStmt) (algebra.Op, error) {
 		}
 		plan = &algebra.Order{Child: plan, Keys: orderKeys}
 	}
-	if sel.Limit >= 0 {
-		plan = &algebra.Limit{Child: plan, N: sel.Limit}
+	if sel.Limit >= 0 || sel.Offset > 0 {
+		plan = &algebra.Limit{Child: plan, N: sel.Limit, Offset: sel.Offset}
 	}
 	return plan, nil
 }

@@ -139,3 +139,21 @@ func (w Workload) Q3(seed int64) string {
 	return fmt.Sprintf(`SELECT * FROM r1 WHERE r1.b >= %d AND r1.b <= %d AND r1.a > ANY (SELECT r2.a FROM r2 WHERE r2.b = r1.b)`,
 		lo1, hi1)
 }
+
+// Q4 renders one instance of the correlated-EXISTS query
+//
+//	q4 = σ_{range ∧ EXISTS(σ_{b = outer.b}(R2))}(R1)
+//
+// One matching inner row decides each probe, so the query is dominated by
+// exactly the per-binding sublink cost that early termination removes: the
+// streaming executor stops each probe at its first witness, the
+// materializing executor scans the whole sublink relation per binding and
+// builds the full per-binding result bag. This is the workload behind the
+// streaming-vs-materializing comparison (not a query of the paper). Its
+// equality correlation also makes it the canonical input for the UnnX
+// EXISTS decorrelation (rule X5).
+func (w Workload) Q4(seed int64) string {
+	lo1, hi1, _, _ := w.ranges(seed)
+	return fmt.Sprintf(`SELECT * FROM r1 WHERE r1.b >= %d AND r1.b <= %d AND EXISTS (SELECT r2.a FROM r2 WHERE r2.b = r1.b)`,
+		lo1, hi1)
+}

@@ -43,7 +43,8 @@ import (
 type Strategy string
 
 // The rewrite strategies of the paper. Auto picks Unn where its patterns
-// match, Move for uncorrelated sublinks and Gen otherwise.
+// match, then UnnX (including its decorrelation of equality-correlated
+// EXISTS), then Move for uncorrelated sublinks, then Gen.
 const (
 	Gen  Strategy = "Gen"
 	Left Strategy = "Left"
@@ -221,6 +222,7 @@ type queryConfig struct {
 	ctx         context.Context
 	noOptimize  bool
 	parallelism int
+	materialize bool
 }
 
 // WithStrategy selects the sublink rewrite strategy for PROVENANCE queries
@@ -248,6 +250,15 @@ func WithParallelism(n int) Option {
 // experiments that measure the raw rewritten plans.
 func WithoutOptimizer() Option {
 	return func(c *queryConfig) { c.noOptimize = true }
+}
+
+// WithoutStreaming switches the query to the materializing
+// operator-at-a-time executor (every operator's output built as a full
+// counted bag). The default streaming pipeline produces identical result
+// bags; this knob exists for ablation runs and the benchmark harness's
+// streaming-vs-materializing comparison.
+func WithoutStreaming() Option {
+	return func(c *queryConfig) { c.materialize = true }
 }
 
 // ProvGroup describes the provenance columns contributed by one base
@@ -312,6 +323,7 @@ func (db *DB) Query(query string, opts ...Option) (*Result, error) {
 	}
 	ev := eval.New(db.cat).WithContext(cfg.ctx)
 	ev.Parallelism = cfg.parallelism
+	ev.DisableStreaming = cfg.materialize
 	relOut, err := ev.Eval(plan)
 	if err != nil {
 		return nil, err
@@ -407,12 +419,13 @@ func (db *DB) Explain(query string, opts ...Option) (string, error) {
 	return algebra.Indent(plan), nil
 }
 
-// orderedTuples respects a top-level ORDER BY; otherwise it returns the
+// orderedTuples respects the query's ORDER BY; otherwise it returns the
 // canonical sorted order for deterministic output.
 func orderedTuples(plan algebra.Op, out *rel.Relation) []rel.Tuple {
-	// The evaluator materializes bags; re-sort explicitly when the plan's
-	// top (or top-below-projection) operator is an Order.
-	keys := findOrderKeys(plan)
+	// The executor returns bags; re-sort explicitly by whatever order
+	// reaches the plan's output — including an inner ORDER BY carried
+	// through derived-table projection wrappers and LIMIT.
+	keys := algebra.LiftOrderKeys(plan)
 	if keys == nil {
 		return out.SortedTuples()
 	}
@@ -421,21 +434,6 @@ func orderedTuples(plan algebra.Op, out *rel.Relation) []rel.Tuple {
 		return out.SortedTuples()
 	}
 	return sorted
-}
-
-func findOrderKeys(plan algebra.Op) []algebra.SortKey {
-	switch o := plan.(type) {
-	case *algebra.Order:
-		return o.Keys
-	case *algebra.Project:
-		// The provenance rewrite may sit a projection above the Order.
-		if ord, ok := o.Child.(*algebra.Order); ok {
-			return ord.Keys
-		}
-	case *algebra.Limit:
-		return findOrderKeys(o.Child)
-	}
-	return nil
 }
 
 // FormatTable renders the result as an aligned text table for CLI output.
