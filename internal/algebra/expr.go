@@ -166,6 +166,36 @@ func Conj(conds ...Expr) Expr {
 	return out
 }
 
+// CaseWhen is one WHEN … THEN … branch of a Case expression.
+type CaseWhen struct {
+	When Expr // boolean condition, evaluated under three-valued logic
+	Then Expr
+}
+
+// Case is the searched CASE expression: branches are tested in order and
+// the first branch whose condition is true yields the result; otherwise
+// Else does (NULL when Else is nil). SQL's simple form CASE x WHEN v …
+// is lowered to this searched form by the translator.
+type Case struct {
+	Whens []CaseWhen
+	Else  Expr // nil means NULL
+}
+
+func (Case) exprNode() {}
+
+func (c Case) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, w := range c.Whens {
+		fmt.Fprintf(&b, " WHEN %s THEN %s", w.When, w.Then)
+	}
+	if c.Else != nil {
+		fmt.Fprintf(&b, " ELSE %s", c.Else)
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
 // SublinkKind distinguishes the four sublink constructs of the algebra.
 type SublinkKind uint8
 
@@ -274,6 +304,14 @@ func WalkExpr(e Expr, fn func(Expr) bool) {
 		WalkExpr(x.E, fn)
 	case IsNull:
 		WalkExpr(x.E, fn)
+	case Case:
+		for _, w := range x.Whens {
+			WalkExpr(w.When, fn)
+			WalkExpr(w.Then, fn)
+		}
+		if x.Else != nil {
+			WalkExpr(x.Else, fn)
+		}
 	case Sublink:
 		if x.Test != nil {
 			WalkExpr(x.Test, fn)
@@ -304,6 +342,12 @@ func MapExpr(e Expr, fn func(Expr) Expr) Expr {
 		return fn(Not{E: MapExpr(x.E, fn)})
 	case IsNull:
 		return fn(IsNull{E: MapExpr(x.E, fn)})
+	case Case:
+		whens := make([]CaseWhen, len(x.Whens))
+		for i, w := range x.Whens {
+			whens[i] = CaseWhen{When: MapExpr(w.When, fn), Then: MapExpr(w.Then, fn)}
+		}
+		return fn(Case{Whens: whens, Else: MapExpr(x.Else, fn)})
 	case Sublink:
 		s := x
 		s.Test = MapExpr(x.Test, fn)
@@ -349,6 +393,17 @@ func ExprEqual(a, b Expr) bool {
 	case IsNull:
 		y, ok := b.(IsNull)
 		return ok && ExprEqual(x.E, y.E)
+	case Case:
+		y, ok := b.(Case)
+		if !ok || len(x.Whens) != len(y.Whens) || !ExprEqual(x.Else, y.Else) {
+			return false
+		}
+		for i := range x.Whens {
+			if !ExprEqual(x.Whens[i].When, y.Whens[i].When) || !ExprEqual(x.Whens[i].Then, y.Whens[i].Then) {
+				return false
+			}
+		}
+		return true
 	case Sublink:
 		y, ok := b.(Sublink)
 		return ok && x.Kind == y.Kind && x.Op == y.Op && x.Query == y.Query && ExprEqual(x.Test, y.Test)

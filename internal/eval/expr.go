@@ -141,6 +141,20 @@ func (e *Evaluator) evalExpr(x algebra.Expr, sch schema.Schema, t rel.Tuple, out
 			return types.Null(), err
 		}
 		return types.NewBool(v.IsNull()), nil
+	case algebra.Case:
+		for _, w := range ex.Whens {
+			keep, err := e.evalCond(w.When, sch, t, outer)
+			if err != nil {
+				return types.Null(), err
+			}
+			if keep == types.True {
+				return e.evalExpr(w.Then, sch, t, outer)
+			}
+		}
+		if ex.Else != nil {
+			return e.evalExpr(ex.Else, sch, t, outer)
+		}
+		return types.Null(), nil
 	case algebra.Sublink:
 		return e.evalSublink(ex, sch, t, outer)
 	default:

@@ -1,0 +1,181 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"perm/internal/sql"
+)
+
+// TestGeneratorDeterministic: the same seed must yield the same query
+// sequence — failure reports are replayed by (seed, index).
+func TestGeneratorDeterministic(t *testing.T) {
+	a, b := NewGen(7), NewGen(7)
+	for i := 0; i < 200; i++ {
+		qa, qb := a.Next(), b.Next()
+		if qa.SQL != qb.SQL {
+			t.Fatalf("query %d diverges:\n%s\n%s", i, qa.SQL, qb.SQL)
+		}
+	}
+}
+
+// TestRenderParseRoundTrip: rendered queries must parse, and re-rendering
+// the parse must be a fixpoint (the corpus stores rendered text, so the
+// parser and renderer must agree).
+func TestRenderParseRoundTrip(t *testing.T) {
+	g := NewGen(3)
+	for i := 0; i < 500; i++ {
+		q := g.Next()
+		st, err := sql.Parse(q.SQL)
+		if err != nil {
+			t.Fatalf("query %d does not parse: %v\n%s", i, err, q.SQL)
+		}
+		if again := Render(st); again != q.SQL {
+			t.Fatalf("query %d is not a render fixpoint:\n%s\n%s", i, q.SQL, again)
+		}
+	}
+}
+
+// fuzzN is the bounded corpus run wired into go test: at least the 2,000
+// queries the differential guarantee is stated over.
+const fuzzN = 2200
+
+// TestFuzzDifferential generates fuzzN queries from a fixed seed and runs
+// each through the full differential matrix. Failures are shrunk before
+// reporting.
+func TestFuzzDifferential(t *testing.T) {
+	n := fuzzN
+	if testing.Short() {
+		n = 250
+	}
+	const seed = 1
+	db := NewDB(seed)
+	g := NewGen(seed)
+	queries := make([]*Query, n)
+	for i := range queries {
+		queries[i] = g.Next()
+	}
+
+	type failure struct {
+		idx int
+		err error
+		q   *Query
+	}
+	var (
+		mu       sync.Mutex
+		failures []failure
+		wg       sync.WaitGroup
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, q := range queries {
+		mu.Lock()
+		full := len(failures) >= 3 // enough evidence; stop collecting
+		mu.Unlock()
+		if full {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, q *Query) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := Check(db, q); err != nil {
+				mu.Lock()
+				failures = append(failures, failure{idx: i, err: err, q: q})
+				mu.Unlock()
+			}
+		}(i, q)
+	}
+	wg.Wait()
+	for _, f := range failures {
+		min := Shrink(db, f.q, 200)
+		minErr := Check(db, min)
+		t.Errorf("seed %d query %d disagrees: %v\noriginal:  %s\nminimized: %s\nminimized failure: %v",
+			seed, f.idx, f.err, f.q.SQL, min.SQL, minErr)
+	}
+	if len(failures) == 0 {
+		t.Logf("%d queries, full differential matrix, zero disagreements", n)
+	}
+}
+
+// TestFuzzCorpus replays the checked-in minimized repros. A file may
+// declare "-- expect-error: <substring>": then every executor mode must
+// fail with a matching error. All other files must pass the full oracle.
+func TestFuzzCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "fuzz-corpus", "*.sql"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fuzz corpus found: %v", err)
+	}
+	db := NewDB(1) // corpus cases are stated over the seed-1 data
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			raw, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			expectErr := ""
+			var sqlLines []string
+			for _, line := range strings.Split(string(raw), "\n") {
+				trimmed := strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(trimmed, "-- expect-error:"); ok {
+					expectErr = strings.TrimSpace(rest)
+					continue
+				}
+				if strings.HasPrefix(trimmed, "--") || trimmed == "" {
+					continue
+				}
+				sqlLines = append(sqlLines, trimmed)
+			}
+			query := strings.Join(sqlLines, " ")
+			if query == "" {
+				t.Fatalf("%s contains no SQL", file)
+			}
+			if expectErr != "" {
+				for _, m := range Modes {
+					_, err := db.Query(query, m.Opts...)
+					if err == nil {
+						t.Fatalf("%s: expected an error containing %q, got success", m.Name, expectErr)
+					}
+					if !strings.Contains(err.Error(), expectErr) {
+						t.Fatalf("%s: error %q does not contain %q", m.Name, err, expectErr)
+					}
+				}
+				return
+			}
+			st, err := sql.Parse(query)
+			if err != nil {
+				t.Fatalf("corpus query does not parse: %v", err)
+			}
+			if err := Check(db, Finalize(st)); err != nil {
+				t.Errorf("corpus query disagrees: %v\n%s", err, query)
+			}
+		})
+	}
+}
+
+// TestShrinkTerminates: the shrinker terminates within its budget and
+// never returns a larger query than it was given.
+func TestShrinkTerminates(t *testing.T) {
+	db := NewDB(1)
+	g := NewGen(5)
+	q := g.Next()
+	min := Shrink(db, q, 20)
+	if min == nil || min.SQL == "" {
+		t.Fatal("shrink returned nothing")
+	}
+	if len(min.SQL) > len(q.SQL) {
+		t.Fatalf("shrink grew the query: %d -> %d", len(q.SQL), len(min.SQL))
+	}
+}
+
+func ExampleRender() {
+	st, _ := sql.Parse("SELECT a AS x FROM r ORDER BY b LIMIT 2")
+	fmt.Println(Render(st))
+	// Output: SELECT a AS x FROM r ORDER BY b LIMIT 2
+}

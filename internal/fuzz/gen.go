@@ -1,0 +1,698 @@
+package fuzz
+
+import (
+	"strconv"
+
+	"perm"
+	"perm/internal/sql"
+)
+
+// The fixed fuzz schema: three small integer tables. Distinct column names
+// across tables keep unqualified references unambiguous; the generator still
+// qualifies most references through always-fresh aliases, so self-joins are
+// safe too. Values are integers drawn from a tiny domain with NULLs and
+// duplicate rows mixed in — the regime where bag semantics, three-valued
+// logic and sublink edge cases (empty subquery results, NULL probes) are
+// all exercised.
+var fuzzTables = []struct {
+	name string
+	cols []string
+}{
+	{"r", []string{"a", "b"}},
+	{"s", []string{"c", "d"}},
+	{"t", []string{"e", "f"}},
+}
+
+// splitmix-style deterministic rng (no package state, replayable by seed).
+type rng struct{ state uint64 }
+
+func newRng(seed int64) *rng { return &rng{state: uint64(seed)*0x9E3779B9 + 0x2545F4914F6CDD1D} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+func (r *rng) chance(p float64) bool {
+	return float64(r.next()>>11)/float64(1<<53) < p
+}
+
+// NewDB builds the fuzz database for one seed: the three tables filled with
+// NULL-rich, duplicate-rich integer rows. Tables are kept tiny (4–6 rows)
+// so even the Gen strategy's CrossBase products over nested sublinks stay
+// cheap enough for thousands of differential runs.
+func NewDB(seed int64) *perm.DB {
+	r := newRng(seed ^ 0x5EED)
+	db := perm.Open()
+	for _, tb := range fuzzTables {
+		n := 3 + r.intn(3)
+		rows := make([][]any, 0, n)
+		for i := 0; i < n; i++ {
+			row := make([]any, len(tb.cols))
+			for j := range tb.cols {
+				if r.chance(0.15) {
+					row[j] = nil
+				} else {
+					row[j] = r.intn(6) - 1 // domain [-1, 4]
+				}
+			}
+			rows = append(rows, row)
+			if r.chance(0.25) { // duplicate row: bag multiplicities > 1
+				rows = append(rows, row)
+			}
+		}
+		if err := db.Register(tb.name, tb.cols, rows); err != nil {
+			panic(err) // fixed schema; cannot fail
+		}
+	}
+	return db
+}
+
+// OrderCheck describes one top-level ORDER BY key that is a visible output
+// column, so the oracle can verify the presented row order semantically.
+type OrderCheck struct {
+	Col  int // result column index
+	Desc bool
+}
+
+// Query is one generated (or shrunk) query with the metadata the oracle
+// needs.
+type Query struct {
+	Stmt *sql.Stmt
+	SQL  string
+	// UsesLimit reports a LIMIT or OFFSET anywhere in the tree; the
+	// provenance rewrite rejects those, so the oracle skips the strategy
+	// matrix for them.
+	UsesLimit bool
+	// OrderChecks are the top-level ORDER BY keys resolvable to visible
+	// output columns (hidden-key and expression keys are exercised but not
+	// semantically order-checked).
+	OrderChecks []OrderCheck
+	// Scans counts base-table references anywhere in the query. The Gen
+	// strategy's CrossBase is a product over all sublink base relations, so
+	// the oracle bounds the provenance matrix by this count.
+	Scans int
+}
+
+// Finalize derives a Query from a statement AST: renders it and recomputes
+// the oracle metadata. The shrinker calls it after every reduction.
+func Finalize(st *sql.Stmt) *Query {
+	return &Query{
+		Stmt:        st,
+		SQL:         Render(st),
+		UsesLimit:   stmtUsesLimit(st),
+		OrderChecks: orderChecks(st),
+		Scans:       stmtScans(st),
+	}
+}
+
+// stmtScans counts base-table references anywhere in the statement.
+func stmtScans(st *sql.Stmt) int {
+	n := 0
+	visitSelects(st, func(sel *sql.SelectStmt) {
+		for _, ref := range sel.From {
+			n += refBases(ref)
+		}
+	})
+	return n
+}
+
+// refBases counts the base tables of one FROM item; derived tables count
+// through their own select blocks (visited separately by visitSelects).
+func refBases(ref sql.TableRef) int {
+	switch {
+	case ref.Join != nil:
+		return refBases(ref.Join.Left) + refBases(ref.Join.Right)
+	case ref.Sub != nil:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// stmtUsesLimit reports a LIMIT or OFFSET on any block of the statement.
+func stmtUsesLimit(st *sql.Stmt) bool {
+	found := false
+	visitSelects(st, func(sel *sql.SelectStmt) {
+		if sel.Limit >= 0 || sel.Offset > 0 {
+			found = true
+		}
+	})
+	return found
+}
+
+// visitSelects calls fn for every select block of the statement — set
+// operation arms, derived tables and the subqueries nested anywhere in its
+// expressions. The single traversal keeps the oracle metadata (scan
+// counts, limit detection) in one place: a new expression node needs
+// exactly one new arm here.
+func visitSelects(st *sql.Stmt, fn func(*sql.SelectStmt)) {
+	if st == nil {
+		return
+	}
+	sel := st.Left
+	fn(sel)
+	for _, ref := range sel.From {
+		visitRefSelects(ref, fn)
+	}
+	for _, e := range collectExprs(sel) {
+		visitExprSelects(e, fn)
+	}
+	if st.SetOp != nil {
+		visitSelects(st.SetOp.Right, fn)
+	}
+}
+
+func visitRefSelects(ref sql.TableRef, fn func(*sql.SelectStmt)) {
+	switch {
+	case ref.Join != nil:
+		visitRefSelects(ref.Join.Left, fn)
+		visitRefSelects(ref.Join.Right, fn)
+		visitExprSelects(ref.Join.On, fn)
+	case ref.Sub != nil:
+		visitSelects(ref.Sub, fn)
+	}
+}
+
+// collectExprs gathers the clause expressions of one select block.
+func collectExprs(sel *sql.SelectStmt) []sql.Expr {
+	var out []sql.Expr
+	for _, c := range sel.Cols {
+		out = append(out, c.E)
+	}
+	if sel.Where != nil {
+		out = append(out, sel.Where)
+	}
+	out = append(out, sel.GroupBy...)
+	if sel.Having != nil {
+		out = append(out, sel.Having)
+	}
+	for _, k := range sel.OrderBy {
+		out = append(out, k.E)
+	}
+	return out
+}
+
+// visitExprSelects descends into the subqueries embedded in an expression.
+func visitExprSelects(e sql.Expr, fn func(*sql.SelectStmt)) {
+	switch x := e.(type) {
+	case sql.Binary:
+		visitExprSelects(x.L, fn)
+		visitExprSelects(x.R, fn)
+	case sql.Unary:
+		visitExprSelects(x.E, fn)
+	case sql.IsNull:
+		visitExprSelects(x.E, fn)
+	case sql.InList:
+		visitExprSelects(x.E, fn)
+		for _, it := range x.List {
+			visitExprSelects(it, fn)
+		}
+	case sql.InSub:
+		visitExprSelects(x.E, fn)
+		visitSelects(x.Sub, fn)
+	case sql.Quant:
+		visitExprSelects(x.E, fn)
+		visitSelects(x.Sub, fn)
+	case sql.Exists:
+		visitSelects(x.Sub, fn)
+	case sql.ScalarSub:
+		visitSelects(x.Sub, fn)
+	case sql.Call:
+		for _, a := range x.Args {
+			visitExprSelects(a, fn)
+		}
+	case sql.Between:
+		visitExprSelects(x.E, fn)
+		visitExprSelects(x.Lo, fn)
+		visitExprSelects(x.Hi, fn)
+	case sql.Case:
+		if x.Operand != nil {
+			visitExprSelects(x.Operand, fn)
+		}
+		for _, w := range x.Whens {
+			visitExprSelects(w.Cond, fn)
+			visitExprSelects(w.Result, fn)
+		}
+		if x.Else != nil {
+			visitExprSelects(x.Else, fn)
+		}
+	}
+}
+
+// orderChecks maps the top-level ORDER BY keys onto visible result column
+// indexes where possible: a key naming a select-list alias, or structurally
+// equal to a select-list expression. Set operations have no statement-level
+// ORDER BY in this dialect, so they contribute no checks.
+func orderChecks(st *sql.Stmt) []OrderCheck {
+	if st == nil || st.SetOp != nil {
+		return nil
+	}
+	sel := st.Left
+	if sel.Star || len(sel.OrderBy) == 0 {
+		return nil
+	}
+	var out []OrderCheck
+	for _, k := range sel.OrderBy {
+		id, ok := k.E.(sql.Ident)
+		if !ok || id.Qual != "" {
+			// Qualified and expression keys may be hidden-column keys; the
+			// differential comparison still covers them.
+			return out
+		}
+		found := -1
+		for i, c := range sel.Cols {
+			if c.Alias == id.Name {
+				found = i
+				break
+			}
+			if cid, isID := c.E.(sql.Ident); isID && c.Alias == "" && cid.Name == id.Name {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return out
+		}
+		out = append(out, OrderCheck{Col: found, Desc: k.Desc})
+	}
+	return out
+}
+
+// Gen is a deterministic random query generator over the fuzz schema.
+type Gen struct {
+	rng      *rng
+	aliasSeq int
+	colSeq   int
+}
+
+// NewGen returns a generator for one seed.
+func NewGen(seed int64) *Gen { return &Gen{rng: newRng(seed)} }
+
+// scopeRel is one FROM item visible in a scope: its alias and column names.
+type scopeRel struct {
+	alias string
+	cols  []string
+}
+
+// scope is the name environment of one query block, linked to the enclosing
+// block for correlated references.
+type scope struct {
+	rels  []scopeRel
+	outer *scope
+}
+
+// colRef is one referencable column.
+type colRef struct {
+	qual, name string
+}
+
+func (s *scope) ownCols() []colRef {
+	var out []colRef
+	for _, r := range s.rels {
+		for _, c := range r.cols {
+			out = append(out, colRef{qual: r.alias, name: c})
+		}
+	}
+	return out
+}
+
+func (g *Gen) freshAlias() string {
+	g.aliasSeq++
+	return "f" + strconv.Itoa(g.aliasSeq)
+}
+
+func (g *Gen) freshCol() string {
+	g.colSeq++
+	return "x" + strconv.Itoa(g.colSeq)
+}
+
+// Next generates one random query. Alias and column counters reset per
+// query so rendered SQL is stable under replay of the same seed sequence.
+func (g *Gen) Next() *Query {
+	g.aliasSeq, g.colSeq = 0, 0
+	var st *sql.Stmt
+	if g.rng.chance(0.10) {
+		st = g.genSetOp()
+	} else {
+		st = &sql.Stmt{Left: g.genSelect(2, nil, 0, true)}
+	}
+	return Finalize(st)
+}
+
+// genSetOp builds a set operation of two or three arms with matching width.
+// Arms carry no ORDER BY or LIMIT (the dialect has no statement-level ORDER
+// BY for set operations, and arm-level ordering is unobservable).
+func (g *Gen) genSetOp() *sql.Stmt {
+	width := 1 + g.rng.intn(2)
+	kinds := []string{"UNION", "INTERSECT", "EXCEPT"}
+	st := &sql.Stmt{Left: g.genSelect(1, nil, width, false)}
+	st.SetOp = &sql.SetOpClause{
+		Kind:  kinds[g.rng.intn(len(kinds))],
+		All:   g.rng.chance(0.5),
+		Right: &sql.Stmt{Left: g.genSelect(1, nil, width, false)},
+	}
+	if g.rng.chance(0.25) {
+		st.SetOp.Right.SetOp = &sql.SetOpClause{
+			Kind:  kinds[g.rng.intn(len(kinds))],
+			All:   g.rng.chance(0.5),
+			Right: &sql.Stmt{Left: g.genSelect(1, nil, width, false)},
+		}
+	}
+	return st
+}
+
+// genSelect builds one SELECT block. depth bounds subquery nesting; outer
+// is the enclosing scope chain for correlated sublinks (nil for derived
+// tables, which cannot correlate); width forces the output column count
+// (0 = free); orderable allows ORDER BY/LIMIT on this block.
+func (g *Gen) genSelect(depth int, outer *scope, width int, orderable bool) *sql.SelectStmt {
+	sel := &sql.SelectStmt{Limit: -1}
+
+	// FROM: one or two items, each a base table, derived table or join.
+	// Nested blocks stay light: every base relation inside a sublink
+	// multiplies the Gen strategy's CrossBase, so breadth lives at the top
+	// level and depth in the nesting.
+	sc := &scope{outer: outer}
+	nFrom := 1
+	if depth >= 2 && g.rng.chance(0.3) {
+		nFrom = 2
+	}
+	for i := 0; i < nFrom; i++ {
+		ref, rels := g.genFromItem(depth)
+		sel.From = append(sel.From, ref)
+		sc.rels = append(sc.rels, rels...)
+	}
+
+	// WHERE.
+	if g.rng.chance(0.7) {
+		sel.Where = g.genPred(depth, sc, 2)
+	}
+
+	grouped := width == 0 && g.rng.chance(0.18) && len(sc.ownCols()) > 0
+	if grouped {
+		g.genGroupedOutput(sel, sc, orderable)
+		return sel
+	}
+
+	// Plain output list.
+	n := width
+	if n == 0 {
+		n = 1 + g.rng.intn(3)
+	}
+	for i := 0; i < n; i++ {
+		e := g.genScalar(depth, sc, 2)
+		sel.Cols = append(sel.Cols, sql.SelectCol{E: e, Alias: g.freshCol()})
+	}
+	if width == 0 && g.rng.chance(0.12) {
+		sel.Distinct = true
+	}
+
+	if orderable {
+		g.genOrderLimit(sel, sc)
+	}
+	return sel
+}
+
+// genFromItem builds one FROM item and the scope entries it contributes.
+func (g *Gen) genFromItem(depth int) (sql.TableRef, []scopeRel) {
+	roll := g.rng.intn(100)
+	derivedCut, joinCut := 20, 45
+	if depth < 2 {
+		derivedCut, joinCut = 10, 22 // inside subqueries, prefer plain base tables
+	}
+	switch {
+	case roll < derivedCut && depth > 0:
+		// Derived table; cannot correlate outward, may order internally
+		// (exercising order propagation and hidden-key LIMIT cuts).
+		sub := g.genSelect(depth-1, nil, 0, true)
+		alias := g.freshAlias()
+		cols := make([]string, len(sub.Cols))
+		for i, c := range sub.Cols {
+			cols[i] = c.Alias
+		}
+		if sub.Star {
+			cols = nil // not generated: derived tables always alias columns
+		}
+		return sql.TableRef{Sub: &sql.Stmt{Left: sub}, Alias: alias}, []scopeRel{{alias: alias, cols: cols}}
+	case roll < joinCut:
+		// Join of two base tables.
+		l, lrels := g.genBaseRef()
+		r, rrels := g.genBaseRef()
+		lc := lrels[0]
+		rc := rrels[0]
+		on := sql.Expr(sql.Binary{
+			Op: "=",
+			L:  sql.Ident{Qual: lc.alias, Name: lc.cols[g.rng.intn(len(lc.cols))]},
+			R:  sql.Ident{Qual: rc.alias, Name: rc.cols[g.rng.intn(len(rc.cols))]},
+		})
+		return sql.TableRef{Join: &sql.JoinRef{
+			Left: l, Right: r, LeftOuter: g.rng.chance(0.35), On: on,
+		}}, append(lrels, rrels...)
+	default:
+		return g.genBaseRef()
+	}
+}
+
+func (g *Gen) genBaseRef() (sql.TableRef, []scopeRel) {
+	tb := fuzzTables[g.rng.intn(len(fuzzTables))]
+	alias := g.freshAlias()
+	return sql.TableRef{Table: tb.name, Alias: alias}, []scopeRel{{alias: alias, cols: tb.cols}}
+}
+
+// genGroupedOutput turns the block into a GROUP BY query: grouping columns
+// plus aggregates in the select list, optional HAVING, ORDER BY over the
+// output (including, sometimes, an aggregate not in the select list — a
+// hidden-key sort over the aggregation schema).
+func (g *Gen) genGroupedOutput(sel *sql.SelectStmt, sc *scope, orderable bool) {
+	cols := sc.ownCols()
+	nGroup := 1 + g.rng.intn(2)
+	seen := map[string]bool{}
+	for i := 0; i < nGroup; i++ {
+		c := cols[g.rng.intn(len(cols))]
+		key := c.qual + "." + c.name
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		id := sql.Ident{Qual: c.qual, Name: c.name}
+		sel.GroupBy = append(sel.GroupBy, id)
+		sel.Cols = append(sel.Cols, sql.SelectCol{E: id, Alias: g.freshCol()})
+	}
+	nAgg := 1 + g.rng.intn(2)
+	for i := 0; i < nAgg; i++ {
+		sel.Cols = append(sel.Cols, sql.SelectCol{E: g.genAggCall(sc), Alias: g.freshCol()})
+	}
+	if g.rng.chance(0.4) {
+		sel.Having = sql.Binary{Op: cmpOp(g.rng), L: g.genAggCall(sc), R: g.genIntLit()}
+	}
+	if orderable && g.rng.chance(0.5) {
+		n := 1 + g.rng.intn(2)
+		for i := 0; i < n; i++ {
+			var key sql.Expr
+			if g.rng.chance(0.75) {
+				key = sql.Ident{Name: sel.Cols[g.rng.intn(len(sel.Cols))].Alias}
+			} else {
+				key = g.genAggCall(sc) // possibly not in the select list
+			}
+			sel.OrderBy = append(sel.OrderBy, sql.OrderKey{E: key, Desc: g.rng.chance(0.5)})
+		}
+		g.maybeLimit(sel)
+	}
+}
+
+func (g *Gen) genAggCall(sc *scope) sql.Expr {
+	fns := []string{"count", "sum", "min", "max", "avg"}
+	fn := fns[g.rng.intn(len(fns))]
+	if fn == "count" && g.rng.chance(0.3) {
+		return sql.Call{Name: "count", Star: true}
+	}
+	cols := sc.ownCols()
+	c := cols[g.rng.intn(len(cols))]
+	return sql.Call{
+		Name:     fn,
+		Args:     []sql.Expr{sql.Ident{Qual: c.qual, Name: c.name}},
+		Distinct: g.rng.chance(0.15),
+	}
+}
+
+// genOrderLimit adds ORDER BY (over aliases, scope columns — the
+// hidden-key path — or expressions) and, only under an order, LIMIT/OFFSET
+// (an unordered limit's row choice is unspecified, so the differential
+// would false-positive on it).
+func (g *Gen) genOrderLimit(sel *sql.SelectStmt, sc *scope) {
+	if !g.rng.chance(0.5) {
+		return
+	}
+	n := 1 + g.rng.intn(2)
+	for i := 0; i < n; i++ {
+		var key sql.Expr
+		switch roll := g.rng.intn(100); {
+		case roll < 45:
+			key = sql.Ident{Name: sel.Cols[g.rng.intn(len(sel.Cols))].Alias}
+		case roll < 80 && !sel.Distinct:
+			// A scope column, usually not projected: the hidden-key path.
+			cols := sc.ownCols()
+			c := cols[g.rng.intn(len(cols))]
+			key = sql.Ident{Qual: c.qual, Name: c.name}
+		default:
+			key = sql.Binary{
+				Op: "+",
+				L:  sql.Ident{Name: sel.Cols[g.rng.intn(len(sel.Cols))].Alias},
+				R:  g.genIntLit(),
+			}
+		}
+		sel.OrderBy = append(sel.OrderBy, sql.OrderKey{E: key, Desc: g.rng.chance(0.5)})
+	}
+	g.maybeLimit(sel)
+}
+
+func (g *Gen) maybeLimit(sel *sql.SelectStmt) {
+	if len(sel.OrderBy) == 0 || !g.rng.chance(0.4) {
+		return
+	}
+	sel.Limit = g.rng.intn(5)
+	if g.rng.chance(0.3) {
+		sel.Offset = g.rng.intn(3)
+	}
+}
+
+func cmpOp(r *rng) string {
+	ops := []string{"=", "<>", "<", "<=", ">", ">="}
+	return ops[r.intn(len(ops))]
+}
+
+func (g *Gen) genIntLit() sql.Expr {
+	n := int64(g.rng.intn(6) - 1)
+	return sql.NumLit{Int: n}
+}
+
+// genColRef picks a column reference: usually from the current scope,
+// sometimes (when enclosing scopes exist) a correlated outer reference.
+// References are always alias-qualified — aliases are generation-unique, so
+// qualification is never ambiguous.
+func (g *Gen) genColRef(sc *scope) sql.Expr {
+	pick := sc
+	if pick.outer != nil && g.rng.chance(0.3) {
+		pick = pick.outer
+		if pick.outer != nil && g.rng.chance(0.2) {
+			pick = pick.outer
+		}
+	}
+	cols := pick.ownCols()
+	if len(cols) == 0 {
+		cols = sc.ownCols()
+	}
+	c := cols[g.rng.intn(len(cols))]
+	return sql.Ident{Qual: c.qual, Name: c.name}
+}
+
+// genScalar builds an integer-valued expression over the scope.
+func (g *Gen) genScalar(depth int, sc *scope, complexity int) sql.Expr {
+	roll := g.rng.intn(100)
+	switch {
+	case complexity <= 0 || roll < 55:
+		return g.genColRef(sc)
+	case roll < 65:
+		return g.genIntLit()
+	case roll < 80:
+		ops := []string{"+", "-", "*"}
+		return sql.Binary{
+			Op: ops[g.rng.intn(len(ops))],
+			L:  g.genScalar(depth, sc, complexity-1),
+			R:  g.genScalar(depth, sc, complexity-1),
+		}
+	case roll < 92:
+		c := sql.Case{}
+		n := 1 + g.rng.intn(2)
+		for i := 0; i < n; i++ {
+			c.Whens = append(c.Whens, sql.CaseWhen{
+				Cond:   g.genPred(depth, sc, complexity-1),
+				Result: g.genScalar(depth, sc, complexity-1),
+			})
+		}
+		if g.rng.chance(0.7) {
+			c.Else = g.genScalar(depth, sc, complexity-1)
+		}
+		return c
+	default:
+		if depth > 0 {
+			return g.genScalarSub(depth, sc)
+		}
+		return g.genColRef(sc)
+	}
+}
+
+// genScalarSub builds a scalar subquery guaranteed to yield exactly one
+// row: a global aggregate (no GROUP BY) over one table, optionally
+// correlated with the enclosing scope.
+func (g *Gen) genScalarSub(depth int, sc *scope) sql.Expr {
+	ref, rels := g.genBaseRef()
+	inner := &scope{rels: rels, outer: sc}
+	sub := &sql.SelectStmt{Limit: -1, From: []sql.TableRef{ref}}
+	if g.rng.chance(0.6) {
+		sub.Where = g.genPred(depth-1, inner, 1)
+	}
+	agg := g.genAggCall(inner)
+	sub.Cols = []sql.SelectCol{{E: agg, Alias: g.freshCol()}}
+	return sql.ScalarSub{Sub: &sql.Stmt{Left: sub}}
+}
+
+// genSub builds a subquery for IN/ANY/ALL (width 1) or EXISTS (width 0 =
+// free), possibly correlated with the enclosing scope chain.
+func (g *Gen) genSub(depth int, sc *scope, width int) *sql.Stmt {
+	var outer *scope
+	if g.rng.chance(0.55) {
+		outer = sc // correlation allowed
+	}
+	sel := g.genSelect(depth-1, outer, width, g.rng.chance(0.15))
+	return &sql.Stmt{Left: sel}
+}
+
+// genPred builds a boolean predicate over the scope.
+func (g *Gen) genPred(depth int, sc *scope, complexity int) sql.Expr {
+	roll := g.rng.intn(100)
+	sub := depth > 0 && complexity > 0
+	switch {
+	case complexity <= 0 || roll < 28:
+		r := sql.Expr(g.genIntLit())
+		if g.rng.chance(0.5) {
+			r = g.genColRef(sc)
+		}
+		return sql.Binary{Op: cmpOp(g.rng), L: g.genColRef(sc), R: r}
+	case roll < 38:
+		return sql.Binary{Op: "AND", L: g.genPred(depth, sc, complexity-1), R: g.genPred(depth, sc, complexity-1)}
+	case roll < 46:
+		return sql.Binary{Op: "OR", L: g.genPred(depth, sc, complexity-1), R: g.genPred(depth, sc, complexity-1)}
+	case roll < 52:
+		return sql.Unary{Op: "NOT", E: g.genPred(depth, sc, complexity-1)}
+	case roll < 59:
+		return sql.IsNull{E: g.genColRef(sc), Not: g.rng.chance(0.4)}
+	case roll < 65:
+		return sql.Between{E: g.genColRef(sc), Lo: g.genIntLit(), Hi: g.genIntLit(), Not: g.rng.chance(0.3)}
+	case roll < 71:
+		n := 1 + g.rng.intn(3)
+		list := make([]sql.Expr, n)
+		for i := range list {
+			list[i] = g.genIntLit()
+		}
+		return sql.InList{E: g.genColRef(sc), List: list, Not: g.rng.chance(0.3)}
+	case roll < 79 && sub:
+		return sql.InSub{E: g.genScalar(0, sc, 1), Sub: g.genSub(depth, sc, 1), Not: g.rng.chance(0.3)}
+	case roll < 86 && sub:
+		return sql.Quant{
+			Op:  cmpOp(g.rng),
+			Any: g.rng.chance(0.5),
+			E:   g.genScalar(0, sc, 1),
+			Sub: g.genSub(depth, sc, 1),
+		}
+	case roll < 95 && sub:
+		return sql.Exists{Sub: g.genSub(depth, sc, 0), Not: g.rng.chance(0.35)}
+	default:
+		return sql.Binary{Op: cmpOp(g.rng), L: g.genScalar(0, sc, 1), R: g.genScalar(0, sc, 1)}
+	}
+}

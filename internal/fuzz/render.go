@@ -1,0 +1,276 @@
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+
+	"perm/internal/sql"
+)
+
+// Render turns a statement AST back into SQL text the parser accepts. The
+// generator builds ASTs (so the shrinker can reduce them structurally) and
+// renders them for execution and for the checked-in corpus. Expressions are
+// parenthesized defensively; the parser strips the parentheses again, so
+// Render ∘ Parse is the identity on the algebra.
+func Render(st *sql.Stmt) string {
+	var b strings.Builder
+	renderStmt(&b, st)
+	return b.String()
+}
+
+func renderStmt(b *strings.Builder, st *sql.Stmt) {
+	renderSelect(b, st.Left)
+	if st.SetOp != nil {
+		b.WriteByte(' ')
+		b.WriteString(st.SetOp.Kind)
+		if st.SetOp.All {
+			b.WriteString(" ALL")
+		}
+		b.WriteByte(' ')
+		renderStmt(b, st.SetOp.Right)
+	}
+}
+
+func renderSelect(b *strings.Builder, sel *sql.SelectStmt) {
+	b.WriteString("SELECT")
+	if sel.Provenance {
+		b.WriteString(" PROVENANCE")
+	}
+	if sel.Distinct {
+		b.WriteString(" DISTINCT")
+	}
+	if sel.Star {
+		b.WriteString(" *")
+	} else {
+		for i, c := range sel.Cols {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteByte(' ')
+			renderExpr(b, c.E)
+			if c.Alias != "" {
+				b.WriteString(" AS ")
+				b.WriteString(c.Alias)
+			}
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, ref := range sel.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		renderTableRef(b, ref)
+	}
+	if sel.Where != nil {
+		b.WriteString(" WHERE ")
+		renderExpr(b, sel.Where)
+	}
+	if len(sel.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range sel.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, g)
+		}
+	}
+	if sel.Having != nil {
+		b.WriteString(" HAVING ")
+		renderExpr(b, sel.Having)
+	}
+	if len(sel.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, k := range sel.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, k.E)
+			if k.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if sel.Limit >= 0 {
+		fmt.Fprintf(b, " LIMIT %d", sel.Limit)
+	}
+	if sel.Offset > 0 {
+		fmt.Fprintf(b, " OFFSET %d", sel.Offset)
+	}
+}
+
+func renderTableRef(b *strings.Builder, ref sql.TableRef) {
+	switch {
+	case ref.Join != nil:
+		renderTableRef(b, ref.Join.Left)
+		if ref.Join.LeftOuter {
+			b.WriteString(" LEFT JOIN ")
+		} else {
+			b.WriteString(" JOIN ")
+		}
+		renderTableRef(b, ref.Join.Right)
+		b.WriteString(" ON ")
+		renderExpr(b, ref.Join.On)
+	case ref.Sub != nil:
+		b.WriteByte('(')
+		renderStmt(b, ref.Sub)
+		b.WriteString(") AS ")
+		b.WriteString(ref.Alias)
+	default:
+		b.WriteString(ref.Table)
+		if ref.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(ref.Alias)
+		}
+	}
+}
+
+func renderExpr(b *strings.Builder, e sql.Expr) {
+	switch x := e.(type) {
+	case sql.Ident:
+		if x.Qual != "" {
+			b.WriteString(x.Qual)
+			b.WriteByte('.')
+		}
+		b.WriteString(x.Name)
+	case sql.NumLit:
+		if x.IsFlt {
+			fmt.Fprintf(b, "%g", x.Float)
+		} else if x.Int < 0 {
+			fmt.Fprintf(b, "(0 - %d)", -x.Int)
+		} else {
+			fmt.Fprintf(b, "%d", x.Int)
+		}
+	case sql.StrLit:
+		b.WriteByte('\'')
+		b.WriteString(strings.ReplaceAll(x.S, "'", "''"))
+		b.WriteByte('\'')
+	case sql.BoolLit:
+		if x.B {
+			b.WriteString("TRUE")
+		} else {
+			b.WriteString("FALSE")
+		}
+	case sql.NullLit:
+		b.WriteString("NULL")
+	case sql.Binary:
+		b.WriteByte('(')
+		renderExpr(b, x.L)
+		b.WriteByte(' ')
+		b.WriteString(x.Op)
+		b.WriteByte(' ')
+		renderExpr(b, x.R)
+		b.WriteByte(')')
+	case sql.Unary:
+		b.WriteByte('(')
+		b.WriteString(x.Op)
+		b.WriteByte(' ')
+		renderExpr(b, x.E)
+		b.WriteByte(')')
+	case sql.IsNull:
+		b.WriteByte('(')
+		renderExpr(b, x.E)
+		if x.Not {
+			b.WriteString(" IS NOT NULL)")
+		} else {
+			b.WriteString(" IS NULL)")
+		}
+	case sql.InList:
+		b.WriteByte('(')
+		renderExpr(b, x.E)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		for i, it := range x.List {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, it)
+		}
+		b.WriteString("))")
+	case sql.InSub:
+		b.WriteByte('(')
+		renderExpr(b, x.E)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		renderStmt(b, x.Sub)
+		b.WriteString("))")
+	case sql.Quant:
+		b.WriteByte('(')
+		renderExpr(b, x.E)
+		b.WriteByte(' ')
+		b.WriteString(x.Op)
+		if x.Any {
+			b.WriteString(" ANY (")
+		} else {
+			b.WriteString(" ALL (")
+		}
+		renderStmt(b, x.Sub)
+		b.WriteString("))")
+	case sql.Exists:
+		// NOT EXISTS re-parses as Unary{NOT, Exists}; render that same
+		// shape so Render ∘ Parse is a fixpoint.
+		if x.Not {
+			b.WriteString("(NOT (EXISTS (")
+			renderStmt(b, x.Sub)
+			b.WriteString(")))")
+			return
+		}
+		b.WriteString("(EXISTS (")
+		renderStmt(b, x.Sub)
+		b.WriteString("))")
+	case sql.ScalarSub:
+		b.WriteByte('(')
+		renderStmt(b, x.Sub)
+		b.WriteByte(')')
+	case sql.Call:
+		b.WriteString(x.Name)
+		b.WriteByte('(')
+		if x.Star {
+			b.WriteByte('*')
+		} else {
+			if x.Distinct {
+				b.WriteString("DISTINCT ")
+			}
+			for i, a := range x.Args {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				renderExpr(b, a)
+			}
+		}
+		b.WriteByte(')')
+	case sql.Between:
+		b.WriteByte('(')
+		renderExpr(b, x.E)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN ")
+		renderExpr(b, x.Lo)
+		b.WriteString(" AND ")
+		renderExpr(b, x.Hi)
+		b.WriteByte(')')
+	case sql.Case:
+		b.WriteString("CASE")
+		if x.Operand != nil {
+			b.WriteByte(' ')
+			renderExpr(b, x.Operand)
+		}
+		for _, w := range x.Whens {
+			b.WriteString(" WHEN ")
+			renderExpr(b, w.Cond)
+			b.WriteString(" THEN ")
+			renderExpr(b, w.Result)
+		}
+		if x.Else != nil {
+			b.WriteString(" ELSE ")
+			renderExpr(b, x.Else)
+		}
+		b.WriteString(" END")
+	default:
+		fmt.Fprintf(b, "/*unrenderable %T*/", e)
+	}
+}

@@ -1,0 +1,271 @@
+package fuzz
+
+import (
+	"strings"
+
+	"perm"
+	"perm/internal/sql"
+)
+
+// Shrink greedily minimizes a failing query: it tries structural
+// reductions (drop clauses, unwrap joins, simplify predicates, reduce
+// subqueries) and keeps any strictly shorter variant that still compiles
+// and still fails the differential oracle with the same failure class — a
+// reduction must preserve the bug it witnesses, not stumble into a
+// different one. budget bounds the number of oracle runs, which dominate
+// the cost.
+func Shrink(db *perm.DB, q *Query, budget int) *Query {
+	orig := Check(db, q)
+	if orig == nil {
+		return q // not failing; nothing to preserve
+	}
+	wantClass := failureClass(orig)
+	env := sql.Env{Catalog: db.Catalog()}
+	cur := q
+	improved := true
+	for improved && budget > 0 {
+		improved = false
+		for _, cand := range stmtCandidates(cur.Stmt) {
+			cq := Finalize(cand)
+			if len(cq.SQL) >= len(cur.SQL) {
+				continue // only strictly shrinking steps, so the loop terminates
+			}
+			if _, err := sql.CompileEnv(env, cq.SQL); err != nil {
+				continue // the reduction broke validity (width/alias constraints)
+			}
+			budget--
+			if err := Check(db, cq); err != nil && failureClass(err) == wantClass {
+				cur = cq
+				improved = true
+				break // restart from the smaller query
+			}
+			if budget <= 0 {
+				break
+			}
+		}
+	}
+	return cur
+}
+
+// failureClass buckets an oracle failure so the shrinker preserves the
+// original defect: the tripped assertion plus, for execution errors, the
+// leading words of the underlying error message.
+func failureClass(err error) string {
+	msg := err.Error()
+	for _, tag := range []string{
+		"plain rows disagree",
+		"violates ORDER BY",
+		"error class disagrees",
+		"provenance rows disagree",
+		"visible rows differ",
+		"provenance bags disagree",
+	} {
+		if strings.Contains(msg, tag) {
+			return tag
+		}
+	}
+	// Execution-error failures: key on the error's own leading words so a
+	// reduction cannot swap one error for an unrelated one.
+	words := strings.Fields(msg)
+	if len(words) > 8 {
+		words = words[:8]
+	}
+	return strings.Join(words, " ")
+}
+
+// --- deep copies (expressions are immutable values and may be shared) ---
+
+func copyStmt(st *sql.Stmt) *sql.Stmt {
+	if st == nil {
+		return nil
+	}
+	c := &sql.Stmt{Left: copySelect(st.Left)}
+	if st.SetOp != nil {
+		c.SetOp = &sql.SetOpClause{Kind: st.SetOp.Kind, All: st.SetOp.All, Right: copyStmt(st.SetOp.Right)}
+	}
+	return c
+}
+
+func copySelect(s *sql.SelectStmt) *sql.SelectStmt {
+	c := *s
+	c.Cols = append([]sql.SelectCol(nil), s.Cols...)
+	c.From = append([]sql.TableRef(nil), s.From...)
+	c.GroupBy = append([]sql.Expr(nil), s.GroupBy...)
+	c.OrderBy = append([]sql.OrderKey(nil), s.OrderBy...)
+	return &c
+}
+
+// --- candidate enumeration: every result is a fresh tree with one change ---
+
+func stmtCandidates(st *sql.Stmt) []*sql.Stmt {
+	var out []*sql.Stmt
+	if st.SetOp != nil {
+		out = append(out, &sql.Stmt{Left: copySelect(st.Left)}) // drop the set operation
+		out = append(out, copyStmt(st.SetOp.Right))             // keep only the right side
+		for _, v := range selectCandidates(st.Left) {
+			c := copyStmt(st)
+			c.Left = v
+			out = append(out, c)
+		}
+		for _, v := range stmtCandidates(st.SetOp.Right) {
+			c := copyStmt(st)
+			c.SetOp.Right = v
+			out = append(out, c)
+		}
+		return out
+	}
+	for _, v := range selectCandidates(st.Left) {
+		out = append(out, &sql.Stmt{Left: v})
+	}
+	return out
+}
+
+func selectCandidates(s *sql.SelectStmt) []*sql.SelectStmt {
+	var out []*sql.SelectStmt
+	mod := func(fn func(c *sql.SelectStmt)) {
+		c := copySelect(s)
+		fn(c)
+		out = append(out, c)
+	}
+	if s.Distinct {
+		mod(func(c *sql.SelectStmt) { c.Distinct = false })
+	}
+	if s.Where != nil {
+		mod(func(c *sql.SelectStmt) { c.Where = nil })
+		for _, v := range exprCandidates(s.Where) {
+			v := v
+			mod(func(c *sql.SelectStmt) { c.Where = v })
+		}
+	}
+	if s.Having != nil {
+		mod(func(c *sql.SelectStmt) { c.Having = nil })
+	}
+	if len(s.GroupBy) > 0 {
+		mod(func(c *sql.SelectStmt) { c.GroupBy, c.Having = nil, nil })
+	}
+	if len(s.OrderBy) > 0 {
+		mod(func(c *sql.SelectStmt) { c.OrderBy = nil; c.Limit = -1; c.Offset = 0 })
+		for i := range s.OrderBy {
+			i := i
+			mod(func(c *sql.SelectStmt) { c.OrderBy = append(c.OrderBy[:i:i], c.OrderBy[i+1:]...) })
+		}
+	}
+	if s.Limit >= 0 {
+		mod(func(c *sql.SelectStmt) { c.Limit = -1 })
+	}
+	if s.Offset > 0 {
+		mod(func(c *sql.SelectStmt) { c.Offset = 0 })
+	}
+	if len(s.Cols) > 1 {
+		for i := range s.Cols {
+			i := i
+			mod(func(c *sql.SelectStmt) { c.Cols = append(c.Cols[:i:i], c.Cols[i+1:]...) })
+		}
+	}
+	for i, col := range s.Cols {
+		for _, v := range exprCandidates(col.E) {
+			i, v := i, v
+			mod(func(c *sql.SelectStmt) { c.Cols[i] = sql.SelectCol{E: v, Alias: c.Cols[i].Alias} })
+		}
+	}
+	if len(s.From) > 1 {
+		for i := range s.From {
+			i := i
+			mod(func(c *sql.SelectStmt) { c.From = append(c.From[:i:i], c.From[i+1:]...) })
+		}
+	}
+	for i, ref := range s.From {
+		for _, v := range refCandidates(ref) {
+			i, v := i, v
+			mod(func(c *sql.SelectStmt) { c.From[i] = v })
+		}
+	}
+	return out
+}
+
+func refCandidates(ref sql.TableRef) []sql.TableRef {
+	var out []sql.TableRef
+	switch {
+	case ref.Join != nil:
+		out = append(out, ref.Join.Left, ref.Join.Right) // unwrap to one side
+		for _, v := range refCandidates(ref.Join.Left) {
+			out = append(out, sql.TableRef{Join: &sql.JoinRef{Left: v, Right: ref.Join.Right, LeftOuter: ref.Join.LeftOuter, On: ref.Join.On}})
+		}
+		for _, v := range refCandidates(ref.Join.Right) {
+			out = append(out, sql.TableRef{Join: &sql.JoinRef{Left: ref.Join.Left, Right: v, LeftOuter: ref.Join.LeftOuter, On: ref.Join.On}})
+		}
+		if ref.Join.LeftOuter {
+			out = append(out, sql.TableRef{Join: &sql.JoinRef{Left: ref.Join.Left, Right: ref.Join.Right, On: ref.Join.On}})
+		}
+	case ref.Sub != nil:
+		for _, v := range stmtCandidates(ref.Sub) {
+			out = append(out, sql.TableRef{Sub: v, Alias: ref.Alias})
+		}
+	}
+	return out
+}
+
+// exprCandidates proposes simpler replacements for an expression: constant
+// truth values for predicates, operands for composites, reduced subqueries
+// for sublinks. Invalid proposals (a boolean where a number belongs) are
+// filtered by the compile check in Shrink.
+func exprCandidates(e sql.Expr) []sql.Expr {
+	var out []sql.Expr
+	simpler := []sql.Expr{sql.BoolLit{B: true}, sql.NumLit{Int: 1}}
+	switch x := e.(type) {
+	case sql.Binary:
+		out = append(out, x.L, x.R)
+		for _, v := range exprCandidates(x.L) {
+			out = append(out, sql.Binary{Op: x.Op, L: v, R: x.R})
+		}
+		for _, v := range exprCandidates(x.R) {
+			out = append(out, sql.Binary{Op: x.Op, L: x.L, R: v})
+		}
+	case sql.Unary:
+		out = append(out, x.E)
+	case sql.IsNull:
+		out = append(out, simpler...)
+	case sql.InList:
+		out = append(out, simpler...)
+		if len(x.List) > 1 {
+			out = append(out, sql.InList{E: x.E, List: x.List[:1], Not: x.Not})
+		}
+	case sql.InSub:
+		out = append(out, simpler...)
+		for _, v := range stmtCandidates(x.Sub) {
+			out = append(out, sql.InSub{E: x.E, Sub: v, Not: x.Not})
+		}
+	case sql.Quant:
+		out = append(out, simpler...)
+		for _, v := range stmtCandidates(x.Sub) {
+			out = append(out, sql.Quant{Op: x.Op, Any: x.Any, E: x.E, Sub: v})
+		}
+	case sql.Exists:
+		out = append(out, simpler...)
+		for _, v := range stmtCandidates(x.Sub) {
+			out = append(out, sql.Exists{Sub: v, Not: x.Not})
+		}
+	case sql.ScalarSub:
+		out = append(out, sql.NumLit{Int: 1})
+		for _, v := range stmtCandidates(x.Sub) {
+			out = append(out, sql.ScalarSub{Sub: v})
+		}
+	case sql.Between:
+		out = append(out, simpler...)
+	case sql.Case:
+		for _, w := range x.Whens {
+			out = append(out, w.Result)
+		}
+		if x.Else != nil {
+			out = append(out, x.Else)
+		}
+		if len(x.Whens) > 1 {
+			out = append(out, sql.Case{Operand: x.Operand, Whens: x.Whens[:1], Else: x.Else})
+		}
+	case sql.Call:
+		if len(x.Args) == 1 {
+			out = append(out, x.Args[0])
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+-- CASE WHEN was a parse error before the front end gained it; the lowered
+-- expression must agree across every strategy and executor mode.
+SELECT f1.a AS x1, CASE WHEN (f1.a > 1) THEN f1.b ELSE (0 - f1.b) END AS x2 FROM r AS f1

@@ -1,0 +1,4 @@
+-- Differential anchor: equality-correlated EXISTS — the canonical input
+-- for the UnnX X5 decorrelation — must agree between Gen, UnnX and Auto
+-- under every executor mode.
+SELECT f1.a AS x1 FROM r AS f1 WHERE (EXISTS (SELECT f2.c AS x2 FROM s AS f2 WHERE (f2.d = f1.b)))

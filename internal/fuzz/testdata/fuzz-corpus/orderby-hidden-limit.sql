@@ -1,0 +1,6 @@
+-- Minimized repro: ORDER BY referencing a column the SELECT list does not
+-- project, combined with LIMIT, hard-errored ("eval: unknown attribute b")
+-- before the translator learned to extend the projection with hidden
+-- sort-key columns. The no-LIMIT form of the same bug silently returned
+-- unsorted rows (asserted exactly in the perm package regression tests).
+SELECT f1.a AS x1 FROM r AS f1 ORDER BY f1.b LIMIT 2

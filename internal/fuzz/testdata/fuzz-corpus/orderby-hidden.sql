@@ -1,0 +1,4 @@
+-- ORDER BY on a non-projected (hidden) column without LIMIT: all engine
+-- modes must agree on the presented sequence, which is sorted by the
+-- hidden key.
+SELECT f1.a AS x1 FROM r AS f1 ORDER BY f1.b

@@ -1,0 +1,4 @@
+-- Differential anchor: a set operation over a grouped arm with NULL group
+-- keys and duplicate rows exercises the bag/set boundary of every
+-- strategy's set-operation rewrite.
+SELECT f1.b AS x1 FROM r AS f1 UNION ALL SELECT f2.d AS x2 FROM s AS f2 GROUP BY f2.d

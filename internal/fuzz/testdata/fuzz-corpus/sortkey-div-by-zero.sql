@@ -1,0 +1,6 @@
+-- expect-error: division by zero
+-- A failing sort-key expression must surface as the query's error in every
+-- executor mode. Before the fix, division by zero yielded NULL and the
+-- presentation sort swallowed key-evaluation errors, so the query
+-- "succeeded" with rows in arbitrary order.
+SELECT f1.a AS x1 FROM r AS f1 ORDER BY (f1.a / 0)

@@ -85,11 +85,21 @@ func (rw *rewriter) genProject(p *algebra.Project) (algebra.Op, []ProvSource, er
 //   - the membership condition
 //
 //     Csub+ = EXISTS(σ_{Jsub ∧ P(Tsub+) =n Tsub′}(Π_{P(Tsub+)→Tsub′}(Tsub+)))
-//     ∨ (¬EXISTS(Tsub) ∧ P(Tsub+) =n null)
+//     ∨ (¬EXISTS(σ_{Jsub}(Tsub+)) ∧ P(Tsub+) =n null)
 //
 // where Jsub encodes the influence role (reqtrue/reqfalse) via the actual
 // sublink value Csub — the literal original sublink expression, re-evaluated
 // inside the EXISTS — and C′sub = A op t over the current Tsub+ tuple.
+//
+// The second disjunct pairs a tuple with the all-NULL CrossBase row when no
+// inner tuple plays an influence role. The paper states it as ¬EXISTS(Tsub)
+// (an empty sublink result); filtering with Jsub generalizes that to the
+// three-valued cases the differential fuzzer surfaced — a NULL test value,
+// or an ANY/ALL over rows whose comparisons are all Unknown — where the
+// sublink's value is Unknown, the tuple still reaches a projection's output
+// (or passes a disjunctive selection through its other arm), and no inner
+// tuple certifies or refutes the sublink. With Jsub ≡ true (EXISTS and
+// scalar sublinks) the condition degenerates to the paper's form.
 func (rw *rewriter) genSublink(sl algebra.Sublink) (cb algebra.Op, prov []ProvSource, csubPlus algebra.Expr, err error) {
 	subPlus, subProv, err := rw.rewrite(sl.Query)
 	if err != nil {
@@ -153,8 +163,15 @@ func (rw *rewriter) genSublink(sl algebra.Sublink) (cb algebra.Op, prov []ProvSo
 		Kind:  algebra.ExistsSublink,
 		Query: &algebra.Select{Child: inner, Cond: algebra.Conj(append([]algebra.Expr{j}, eqConds...)...)},
 	}
+	// For EXISTS and scalar sublinks Jsub is the constant true, so the
+	// role-filtered probe reduces to the paper's ¬EXISTS(Tsub) — probe the
+	// original (cheaper) sublink query there instead of the rewritten plan.
+	emptyProbe := algebra.Op(sl.Query)
+	if sl.Kind == algebra.AnySublink || sl.Kind == algebra.AllSublink {
+		emptyProbe = &algebra.Select{Child: inner, Cond: j}
+	}
 	emptyCase := algebra.Conj(append([]algebra.Expr{
-		algebra.Not{E: algebra.Sublink{Kind: algebra.ExistsSublink, Query: sl.Query}},
+		algebra.Not{E: algebra.Sublink{Kind: algebra.ExistsSublink, Query: emptyProbe}},
 	}, nullConds...)...)
 
 	return cb, subProv, algebra.Or{L: membership, R: emptyCase}, nil

@@ -154,6 +154,22 @@ type Between struct {
 	Not    bool
 }
 
+// CaseWhen is one WHEN … THEN … branch of a Case expression.
+type CaseWhen struct {
+	Cond   Expr
+	Result Expr
+}
+
+// Case is "CASE [operand] WHEN … THEN … [WHEN …] [ELSE …] END". A non-nil
+// Operand selects the simple form, whose WHEN expressions are compared to
+// the operand with =; otherwise the WHEN expressions are boolean conditions
+// (searched CASE).
+type Case struct {
+	Operand Expr // nil for searched CASE
+	Whens   []CaseWhen
+	Else    Expr // nil when absent (result NULL)
+}
+
 func (Ident) sqlExpr()     {}
 func (NumLit) sqlExpr()    {}
 func (StrLit) sqlExpr()    {}
@@ -169,3 +185,4 @@ func (Exists) sqlExpr()    {}
 func (ScalarSub) sqlExpr() {}
 func (Call) sqlExpr()      {}
 func (Between) sqlExpr()   {}
+func (Case) sqlExpr()      {}

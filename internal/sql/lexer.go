@@ -61,7 +61,8 @@ var keywords = map[string]bool{
 	"INNER": true, "LEFT": true, "OUTER": true, "ON": true, "UNION": true,
 	"INTERSECT": true, "EXCEPT": true, "ASC": true, "DESC": true,
 	"BETWEEN": true, "LIKE": true, "CREATE": true, "VIEW": true,
-	"DROP": true,
+	"DROP": true, "CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
+	"END": true,
 }
 
 // lex tokenizes the input. Errors carry byte positions for messages.

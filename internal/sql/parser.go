@@ -417,6 +417,49 @@ func (p *parser) parsePredicate() (Expr, error) {
 	return l, nil
 }
 
+// parseCase parses the remainder of a CASE expression after the CASE
+// keyword: both the searched form (CASE WHEN cond THEN r …) and the simple
+// form (CASE operand WHEN v THEN r …), with an optional ELSE and a required
+// END.
+func (p *parser) parseCase() (Expr, error) {
+	c := Case{}
+	if !(p.peek().kind == tokKeyword && p.peek().text == "WHEN") {
+		operand, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = operand
+	}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		result, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, CaseWhen{Cond: cond, Result: result})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("expected WHEN in CASE expression, found %s", p.peek())
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expect(tokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
 func (p *parser) parseParenStmt() (*Stmt, error) {
 	if err := p.expect(tokSymbol, "("); err != nil {
 		return nil, err
@@ -518,6 +561,9 @@ func (p *parser) parsePrimary() (Expr, error) {
 		case "FALSE":
 			p.next()
 			return BoolLit{B: false}, nil
+		case "CASE":
+			p.next()
+			return p.parseCase()
 		}
 		return nil, p.errf("unexpected keyword %s in expression", t.text)
 	case tokIdent:

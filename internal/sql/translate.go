@@ -5,6 +5,7 @@ import (
 
 	"perm/internal/algebra"
 	"perm/internal/catalog"
+	"perm/internal/schema"
 	"perm/internal/types"
 )
 
@@ -14,6 +15,16 @@ type Translated struct {
 	Plan algebra.Op
 	// Provenance reports whether the statement used SELECT PROVENANCE.
 	Provenance bool
+	// Hidden is the number of trailing hidden sort-key columns in Plan's
+	// output schema. ORDER BY may reference attributes the SELECT list does
+	// not project (`SELECT a FROM r ORDER BY b`); the translator extends the
+	// top-level projection with columns computing those keys so the sort and
+	// any LIMIT cut can see them. The result presentation layer sorts on
+	// them and then strips them — they are never part of the query's visible
+	// result. Nested query blocks strip their hidden columns themselves
+	// (their presentation order is not observable), so Hidden is only ever
+	// non-zero for the top-level select.
+	Hidden int
 }
 
 // Translate lowers a parsed statement to the extended relational algebra,
@@ -25,7 +36,7 @@ func Translate(cat *catalog.Catalog, stmt *Stmt) (*Translated, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Translated{Plan: plan, Provenance: prov}, nil
+	return &Translated{Plan: plan, Provenance: prov, Hidden: tr.hidden}, nil
 }
 
 // Compile parses and translates in one step.
@@ -42,18 +53,27 @@ type translator struct {
 	views     map[string]*ViewDef
 	viewStack []string
 	fresh     int
+	// hidden is the number of trailing hidden sort-key columns the
+	// top-level select block added to its projection (see Translated.Hidden).
+	hidden int
 }
 
+// freshName returns an internal attribute name (grouping columns, hidden
+// sort keys, aggregate results). The '#' cannot appear in a lexed
+// identifier, so these names can never collide with user columns or
+// aliases — `SELECT a AS ord1 … GROUP BY g1` stays unambiguous.
 func (tr *translator) freshName(stem string) string {
 	tr.fresh++
-	return fmt.Sprintf("%s%d", stem, tr.fresh)
+	return fmt.Sprintf("%s#%d", stem, tr.fresh)
 }
 
 func (tr *translator) stmt(s *Stmt, top bool) (algebra.Op, error) {
 	if s.Left.Provenance && !top {
 		return nil, fmt.Errorf("sql: SELECT PROVENANCE is only allowed at the top level")
 	}
-	left, err := tr.selectStmt(s.Left)
+	// Set-operation arms are nested blocks: their presentation order is not
+	// observable, so any hidden sort-key columns are stripped inside.
+	left, err := tr.selectStmt(s.Left, top && s.SetOp == nil)
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +104,7 @@ func (tr *translator) stmt(s *Stmt, top bool) (algebra.Op, error) {
 	return &algebra.SetOp{Kind: kind, Bag: s.SetOp.All, L: left, R: right}, nil
 }
 
-func (tr *translator) selectStmt(sel *SelectStmt) (algebra.Op, error) {
+func (tr *translator) selectStmt(sel *SelectStmt, top bool) (algebra.Op, error) {
 	if len(sel.From) == 0 {
 		return nil, fmt.Errorf("sql: missing FROM clause")
 	}
@@ -114,15 +134,23 @@ func (tr *translator) selectStmt(sel *SelectStmt) (algebra.Op, error) {
 	// grouping expressions become references to grouping columns).
 	aggs := &aggCollector{tr: tr}
 	var groupExprs []algebra.GroupExpr
+	groupNames := map[string]bool{}
 	for _, g := range sel.GroupBy {
 		ge, err := tr.expr(g, nil)
 		if err != nil {
 			return nil, err
 		}
-		name := tr.freshName("g")
-		if id, ok := g.(Ident); ok {
+		name := ""
+		// Name the grouping column after the grouped identifier — unless two
+		// grouping columns share an identifier name (GROUP BY x.a, y.a),
+		// which would make the post-aggregation schema ambiguous.
+		if id, ok := g.(Ident); ok && !groupNames[id.Name] {
 			name = id.Name
 		}
+		if name == "" {
+			name = tr.freshName("g")
+		}
+		groupNames[name] = true
 		groupExprs = append(groupExprs, algebra.GroupExpr{E: ge, As: name})
 	}
 	// Sublinks in GROUP BY are evaluated by a projection below the
@@ -206,20 +234,93 @@ func (tr *translator) selectStmt(sel *SelectStmt) (algebra.Op, error) {
 		return nil, fmt.Errorf("sql: HAVING requires GROUP BY or aggregates")
 	}
 
-	plan = &algebra.Project{Child: plan, Cols: outCols, Distinct: sel.Distinct}
+	childSch := plan.Schema() // pre-projection schema, for hidden sort keys
+	proj := &algebra.Project{Child: plan, Cols: outCols, Distinct: sel.Distinct}
+	plan = proj
 
-	// ORDER BY keys referencing output aliases resolve against the
-	// projection; keys referencing hidden attributes are not supported.
+	// ORDER BY keys referencing output aliases (or projected expressions)
+	// resolve against the projection. A key the projection cannot express —
+	// a dropped column (`SELECT a FROM r ORDER BY b`), a qualified base
+	// reference (`ORDER BY r2.b`) or a sublink — is computed as a hidden
+	// trailing projection column, so the sort and any LIMIT cut above can
+	// evaluate it; the hidden columns are stripped after the sort (below for
+	// nested blocks, by the result presentation for the top-level one).
+	hidden := 0
 	if len(orderKeys) > 0 {
 		for i := range orderKeys {
-			orderKeys[i].E = aliasKeys(orderKeys[i].E, outCols)
+			mapped := aliasKeys(orderKeys[i].E, outCols)
+			if keyResolves(mapped, proj.Schema()) && !algebra.HasSublink(mapped) {
+				orderKeys[i].E = mapped
+				continue
+			}
+			if !keyResolves(orderKeys[i].E, childSch) {
+				// Neither schema can evaluate the key (an unknown or
+				// correlated reference); leave it for the evaluator to
+				// resolve against enclosing scopes or reject.
+				orderKeys[i].E = mapped
+				continue
+			}
+			if sel.Distinct {
+				return nil, fmt.Errorf("sql: for SELECT DISTINCT, ORDER BY expressions must appear in the select list")
+			}
+			name := tr.freshName("ord")
+			proj.Cols = append(proj.Cols, algebra.Col(orderKeys[i].E, name))
+			orderKeys[i].E = algebra.Attr(name)
+			hidden++
 		}
 		plan = &algebra.Order{Child: plan, Keys: orderKeys}
 	}
 	if sel.Limit >= 0 || sel.Offset > 0 {
 		plan = &algebra.Limit{Child: plan, N: sel.Limit, Offset: sel.Offset}
 	}
+	if hidden > 0 {
+		if top {
+			tr.hidden = hidden
+		} else {
+			// Nested block: strip the hidden key columns above the sort and
+			// limit, restoring the block's visible schema.
+			visible := plan.Schema().Attrs[:len(proj.Cols)-hidden]
+			strip := make([]algebra.ProjExpr, len(visible))
+			for i, a := range visible {
+				strip[i] = algebra.KeepAttr(a)
+			}
+			plan = algebra.NewProject(plan, strip...)
+		}
+	}
 	return plan, nil
+}
+
+// keyResolves reports whether a sort-key expression can be evaluated over
+// sch: every attribute reference — including the free (correlated)
+// references escaping any sublink queries — resolves there uniquely.
+func keyResolves(e algebra.Expr, sch schema.Schema) bool {
+	ok := true
+	check := func(ref algebra.AttrRef) {
+		if idx, amb := sch.Lookup(ref.Qual, ref.Name); idx < 0 || amb {
+			ok = false
+		}
+	}
+	algebra.WalkExpr(e, func(x algebra.Expr) bool {
+		switch v := x.(type) {
+		case algebra.AttrRef:
+			check(v)
+		case algebra.Sublink:
+			for _, fv := range algebra.FreeVars(v.Query) {
+				check(fv)
+			}
+			if v.Test != nil {
+				algebra.WalkExpr(v.Test, func(y algebra.Expr) bool {
+					if r, isRef := y.(algebra.AttrRef); isRef {
+						check(r)
+					}
+					return ok
+				})
+			}
+			return false
+		}
+		return ok
+	})
+	return ok
 }
 
 // pushGroupSublinks rewrites grouping expressions containing sublinks into
@@ -546,6 +647,42 @@ func (tr *translator) expr(e Expr, aggs *aggCollector) (algebra.Expr, error) {
 			out = algebra.Not{E: out}
 		}
 		return out, nil
+	case Case:
+		// The simple form CASE x WHEN v THEN r … compares the operand to
+		// each WHEN expression with =; both forms lower to the searched
+		// algebra Case.
+		var operand algebra.Expr
+		if x.Operand != nil {
+			op, err := tr.expr(x.Operand, aggs)
+			if err != nil {
+				return nil, err
+			}
+			operand = op
+		}
+		whens := make([]algebra.CaseWhen, len(x.Whens))
+		for i, w := range x.Whens {
+			cond, err := tr.expr(w.Cond, aggs)
+			if err != nil {
+				return nil, err
+			}
+			if operand != nil {
+				cond = algebra.Cmp{Op: types.CmpEq, L: operand, R: cond}
+			}
+			result, err := tr.expr(w.Result, aggs)
+			if err != nil {
+				return nil, err
+			}
+			whens[i] = algebra.CaseWhen{When: cond, Then: result}
+		}
+		var els algebra.Expr
+		if x.Else != nil {
+			e, err := tr.expr(x.Else, aggs)
+			if err != nil {
+				return nil, err
+			}
+			els = e
+		}
+		return algebra.Case{Whens: whens, Else: els}, nil
 	case Call:
 		fn, ok := aggFns[x.Name]
 		if !ok {

@@ -103,7 +103,7 @@ func CompileEnv(env Env, query string) (*Translated, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Translated{Plan: plan, Provenance: prov}, nil
+	return &Translated{Plan: plan, Provenance: prov, Hidden: tr.hidden}, nil
 }
 
 // expandView translates a view reference under an alias, guarding against

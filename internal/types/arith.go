@@ -1,6 +1,9 @@
 package types
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // ArithOp is a binary arithmetic operator usable in projection and selection
 // expressions (the paper's "expressions over attributes, constants and
@@ -34,10 +37,13 @@ func (op ArithOp) String() string {
 	}
 }
 
+// ErrDivisionByZero is returned for x/0 and x%0, matching PostgreSQL (which
+// raises "division by zero" rather than producing NULL).
+var ErrDivisionByZero = errors.New("types: division by zero")
+
 // Apply evaluates a op b with SQL NULL propagation: any NULL operand yields
-// NULL. Integer pairs stay integral (except division by zero, which yields
-// NULL rather than an error, simplifying range predicates over generated
-// data); mixed pairs promote to float.
+// NULL. Integer pairs stay integral; mixed pairs promote to float. Division
+// or modulus by zero is an error (ErrDivisionByZero), as in PostgreSQL.
 func (op ArithOp) Apply(a, b Value) (Value, error) {
 	if a.IsNull() || b.IsNull() {
 		return Null(), nil
@@ -56,13 +62,13 @@ func (op ArithOp) Apply(a, b Value) (Value, error) {
 			return NewInt(x * y), nil
 		case OpDiv:
 			if y == 0 {
-				return Null(), nil
+				return Null(), ErrDivisionByZero
 			}
 			// Integer division over integers, matching SQL.
 			return NewInt(x / y), nil
 		case OpMod:
 			if y == 0 {
-				return Null(), nil
+				return Null(), ErrDivisionByZero
 			}
 			return NewInt(x % y), nil
 		}
@@ -77,7 +83,7 @@ func (op ArithOp) Apply(a, b Value) (Value, error) {
 		return NewFloat(x * y), nil
 	case OpDiv:
 		if y == 0 {
-			return Null(), nil
+			return Null(), ErrDivisionByZero
 		}
 		return NewFloat(x / y), nil
 	case OpMod:

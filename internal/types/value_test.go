@@ -2,6 +2,7 @@ package types
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -172,9 +173,8 @@ func TestArithNullPropagationAndPromotion(t *testing.T) {
 	if err != nil || v.Int() != 3 {
 		t.Errorf("7/2 = %v, %v (integer division expected)", v, err)
 	}
-	v, err = OpDiv.Apply(NewInt(1), NewInt(0))
-	if err != nil || !v.IsNull() {
-		t.Errorf("1/0 should be NULL, got %v, %v", v, err)
+	if _, err = OpDiv.Apply(NewInt(1), NewInt(0)); !errors.Is(err, ErrDivisionByZero) {
+		t.Errorf("1/0 should be a division-by-zero error, got %v", err)
 	}
 	if _, err = OpAdd.Apply(NewString("x"), NewInt(1)); err == nil {
 		t.Error("string + int should error")
@@ -255,9 +255,8 @@ func TestArithModAndErrors(t *testing.T) {
 	if err != nil || v.Int() != 1 {
 		t.Errorf("7%%3 = %v, %v", v, err)
 	}
-	v, err = OpMod.Apply(NewInt(7), NewInt(0))
-	if err != nil || !v.IsNull() {
-		t.Errorf("mod by zero should be NULL: %v, %v", v, err)
+	if _, err = OpMod.Apply(NewInt(7), NewInt(0)); !errors.Is(err, ErrDivisionByZero) {
+		t.Errorf("mod by zero should be a division-by-zero error, got %v", err)
 	}
 	if _, err := OpMod.Apply(NewFloat(1.5), NewFloat(2)); err == nil {
 		t.Error("float %% should error")
@@ -266,9 +265,8 @@ func TestArithModAndErrors(t *testing.T) {
 	if err != nil || v.Float() != 0.5 {
 		t.Errorf("1.5-1 = %v, %v", v, err)
 	}
-	v, err = OpDiv.Apply(NewFloat(1), NewFloat(0))
-	if err != nil || !v.IsNull() {
-		t.Errorf("float div by zero should be NULL: %v, %v", v, err)
+	if _, err = OpDiv.Apply(NewFloat(1), NewFloat(0)); !errors.Is(err, ErrDivisionByZero) {
+		t.Errorf("float div by zero should be a division-by-zero error, got %v", err)
 	}
 }
 

@@ -309,7 +309,7 @@ func (db *DB) Query(query string, opts ...Option) (*Result, error) {
 			return nil, err
 		}
 		plan = res.Plan
-		out.DataColumns = res.Original.Len()
+		out.DataColumns = res.Original.Len() - tr.Hidden
 		for _, p := range res.Prov {
 			g := ProvGroup{Relation: p.Rel}
 			for _, a := range p.Attrs {
@@ -328,16 +328,31 @@ func (db *DB) Query(query string, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, a := range relOut.Schema.Attrs {
+	if !tr.Provenance {
+		out.DataColumns = relOut.Schema.Len() - tr.Hidden
+	}
+	// Hidden ORDER BY key columns (Translated.Hidden) sit between the
+	// visible data columns and any provenance columns. They exist so the
+	// sort below can evaluate keys the SELECT list does not project; they
+	// are stripped from the presented result.
+	hiddenStart, hiddenEnd := out.DataColumns, out.DataColumns+tr.Hidden
+	for i, a := range relOut.Schema.Attrs {
+		if i >= hiddenStart && i < hiddenEnd {
+			continue
+		}
 		out.Columns = append(out.Columns, a.Name)
 	}
-	if !tr.Provenance {
-		out.DataColumns = len(out.Columns)
+	tuples, err := orderedTuples(plan, relOut)
+	if err != nil {
+		return nil, err
 	}
-	for _, t := range orderedTuples(plan, relOut) {
-		row := make([]any, len(t))
+	for _, t := range tuples {
+		row := make([]any, 0, len(t)-tr.Hidden)
 		for i, v := range t {
-			row[i] = fromValue(v)
+			if i >= hiddenStart && i < hiddenEnd {
+				continue
+			}
+			row = append(row, fromValue(v))
 		}
 		out.Rows = append(out.Rows, row)
 	}
@@ -420,20 +435,19 @@ func (db *DB) Explain(query string, opts ...Option) (string, error) {
 }
 
 // orderedTuples respects the query's ORDER BY; otherwise it returns the
-// canonical sorted order for deterministic output.
-func orderedTuples(plan algebra.Op, out *rel.Relation) []rel.Tuple {
+// canonical sorted order for deterministic output. A sort-key evaluation
+// failure is the query's failure — it must surface, not silently degrade
+// to the canonical order.
+func orderedTuples(plan algebra.Op, out *rel.Relation) ([]rel.Tuple, error) {
 	// The executor returns bags; re-sort explicitly by whatever order
 	// reaches the plan's output — including an inner ORDER BY carried
-	// through derived-table projection wrappers and LIMIT.
+	// through derived-table projection wrappers and LIMIT, and hidden
+	// sort-key columns extended onto the projection by the translator.
 	keys := algebra.LiftOrderKeys(plan)
 	if keys == nil {
-		return out.SortedTuples()
+		return out.SortedTuples(), nil
 	}
-	sorted, err := eval.SortTuples(out, keys)
-	if err != nil {
-		return out.SortedTuples()
-	}
-	return sorted
+	return eval.SortTuples(out, keys)
 }
 
 // FormatTable renders the result as an aligned text table for CLI output.
