@@ -312,6 +312,12 @@ func WalkExpr(e Expr, fn func(Expr) bool) {
 		if x.Else != nil {
 			WalkExpr(x.Else, fn)
 		}
+	case Func:
+		for _, a := range x.Args {
+			WalkExpr(a, fn)
+		}
+	case Cast:
+		WalkExpr(x.E, fn)
 	case Sublink:
 		if x.Test != nil {
 			WalkExpr(x.Test, fn)
@@ -348,6 +354,14 @@ func MapExpr(e Expr, fn func(Expr) Expr) Expr {
 			whens[i] = CaseWhen{When: MapExpr(w.When, fn), Then: MapExpr(w.Then, fn)}
 		}
 		return fn(Case{Whens: whens, Else: MapExpr(x.Else, fn)})
+	case Func:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = MapExpr(a, fn)
+		}
+		return fn(Func{Name: x.Name, Args: args})
+	case Cast:
+		return fn(Cast{E: MapExpr(x.E, fn), To: x.To})
 	case Sublink:
 		s := x
 		s.Test = MapExpr(x.Test, fn)
@@ -404,6 +418,20 @@ func ExprEqual(a, b Expr) bool {
 			}
 		}
 		return true
+	case Func:
+		y, ok := b.(Func)
+		if !ok || x.Name != y.Name || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !ExprEqual(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case Cast:
+		y, ok := b.(Cast)
+		return ok && x.To == y.To && ExprEqual(x.E, y.E)
 	case Sublink:
 		y, ok := b.(Sublink)
 		return ok && x.Kind == y.Kind && x.Op == y.Op && x.Query == y.Query && ExprEqual(x.Test, y.Test)

@@ -1,0 +1,156 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"perm/internal/types"
+)
+
+// Func is a call of a registered scalar function (upper, lower, length,
+// substr) or of one of the operators lowered to calls: || becomes
+// Func{"concat"}, LIKE becomes Func{"like"}. Evaluation dispatches through
+// the registry below; the semantic analyzer resolves names and argument
+// kinds against the same registry, so an unresolved or ill-typed call never
+// reaches the evaluator through the SQL front end.
+type Func struct {
+	Name string
+	Args []Expr
+}
+
+func (Func) exprNode() {}
+
+// String renders operator-spelled functions as operators and everything else
+// as a call.
+func (f Func) String() string {
+	switch {
+	case f.Name == "concat" && len(f.Args) == 2:
+		return fmt.Sprintf("(%s || %s)", f.Args[0], f.Args[1])
+	case f.Name == "like" && len(f.Args) == 2:
+		return fmt.Sprintf("(%s LIKE %s)", f.Args[0], f.Args[1])
+	default:
+		return fmt.Sprintf("%s(%s)", f.Name, exprList(f.Args))
+	}
+}
+
+// Cast is CAST(E AS To): an explicit conversion evaluated by types.Cast.
+type Cast struct {
+	E  Expr
+	To types.Kind
+}
+
+func (Cast) exprNode() {}
+
+func (c Cast) String() string { return fmt.Sprintf("CAST(%s AS %s)", c.E, c.To) }
+
+// FuncDef describes one scalar function: its arity range, the argument
+// kinds the analyzer checks call sites against (types.KindNull admits any
+// kind), the result kind, and the evaluation function. Optional trailing
+// arguments are passed as a shorter slice.
+type FuncDef struct {
+	Name    string
+	MinArgs int
+	MaxArgs int
+	// Args holds the expected kind per position (length MaxArgs).
+	Args []types.Kind
+	// Result is the function's result kind.
+	Result types.Kind
+	// Eval computes the call; len(args) is within [MinArgs, MaxArgs].
+	Eval func(args []types.Value) (types.Value, error)
+}
+
+// funcs is the scalar function registry. Operators that lower to calls
+// (concat, like) live here too, so both executors and the analyzer share one
+// definition of the scalar surface.
+var funcs = map[string]*FuncDef{
+	"upper": {
+		Name: "upper", MinArgs: 1, MaxArgs: 1,
+		Args: []types.Kind{types.KindString}, Result: types.KindString,
+		Eval: func(args []types.Value) (types.Value, error) { return types.Upper(args[0]) },
+	},
+	"lower": {
+		Name: "lower", MinArgs: 1, MaxArgs: 1,
+		Args: []types.Kind{types.KindString}, Result: types.KindString,
+		Eval: func(args []types.Value) (types.Value, error) { return types.Lower(args[0]) },
+	},
+	"length": {
+		Name: "length", MinArgs: 1, MaxArgs: 1,
+		Args: []types.Kind{types.KindString}, Result: types.KindInt,
+		Eval: func(args []types.Value) (types.Value, error) { return types.Length(args[0]) },
+	},
+	"substr": {
+		Name: "substr", MinArgs: 2, MaxArgs: 3,
+		Args:   []types.Kind{types.KindString, types.KindInt, types.KindInt},
+		Result: types.KindString,
+		Eval: func(args []types.Value) (types.Value, error) {
+			var count *types.Value
+			if len(args) == 3 {
+				count = &args[2]
+			}
+			return types.Substr(args[0], args[1], count)
+		},
+	},
+	"concat": {
+		Name: "concat", MinArgs: 2, MaxArgs: 2,
+		Args:   []types.Kind{types.KindString, types.KindString},
+		Result: types.KindString,
+		Eval:   func(args []types.Value) (types.Value, error) { return types.Concat(args[0], args[1]) },
+	},
+	"like": {
+		Name: "like", MinArgs: 2, MaxArgs: 2,
+		Args:   []types.Kind{types.KindString, types.KindString},
+		Result: types.KindBool,
+		Eval: func(args []types.Value) (types.Value, error) {
+			t, err := types.Like(args[0], args[1])
+			if err != nil {
+				return types.Null(), err
+			}
+			switch t {
+			case types.True:
+				return types.NewBool(true), nil
+			case types.False:
+				return types.NewBool(false), nil
+			default:
+				return types.Null(), nil
+			}
+		},
+	},
+}
+
+// LookupFunc resolves a scalar function by (lower-case) name.
+func LookupFunc(name string) (*FuncDef, bool) {
+	f, ok := funcs[name]
+	return f, ok
+}
+
+// FuncNames lists the registered scalar functions, sorted, for docs and
+// error messages.
+func FuncNames() []string {
+	out := make([]string, 0, len(funcs))
+	for n := range funcs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseCastType maps a SQL type name (as written in CAST(x AS t)) to a
+// value kind. Only 64-bit numeric spellings are accepted: the engine's
+// integers and floats are int64/float64, and accepting smallint/int4 or
+// real/float4 would silently skip the narrower range checks PostgreSQL
+// applies to them.
+func ParseCastType(name string) (types.Kind, bool) {
+	switch strings.ToLower(name) {
+	case "int", "integer", "bigint", "int8":
+		return types.KindInt, true
+	case "float", "double", "float8":
+		return types.KindFloat, true
+	case "string", "text", "varchar", "char":
+		return types.KindString, true
+	case "bool", "boolean":
+		return types.KindBool, true
+	default:
+		return types.KindNull, false
+	}
+}

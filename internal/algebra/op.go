@@ -268,10 +268,16 @@ func (a AggExpr) String() string {
 	return fmt.Sprintf("%s(%s)→%s", a.Fn, arg, a.As)
 }
 
-// GroupExpr is one grouping expression with a result name.
+// GroupExpr is one grouping expression with a result name. Qual, when set,
+// qualifies the output attribute with the grouped column's source relation
+// (FROM alias), so qualified references to a grouping column — `ORDER BY
+// r.b` above the aggregation, or a correlated `r.b` inside an output-clause
+// sublink — keep resolving against the post-aggregation schema the way
+// their unqualified spellings do.
 type GroupExpr struct {
-	E  Expr
-	As string
+	E    Expr
+	As   string
+	Qual string
 }
 
 // String renders the grouping column.
@@ -294,7 +300,7 @@ func (*Aggregate) opNode() {}
 func (a *Aggregate) Schema() schema.Schema {
 	attrs := make([]schema.Attr, 0, len(a.Group)+len(a.Aggs))
 	for _, g := range a.Group {
-		attrs = append(attrs, schema.Attr{Name: g.As})
+		attrs = append(attrs, schema.Attr{Qual: g.Qual, Name: g.As})
 	}
 	for _, f := range a.Aggs {
 		attrs = append(attrs, schema.Attr{Name: f.As})

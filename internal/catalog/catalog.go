@@ -11,27 +11,32 @@ import (
 
 	"perm/internal/rel"
 	"perm/internal/schema"
+	"perm/internal/types"
 )
 
 // Catalog is a thread-safe registry of base relations.
 type Catalog struct {
-	mu   sync.RWMutex
-	rels map[string]*rel.Relation
+	mu    sync.RWMutex
+	rels  map[string]*rel.Relation
+	kinds map[string][]types.Kind
 }
 
 // New returns an empty catalog.
 func New() *Catalog {
-	return &Catalog{rels: map[string]*rel.Relation{}}
+	return &Catalog{rels: map[string]*rel.Relation{}, kinds: map[string][]types.Kind{}}
 }
 
 // Register installs (or replaces) a base relation under name. The relation's
 // schema is re-qualified with the relation name so that unaliased scans
-// resolve qualified references.
+// resolve qualified references, and its column kinds are inferred once here
+// (relations are immutable once registered), so compiling a query never
+// rescans table data.
 func (c *Catalog) Register(name string, r *rel.Relation) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	r.Schema = r.Schema.WithQual(name)
 	c.rels[name] = r
+	c.kinds[name] = r.InferKinds()
 }
 
 // Relation returns the base relation registered under name.
@@ -54,6 +59,19 @@ func (c *Catalog) Schema(name string) (schema.Schema, error) {
 	return r.Schema, nil
 }
 
+// Kinds returns the per-column value kinds of a registered relation,
+// inferred once at Register time (see rel.Relation.InferKinds). The
+// semantic analyzer types queries against these.
+func (c *Catalog) Kinds(name string) ([]types.Kind, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	k, ok := c.kinds[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	return k, nil
+}
+
 // Has reports whether name is registered.
 func (c *Catalog) Has(name string) bool {
 	c.mu.RLock()
@@ -67,6 +85,7 @@ func (c *Catalog) Drop(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.rels, name)
+	delete(c.kinds, name)
 }
 
 // Names returns the registered relation names in sorted order.

@@ -2,19 +2,40 @@ package eval
 
 import (
 	"fmt"
+	"math/bits"
 
 	"perm/internal/algebra"
 	"perm/internal/rel"
 	"perm/internal/types"
 )
 
+// mul128 is the full signed 128-bit product of two int64s (two's
+// complement hi:lo).
+func mul128(x, y int64) (hi int64, lo uint64) {
+	h, l := bits.Mul64(uint64(x), uint64(y))
+	if x < 0 {
+		h -= uint64(y)
+	}
+	if y < 0 {
+		h -= uint64(x)
+	}
+	return int64(h), l
+}
+
 // aggState accumulates one aggregate function over one group, honouring bag
 // multiplicities and SQL NULL rules (non-count aggregates ignore NULL
 // inputs; count(*) counts every tuple).
 type aggState struct {
-	fn       algebra.AggFn
-	count    int64
-	sumI     int64
+	fn    algebra.AggFn
+	count int64
+	// The integer sum accumulates exactly in 128 bits (sumHi:sumLo, two's
+	// complement), so whether the total fits int64 is decided by the final
+	// value alone — independent of accumulation order, which differs
+	// between the streaming and materializing executors and across worker
+	// counts. Overflow ("bigint out of range") is raised from result() only
+	// when the result stays integral and the total is out of range.
+	sumHi    int64
+	sumLo    uint64
 	sumF     float64
 	isFloat  bool
 	minMax   types.Value
@@ -49,7 +70,12 @@ func (a *aggState) add(v types.Value, n int) error {
 		if v.Kind() == types.KindFloat {
 			a.isFloat = true
 		}
-		a.sumI += v.Int() * int64(n)
+		// 128-bit exact accumulation of v*n; the float shadow sum keeps its
+		// value for the float/avg result paths.
+		hi, lo := mul128(v.Int(), int64(n))
+		var carry uint64
+		a.sumLo, carry = bits.Add64(a.sumLo, lo, 0)
+		a.sumHi += hi + int64(carry)
 		a.sumF += v.Float() * float64(n)
 		a.seen = true
 		return nil
@@ -76,30 +102,35 @@ func (a *aggState) add(v types.Value, n int) error {
 	}
 }
 
-func (a *aggState) result() types.Value {
+func (a *aggState) result() (types.Value, error) {
 	switch a.fn {
 	case algebra.AggCount, algebra.AggCountStar:
-		return types.NewInt(a.count)
+		return types.NewInt(a.count), nil
 	case algebra.AggSum:
 		if !a.seen {
-			return types.Null()
+			return types.Null(), nil
 		}
 		if a.isFloat {
-			return types.NewFloat(a.sumF)
+			return types.NewFloat(a.sumF), nil
 		}
-		return types.NewInt(a.sumI)
+		// The 128-bit total fits int64 iff the high word is the sign
+		// extension of the low word.
+		if a.sumHi != int64(a.sumLo)>>63 {
+			return types.Null(), types.ErrNumericOutOfRange
+		}
+		return types.NewInt(int64(a.sumLo)), nil
 	case algebra.AggAvg:
 		if !a.seen {
-			return types.Null()
+			return types.Null(), nil
 		}
-		return types.NewFloat(a.sumF / float64(a.count))
+		return types.NewFloat(a.sumF / float64(a.count)), nil
 	case algebra.AggMin, algebra.AggMax:
 		if !a.seen {
-			return types.Null()
+			return types.Null(), nil
 		}
-		return a.minMax
+		return a.minMax, nil
 	default:
-		return types.Null()
+		return types.Null(), nil
 	}
 }
 
@@ -211,7 +242,11 @@ func (e *Evaluator) evalAggregate(o *algebra.Aggregate, outer []frame) (*rel.Rel
 		row := make(rel.Tuple, 0, len(o.Group)+len(o.Aggs))
 		row = append(row, g.keys...)
 		for i := range g.aggs {
-			row = append(row, g.aggs[i].result())
+			v, err := g.aggs[i].result()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
 		}
 		out.Add(row, 1)
 	}

@@ -155,6 +155,29 @@ func (e *Evaluator) evalExpr(x algebra.Expr, sch schema.Schema, t rel.Tuple, out
 			return e.evalExpr(ex.Else, sch, t, outer)
 		}
 		return types.Null(), nil
+	case algebra.Func:
+		def, ok := algebra.LookupFunc(ex.Name)
+		if !ok {
+			return types.Null(), fmt.Errorf("eval: unknown function %q", ex.Name)
+		}
+		if len(ex.Args) < def.MinArgs || len(ex.Args) > def.MaxArgs {
+			return types.Null(), fmt.Errorf("eval: %s takes %d to %d arguments, got %d", ex.Name, def.MinArgs, def.MaxArgs, len(ex.Args))
+		}
+		args := make([]types.Value, len(ex.Args))
+		for i, a := range ex.Args {
+			v, err := e.evalExpr(a, sch, t, outer)
+			if err != nil {
+				return types.Null(), err
+			}
+			args[i] = v
+		}
+		return def.Eval(args)
+	case algebra.Cast:
+		v, err := e.evalExpr(ex.E, sch, t, outer)
+		if err != nil {
+			return types.Null(), err
+		}
+		return types.Cast(v, ex.To)
 	case algebra.Sublink:
 		return e.evalSublink(ex, sch, t, outer)
 	default:

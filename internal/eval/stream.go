@@ -360,7 +360,11 @@ func (e *Evaluator) streamAggregate(o *algebra.Aggregate, outer []frame, emit em
 		row := make(rel.Tuple, 0, len(o.Group)+len(o.Aggs))
 		row = append(row, g.keys...)
 		for i := range g.aggs {
-			row = append(row, g.aggs[i].result())
+			v, err := g.aggs[i].result()
+			if err != nil {
+				return err
+			}
+			row = append(row, v)
 		}
 		if err := emit(row, 1); err != nil {
 			return err

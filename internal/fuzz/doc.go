@@ -1,7 +1,16 @@
 // Package fuzz is the differential query fuzzer of the engine: a seeded,
-// grammar-driven random query generator over a fixed NULL-rich integer
-// schema (tables r, s, t), plus an oracle that executes every generated
-// query under the full engine matrix and demands agreement.
+// grammar-driven random query generator over a fixed NULL-rich schema —
+// three integer tables (r, s, t) and a string-typed table (u) — plus an
+// oracle that executes every generated query under the full engine matrix
+// and demands agreement.
+//
+// The generator is kind-aware: it tracks the value kind of every column
+// (including derived-table and aggregate outputs) and only emits
+// well-typed comparisons, function calls (upper/lower/length/substr,
+// || concatenation, LIKE, CAST) and set-operation arms, so a rejection by
+// the semantic analyzer is itself a fuzz failure. ORDER BY and GROUP BY
+// keys are sometimes spelled as select-list ordinals, which the oracle
+// order-checks like named keys.
 //
 // # The oracle
 //
@@ -27,8 +36,11 @@
 // (an unordered limit's row choice is unspecified), scalar subqueries are
 // global aggregates (guaranteed single-row), arithmetic avoids division
 // (whose by-zero error would make error/success legitimately
-// order-dependent), and all table references use generation-unique
-// aliases.
+// order-dependent) and stays inside the tiny value domain (so checked
+// int64 arithmetic never overflows), string values and LIKE patterns come
+// from small digit-free pools (so rendered cells never parse as numbers
+// and casts to string never collide with the numeric order check), and
+// all table references use generation-unique aliases.
 //
 // # Reproducing a failure
 //

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"perm"
 	"perm/internal/sql"
 )
 
@@ -137,6 +138,7 @@ func TestFuzzCorpus(t *testing.T) {
 				t.Fatalf("%s contains no SQL", file)
 			}
 			if expectErr != "" {
+				first := ""
 				for _, m := range Modes {
 					_, err := db.Query(query, m.Opts...)
 					if err == nil {
@@ -144,6 +146,26 @@ func TestFuzzCorpus(t *testing.T) {
 					}
 					if !strings.Contains(err.Error(), expectErr) {
 						t.Fatalf("%s: error %q does not contain %q", m.Name, err, expectErr)
+					}
+					if first == "" {
+						first = err.Error()
+					} else if err.Error() != first {
+						t.Fatalf("%s: error class diverged: %q vs %q", m.Name, err, first)
+					}
+				}
+				// Compile-stage errors (semantic analysis) must keep their
+				// class under SELECT PROVENANCE for every rewrite strategy
+				// too — the analyzer runs before the rewrite, so no strategy
+				// may succeed or fail differently. (The PROVENANCE keyword
+				// shifts byte positions, so the comparison is by class, not
+				// by exact message.)
+				if strings.HasPrefix(first, "sql:") {
+					provQ := "SELECT PROVENANCE" + strings.TrimPrefix(query, "SELECT")
+					for _, s := range Strategies {
+						_, err := db.Query(provQ, perm.WithStrategy(s))
+						if err == nil || !strings.Contains(err.Error(), expectErr) {
+							t.Fatalf("%s: provenance error class diverged: %v, want %q", s, err, expectErr)
+						}
 					}
 				}
 				return
@@ -178,4 +200,26 @@ func ExampleRender() {
 	st, _ := sql.Parse("SELECT a AS x FROM r ORDER BY b LIMIT 2")
 	fmt.Println(Render(st))
 	// Output: SELECT a AS x FROM r ORDER BY b LIMIT 2
+}
+
+// TestOrderChecksCastQuarantine: a CAST anywhere in the statement — even
+// laundered through a derived-table column — disables semantic order
+// checking, since cast digit-strings sort lexically in the engine but would
+// be compared numerically by the checker (review-found false positive).
+func TestOrderChecksCastQuarantine(t *testing.T) {
+	st, err := sql.Parse(`SELECT f2.x1 AS y1 FROM (SELECT CAST(f1.a AS string) AS x1 FROM r AS f1) AS f2 ORDER BY 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checks := Finalize(st).OrderChecks; len(checks) != 0 {
+		t.Fatalf("OrderChecks = %v, want none for a cast-bearing statement", checks)
+	}
+	// Cast-free keys stay checked.
+	st, err = sql.Parse(`SELECT f1.a AS x1 FROM r AS f1 ORDER BY 1 DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checks := Finalize(st).OrderChecks; len(checks) != 1 || !checks[0].Desc || checks[0].Col != 0 {
+		t.Fatalf("OrderChecks = %v, want one DESC check on column 0", checks)
+	}
 }

@@ -5,23 +5,45 @@ import (
 
 	"perm"
 	"perm/internal/sql"
+	"perm/internal/types"
 )
 
-// The fixed fuzz schema: three small integer tables. Distinct column names
-// across tables keep unqualified references unambiguous; the generator still
-// qualifies most references through always-fresh aliases, so self-joins are
-// safe too. Values are integers drawn from a tiny domain with NULLs and
-// duplicate rows mixed in — the regime where bag semantics, three-valued
-// logic and sublink edge cases (empty subquery results, NULL probes) are
-// all exercised.
+// fcol is one generatable column with its value kind. The generator is
+// kind-aware: every comparison, function argument and subquery column it
+// emits is well-typed, so the semantic analyzer must accept every generated
+// query — an analyzer rejection is a fuzz failure.
+type fcol struct {
+	name string
+	kind types.Kind
+}
+
+// The fixed fuzz schema: three small integer tables plus a string-typed
+// table (u), appended last so the shared rng keeps the seed-stable contents
+// of r, s and t that the checked-in corpus is stated over. Distinct column
+// names across tables keep unqualified references unambiguous; the
+// generator still qualifies most references through always-fresh aliases,
+// so self-joins are safe too. Values are drawn from tiny domains with NULLs
+// and duplicate rows mixed in — the regime where bag semantics,
+// three-valued logic and sublink edge cases (empty subquery results, NULL
+// probes) are all exercised.
 var fuzzTables = []struct {
 	name string
-	cols []string
+	cols []fcol
 }{
-	{"r", []string{"a", "b"}},
-	{"s", []string{"c", "d"}},
-	{"t", []string{"e", "f"}},
+	{"r", []fcol{{"a", types.KindInt}, {"b", types.KindInt}}},
+	{"s", []fcol{{"c", types.KindInt}, {"d", types.KindInt}}},
+	{"t", []fcol{{"e", types.KindInt}, {"f", types.KindInt}}},
+	{"u", []fcol{{"g", types.KindString}, {"h", types.KindInt}}},
 }
+
+// strDomain is the string value domain: small, duplicate-prone, free of
+// digits (so rendered cells never parse as numbers and the order checker
+// compares them lexically, like the engine) and free of the row-rendering
+// separators '|' and '∅'.
+var strDomain = []string{"a", "b", "ab", "ba", "bb", ""}
+
+// likePatterns are the LIKE patterns the generator draws from.
+var likePatterns = []string{"%a%", "a%", "%b", "_", "__", "%", "a_%", "%b%a%"}
 
 // splitmix-style deterministic rng (no package state, replayable by seed).
 type rng struct{ state uint64 }
@@ -41,22 +63,29 @@ func (r *rng) chance(p float64) bool {
 	return float64(r.next()>>11)/float64(1<<53) < p
 }
 
-// NewDB builds the fuzz database for one seed: the three tables filled with
-// NULL-rich, duplicate-rich integer rows. Tables are kept tiny (4–6 rows)
-// so even the Gen strategy's CrossBase products over nested sublinks stay
-// cheap enough for thousands of differential runs.
+// NewDB builds the fuzz database for one seed: the tables filled with
+// NULL-rich, duplicate-rich rows over tiny domains. Tables are kept small
+// (4–6 rows) so even the Gen strategy's CrossBase products over nested
+// sublinks stay cheap enough for thousands of differential runs.
 func NewDB(seed int64) *perm.DB {
 	r := newRng(seed ^ 0x5EED)
 	db := perm.Open()
 	for _, tb := range fuzzTables {
 		n := 3 + r.intn(3)
+		cols := make([]string, len(tb.cols))
+		for j, c := range tb.cols {
+			cols[j] = c.name
+		}
 		rows := make([][]any, 0, n)
 		for i := 0; i < n; i++ {
 			row := make([]any, len(tb.cols))
-			for j := range tb.cols {
-				if r.chance(0.15) {
+			for j, c := range tb.cols {
+				switch {
+				case r.chance(0.15):
 					row[j] = nil
-				} else {
+				case c.kind == types.KindString:
+					row[j] = strDomain[r.intn(len(strDomain))]
+				default:
 					row[j] = r.intn(6) - 1 // domain [-1, 4]
 				}
 			}
@@ -65,7 +94,7 @@ func NewDB(seed int64) *perm.DB {
 				rows = append(rows, row)
 			}
 		}
-		if err := db.Register(tb.name, tb.cols, rows); err != nil {
+		if err := db.Register(tb.name, cols, rows); err != nil {
 			panic(err) // fixed schema; cannot fail
 		}
 	}
@@ -197,57 +226,44 @@ func collectExprs(sel *sql.SelectStmt) []sql.Expr {
 	return out
 }
 
-// visitExprSelects descends into the subqueries embedded in an expression.
+// visitExprSelects descends into the subqueries embedded in an expression,
+// riding the shared sql.WalkExprs traversal (which visits test expressions
+// but leaves subquery statements to this hook).
 func visitExprSelects(e sql.Expr, fn func(*sql.SelectStmt)) {
-	switch x := e.(type) {
-	case sql.Binary:
-		visitExprSelects(x.L, fn)
-		visitExprSelects(x.R, fn)
-	case sql.Unary:
-		visitExprSelects(x.E, fn)
-	case sql.IsNull:
-		visitExprSelects(x.E, fn)
-	case sql.InList:
-		visitExprSelects(x.E, fn)
-		for _, it := range x.List {
-			visitExprSelects(it, fn)
+	sql.WalkExprs(e, func(n sql.Expr) bool {
+		switch x := n.(type) {
+		case sql.InSub:
+			visitSelects(x.Sub, fn)
+		case sql.Quant:
+			visitSelects(x.Sub, fn)
+		case sql.Exists:
+			visitSelects(x.Sub, fn)
+		case sql.ScalarSub:
+			visitSelects(x.Sub, fn)
 		}
-	case sql.InSub:
-		visitExprSelects(x.E, fn)
-		visitSelects(x.Sub, fn)
-	case sql.Quant:
-		visitExprSelects(x.E, fn)
-		visitSelects(x.Sub, fn)
-	case sql.Exists:
-		visitSelects(x.Sub, fn)
-	case sql.ScalarSub:
-		visitSelects(x.Sub, fn)
-	case sql.Call:
-		for _, a := range x.Args {
-			visitExprSelects(a, fn)
+		return true
+	})
+}
+
+// containsCast reports whether the expression contains any CAST — a cast of
+// a number to string renders as a digit string, which the order checker
+// would wrongly compare numerically, so such keys are not order-checked.
+func containsCast(e sql.Expr) bool {
+	found := false
+	sql.WalkExprs(e, func(n sql.Expr) bool {
+		if _, ok := n.(sql.CastExpr); ok {
+			found = true
 		}
-	case sql.Between:
-		visitExprSelects(x.E, fn)
-		visitExprSelects(x.Lo, fn)
-		visitExprSelects(x.Hi, fn)
-	case sql.Case:
-		if x.Operand != nil {
-			visitExprSelects(x.Operand, fn)
-		}
-		for _, w := range x.Whens {
-			visitExprSelects(w.Cond, fn)
-			visitExprSelects(w.Result, fn)
-		}
-		if x.Else != nil {
-			visitExprSelects(x.Else, fn)
-		}
-	}
+		return !found
+	})
+	return found
 }
 
 // orderChecks maps the top-level ORDER BY keys onto visible result column
-// indexes where possible: a key naming a select-list alias, or structurally
-// equal to a select-list expression. Set operations have no statement-level
-// ORDER BY in this dialect, so they contribute no checks.
+// indexes where possible: an ordinal, a key naming a select-list alias, or
+// a key structurally equal to a select-list expression. Set operations have
+// no statement-level ORDER BY in this dialect, so they contribute no
+// checks.
 func orderChecks(st *sql.Stmt) []OrderCheck {
 	if st == nil || st.SetOp != nil {
 		return nil
@@ -256,24 +272,51 @@ func orderChecks(st *sql.Stmt) []OrderCheck {
 	if sel.Star || len(sel.OrderBy) == 0 {
 		return nil
 	}
+	// A CAST anywhere in the statement can surface digit-strings in the
+	// result (possibly laundered through a derived-table column the key
+	// references), which compareCells would wrongly compare numerically
+	// while the engine sorts them lexically. Quarantine the whole
+	// statement: the differential row-sequence comparison still covers its
+	// ordering.
+	castFound := false
+	visitSelects(st, func(s *sql.SelectStmt) {
+		for _, e := range collectExprs(s) {
+			if containsCast(e) {
+				castFound = true
+			}
+		}
+	})
+	if castFound {
+		return nil
+	}
 	var out []OrderCheck
 	for _, k := range sel.OrderBy {
-		id, ok := k.E.(sql.Ident)
-		if !ok || id.Qual != "" {
-			// Qualified and expression keys may be hidden-column keys; the
-			// differential comparison still covers them.
-			return out
-		}
 		found := -1
-		for i, c := range sel.Cols {
-			if c.Alias == id.Name {
-				found = i
-				break
+		switch key := k.E.(type) {
+		case sql.NumLit:
+			// ORDER BY ordinal: position n is column n-1.
+			if key.IsFlt || key.Int < 1 || key.Int > int64(len(sel.Cols)) {
+				return out
 			}
-			if cid, isID := c.E.(sql.Ident); isID && c.Alias == "" && cid.Name == id.Name {
-				found = i
-				break
+			found = int(key.Int) - 1
+		case sql.Ident:
+			if key.Qual != "" {
+				// Qualified keys may be hidden-column keys; the differential
+				// comparison still covers them.
+				return out
 			}
+			for i, c := range sel.Cols {
+				if c.Alias == key.Name {
+					found = i
+					break
+				}
+				if cid, isID := c.E.(sql.Ident); isID && c.Alias == "" && cid.Name == key.Name {
+					found = i
+					break
+				}
+			}
+		default:
+			return out
 		}
 		if found < 0 {
 			return out
@@ -293,10 +336,11 @@ type Gen struct {
 // NewGen returns a generator for one seed.
 func NewGen(seed int64) *Gen { return &Gen{rng: newRng(seed)} }
 
-// scopeRel is one FROM item visible in a scope: its alias and column names.
+// scopeRel is one FROM item visible in a scope: its alias and typed
+// columns.
 type scopeRel struct {
 	alias string
-	cols  []string
+	cols  []fcol
 }
 
 // scope is the name environment of one query block, linked to the enclosing
@@ -306,16 +350,28 @@ type scope struct {
 	outer *scope
 }
 
-// colRef is one referencable column.
+// colRef is one referencable column with its kind.
 type colRef struct {
 	qual, name string
+	kind       types.Kind
 }
 
 func (s *scope) ownCols() []colRef {
 	var out []colRef
 	for _, r := range s.rels {
 		for _, c := range r.cols {
-			out = append(out, colRef{qual: r.alias, name: c})
+			out = append(out, colRef{qual: r.alias, name: c.name, kind: c.kind})
+		}
+	}
+	return out
+}
+
+// colsOfKind filters a scope's columns by kind.
+func colsOfKind(cols []colRef, kind types.Kind) []colRef {
+	var out []colRef
+	for _, c := range cols {
+		if c.kind == kind {
+			out = append(out, c)
 		}
 	}
 	return out
@@ -331,6 +387,15 @@ func (g *Gen) freshCol() string {
 	return "x" + strconv.Itoa(g.colSeq)
 }
 
+// pickKind draws an output column kind, biased towards integers so the
+// engine's numeric core keeps most of the coverage.
+func (g *Gen) pickKind() types.Kind {
+	if g.rng.chance(0.3) {
+		return types.KindString
+	}
+	return types.KindInt
+}
+
 // Next generates one random query. Alias and column counters reset per
 // query so rendered SQL is stable under replay of the same seed sequence.
 func (g *Gen) Next() *Query {
@@ -339,38 +404,47 @@ func (g *Gen) Next() *Query {
 	if g.rng.chance(0.10) {
 		st = g.genSetOp()
 	} else {
-		st = &sql.Stmt{Left: g.genSelect(2, nil, 0, true)}
+		sel, _ := g.genSelect(2, nil, nil, true)
+		st = &sql.Stmt{Left: sel}
 	}
 	return Finalize(st)
 }
 
-// genSetOp builds a set operation of two or three arms with matching width.
-// Arms carry no ORDER BY or LIMIT (the dialect has no statement-level ORDER
-// BY for set operations, and arm-level ordering is unobservable).
+// genSetOp builds a set operation of two or three arms with one shared
+// column shape (widths and kinds must match across arms — the analyzer
+// rejects UNION of string and integer columns, as PostgreSQL does). Arms
+// carry no ORDER BY or LIMIT.
 func (g *Gen) genSetOp() *sql.Stmt {
-	width := 1 + g.rng.intn(2)
+	shape := make([]types.Kind, 1+g.rng.intn(2))
+	for i := range shape {
+		shape[i] = g.pickKind()
+	}
 	kinds := []string{"UNION", "INTERSECT", "EXCEPT"}
-	st := &sql.Stmt{Left: g.genSelect(1, nil, width, false)}
+	left, _ := g.genSelect(1, nil, shape, false)
+	right, _ := g.genSelect(1, nil, shape, false)
+	st := &sql.Stmt{Left: left}
 	st.SetOp = &sql.SetOpClause{
 		Kind:  kinds[g.rng.intn(len(kinds))],
 		All:   g.rng.chance(0.5),
-		Right: &sql.Stmt{Left: g.genSelect(1, nil, width, false)},
+		Right: &sql.Stmt{Left: right},
 	}
 	if g.rng.chance(0.25) {
+		third, _ := g.genSelect(1, nil, shape, false)
 		st.SetOp.Right.SetOp = &sql.SetOpClause{
 			Kind:  kinds[g.rng.intn(len(kinds))],
 			All:   g.rng.chance(0.5),
-			Right: &sql.Stmt{Left: g.genSelect(1, nil, width, false)},
+			Right: &sql.Stmt{Left: third},
 		}
 	}
 	return st
 }
 
-// genSelect builds one SELECT block. depth bounds subquery nesting; outer
-// is the enclosing scope chain for correlated sublinks (nil for derived
-// tables, which cannot correlate); width forces the output column count
-// (0 = free); orderable allows ORDER BY/LIMIT on this block.
-func (g *Gen) genSelect(depth int, outer *scope, width int, orderable bool) *sql.SelectStmt {
+// genSelect builds one SELECT block and reports its output columns. depth
+// bounds subquery nesting; outer is the enclosing scope chain for
+// correlated sublinks (nil for derived tables, which cannot correlate);
+// shape forces the output column kinds (nil = free); orderable allows
+// ORDER BY/LIMIT on this block.
+func (g *Gen) genSelect(depth int, outer *scope, shape []types.Kind, orderable bool) (*sql.SelectStmt, []fcol) {
 	sel := &sql.SelectStmt{Limit: -1}
 
 	// FROM: one or two items, each a base table, derived table or join.
@@ -393,29 +467,37 @@ func (g *Gen) genSelect(depth int, outer *scope, width int, orderable bool) *sql
 		sel.Where = g.genPred(depth, sc, 2)
 	}
 
-	grouped := width == 0 && g.rng.chance(0.18) && len(sc.ownCols()) > 0
+	grouped := shape == nil && g.rng.chance(0.18) && len(sc.ownCols()) > 0
 	if grouped {
-		g.genGroupedOutput(sel, sc, orderable)
-		return sel
+		return sel, g.genGroupedOutput(sel, sc, orderable)
 	}
 
 	// Plain output list.
-	n := width
-	if n == 0 {
-		n = 1 + g.rng.intn(3)
+	kinds := shape
+	if kinds == nil {
+		kinds = make([]types.Kind, 1+g.rng.intn(3))
+		for i := range kinds {
+			kinds[i] = g.pickKind()
+		}
 	}
-	for i := 0; i < n; i++ {
-		e := g.genScalar(depth, sc, 2)
-		sel.Cols = append(sel.Cols, sql.SelectCol{E: e, Alias: g.freshCol()})
+	out := make([]fcol, len(kinds))
+	for i, k := range kinds {
+		if k == types.KindNull {
+			k = g.pickKind()
+		}
+		e := g.genScalar(depth, sc, 2, k)
+		alias := g.freshCol()
+		sel.Cols = append(sel.Cols, sql.SelectCol{E: e, Alias: alias})
+		out[i] = fcol{name: alias, kind: k}
 	}
-	if width == 0 && g.rng.chance(0.12) {
+	if shape == nil && g.rng.chance(0.12) {
 		sel.Distinct = true
 	}
 
 	if orderable {
-		g.genOrderLimit(sel, sc)
+		g.genOrderLimit(sel, sc, out)
 	}
-	return sel
+	return sel, out
 }
 
 // genFromItem builds one FROM item and the scope entries it contributes.
@@ -429,26 +511,42 @@ func (g *Gen) genFromItem(depth int) (sql.TableRef, []scopeRel) {
 	case roll < derivedCut && depth > 0:
 		// Derived table; cannot correlate outward, may order internally
 		// (exercising order propagation and hidden-key LIMIT cuts).
-		sub := g.genSelect(depth-1, nil, 0, true)
+		sub, cols := g.genSelect(depth-1, nil, nil, true)
 		alias := g.freshAlias()
-		cols := make([]string, len(sub.Cols))
-		for i, c := range sub.Cols {
-			cols[i] = c.Alias
-		}
-		if sub.Star {
-			cols = nil // not generated: derived tables always alias columns
-		}
 		return sql.TableRef{Sub: &sql.Stmt{Left: sub}, Alias: alias}, []scopeRel{{alias: alias, cols: cols}}
 	case roll < joinCut:
-		// Join of two base tables.
+		// Join of two base tables on a same-kind column equality.
 		l, lrels := g.genBaseRef()
 		r, rrels := g.genBaseRef()
 		lc := lrels[0]
 		rc := rrels[0]
+		lcol := lc.cols[g.rng.intn(len(lc.cols))]
+		rcands := make([]fcol, 0, len(rc.cols))
+		for _, c := range rc.cols {
+			if c.kind == lcol.kind {
+				rcands = append(rcands, c)
+			}
+		}
+		if len(rcands) == 0 {
+			// No kind-matching pair: fall back to the integer columns both
+			// tables are guaranteed to have.
+			for _, c := range lc.cols {
+				if c.kind == types.KindInt {
+					lcol = c
+					break
+				}
+			}
+			for _, c := range rc.cols {
+				if c.kind == types.KindInt {
+					rcands = append(rcands, c)
+				}
+			}
+		}
+		rcol := rcands[g.rng.intn(len(rcands))]
 		on := sql.Expr(sql.Binary{
 			Op: "=",
-			L:  sql.Ident{Qual: lc.alias, Name: lc.cols[g.rng.intn(len(lc.cols))]},
-			R:  sql.Ident{Qual: rc.alias, Name: rc.cols[g.rng.intn(len(rc.cols))]},
+			L:  sql.Ident{Qual: lc.alias, Name: lcol.name},
+			R:  sql.Ident{Qual: rc.alias, Name: rcol.name},
 		})
 		return sql.TableRef{Join: &sql.JoinRef{
 			Left: l, Right: r, LeftOuter: g.rng.chance(0.35), On: on,
@@ -464,12 +562,28 @@ func (g *Gen) genBaseRef() (sql.TableRef, []scopeRel) {
 	return sql.TableRef{Table: tb.name, Alias: alias}, []scopeRel{{alias: alias, cols: tb.cols}}
 }
 
+// stringTable returns the fuzz table holding a string column, with that
+// column's name — looked up from the schema so reordering or renaming
+// fuzzTables cannot silently desynchronize the generator.
+func stringTable() (name string, cols []fcol, strCol string) {
+	for _, tb := range fuzzTables {
+		for _, c := range tb.cols {
+			if c.kind == types.KindString {
+				return tb.name, tb.cols, c.name
+			}
+		}
+	}
+	panic("fuzz: no string-typed table in the schema")
+}
+
 // genGroupedOutput turns the block into a GROUP BY query: grouping columns
-// plus aggregates in the select list, optional HAVING, ORDER BY over the
-// output (including, sometimes, an aggregate not in the select list — a
-// hidden-key sort over the aggregation schema).
-func (g *Gen) genGroupedOutput(sel *sql.SelectStmt, sc *scope, orderable bool) {
+// plus aggregates in the select list (GROUP BY sometimes spelled as a
+// select-list ordinal), optional HAVING, ORDER BY over the output —
+// including aliases, ordinals and, sometimes, an aggregate not in the
+// select list (a hidden-key sort over the aggregation schema).
+func (g *Gen) genGroupedOutput(sel *sql.SelectStmt, sc *scope, orderable bool) []fcol {
 	cols := sc.ownCols()
+	var out []fcol
 	nGroup := 1 + g.rng.intn(2)
 	seen := map[string]bool{}
 	for i := 0; i < nGroup; i++ {
@@ -480,51 +594,86 @@ func (g *Gen) genGroupedOutput(sel *sql.SelectStmt, sc *scope, orderable bool) {
 		}
 		seen[key] = true
 		id := sql.Ident{Qual: c.qual, Name: c.name}
-		sel.GroupBy = append(sel.GroupBy, id)
-		sel.Cols = append(sel.Cols, sql.SelectCol{E: id, Alias: g.freshCol()})
+		alias := g.freshCol()
+		sel.Cols = append(sel.Cols, sql.SelectCol{E: id, Alias: alias})
+		out = append(out, fcol{name: alias, kind: c.kind})
+		if g.rng.chance(0.3) {
+			// GROUP BY ordinal referencing the select-list position.
+			sel.GroupBy = append(sel.GroupBy, sql.NumLit{Int: int64(len(sel.Cols))})
+		} else {
+			sel.GroupBy = append(sel.GroupBy, id)
+		}
 	}
 	nAgg := 1 + g.rng.intn(2)
 	for i := 0; i < nAgg; i++ {
-		sel.Cols = append(sel.Cols, sql.SelectCol{E: g.genAggCall(sc), Alias: g.freshCol()})
+		agg, kind := g.genAggCall(sc)
+		alias := g.freshCol()
+		sel.Cols = append(sel.Cols, sql.SelectCol{E: agg, Alias: alias})
+		out = append(out, fcol{name: alias, kind: kind})
 	}
 	if g.rng.chance(0.4) {
-		sel.Having = sql.Binary{Op: cmpOp(g.rng), L: g.genAggCall(sc), R: g.genIntLit()}
+		agg, kind := g.genAggCall(sc)
+		sel.Having = sql.Binary{Op: cmpOp(g.rng), L: agg, R: g.genLit(kind)}
 	}
 	if orderable && g.rng.chance(0.5) {
 		n := 1 + g.rng.intn(2)
 		for i := 0; i < n; i++ {
 			var key sql.Expr
-			if g.rng.chance(0.75) {
+			switch roll := g.rng.intn(100); {
+			case roll < 45:
 				key = sql.Ident{Name: sel.Cols[g.rng.intn(len(sel.Cols))].Alias}
-			} else {
-				key = g.genAggCall(sc) // possibly not in the select list
+			case roll < 70:
+				key = sql.NumLit{Int: int64(1 + g.rng.intn(len(sel.Cols)))}
+			default:
+				key, _ = g.genAggCall(sc) // possibly not in the select list
 			}
 			sel.OrderBy = append(sel.OrderBy, sql.OrderKey{E: key, Desc: g.rng.chance(0.5)})
 		}
 		g.maybeLimit(sel)
 	}
+	return out
 }
 
-func (g *Gen) genAggCall(sc *scope) sql.Expr {
+// genAggCall builds an aggregate call over the scope and reports its result
+// kind. sum and avg only apply to integer columns; min/max/count take any.
+func (g *Gen) genAggCall(sc *scope) (sql.Expr, types.Kind) {
+	cols := sc.ownCols()
+	intCols := colsOfKind(cols, types.KindInt)
 	fns := []string{"count", "sum", "min", "max", "avg"}
 	fn := fns[g.rng.intn(len(fns))]
-	if fn == "count" && g.rng.chance(0.3) {
-		return sql.Call{Name: "count", Star: true}
+	if (fn == "sum" || fn == "avg") && len(intCols) == 0 {
+		fn = "count"
 	}
-	cols := sc.ownCols()
-	c := cols[g.rng.intn(len(cols))]
-	return sql.Call{
+	if fn == "count" && (g.rng.chance(0.3) || len(cols) == 0) {
+		return sql.Call{Name: "count", Star: true}, types.KindInt
+	}
+	pool := cols
+	if fn == "sum" || fn == "avg" {
+		pool = intCols
+	}
+	c := pool[g.rng.intn(len(pool))]
+	call := sql.Call{
 		Name:     fn,
 		Args:     []sql.Expr{sql.Ident{Qual: c.qual, Name: c.name}},
 		Distinct: g.rng.chance(0.15),
 	}
+	switch fn {
+	case "count":
+		return call, types.KindInt
+	case "avg":
+		return call, types.KindFloat
+	case "sum":
+		return call, types.KindInt
+	default: // min, max follow the argument
+		return call, c.kind
+	}
 }
 
-// genOrderLimit adds ORDER BY (over aliases, scope columns — the
+// genOrderLimit adds ORDER BY (over aliases, ordinals, scope columns — the
 // hidden-key path — or expressions) and, only under an order, LIMIT/OFFSET
 // (an unordered limit's row choice is unspecified, so the differential
 // would false-positive on it).
-func (g *Gen) genOrderLimit(sel *sql.SelectStmt, sc *scope) {
+func (g *Gen) genOrderLimit(sel *sql.SelectStmt, sc *scope, out []fcol) {
 	if !g.rng.chance(0.5) {
 		return
 	}
@@ -532,18 +681,24 @@ func (g *Gen) genOrderLimit(sel *sql.SelectStmt, sc *scope) {
 	for i := 0; i < n; i++ {
 		var key sql.Expr
 		switch roll := g.rng.intn(100); {
-		case roll < 45:
+		case roll < 35:
 			key = sql.Ident{Name: sel.Cols[g.rng.intn(len(sel.Cols))].Alias}
+		case roll < 55:
+			key = sql.NumLit{Int: int64(1 + g.rng.intn(len(sel.Cols)))}
 		case roll < 80 && !sel.Distinct:
 			// A scope column, usually not projected: the hidden-key path.
 			cols := sc.ownCols()
 			c := cols[g.rng.intn(len(cols))]
 			key = sql.Ident{Qual: c.qual, Name: c.name}
 		default:
-			key = sql.Binary{
-				Op: "+",
-				L:  sql.Ident{Name: sel.Cols[g.rng.intn(len(sel.Cols))].Alias},
-				R:  g.genIntLit(),
+			// An expression over an output alias; || for string outputs,
+			// + for numeric ones.
+			idx := g.rng.intn(len(sel.Cols))
+			alias := sql.Ident{Name: sel.Cols[idx].Alias}
+			if out[idx].kind == types.KindString {
+				key = sql.Binary{Op: "||", L: alias, R: g.genStrLit()}
+			} else {
+				key = sql.Binary{Op: "+", L: alias, R: g.genIntLit()}
 			}
 		}
 		sel.OrderBy = append(sel.OrderBy, sql.OrderKey{E: key, Desc: g.rng.chance(0.5)})
@@ -571,11 +726,23 @@ func (g *Gen) genIntLit() sql.Expr {
 	return sql.NumLit{Int: n}
 }
 
-// genColRef picks a column reference: usually from the current scope,
-// sometimes (when enclosing scopes exist) a correlated outer reference.
+func (g *Gen) genStrLit() sql.Expr {
+	return sql.StrLit{S: strDomain[g.rng.intn(len(strDomain))]}
+}
+
+func (g *Gen) genLit(kind types.Kind) sql.Expr {
+	if kind == types.KindString {
+		return g.genStrLit()
+	}
+	return g.genIntLit()
+}
+
+// genColRef picks a column reference of the wanted kind: usually from the
+// current scope, sometimes (when enclosing scopes exist) a correlated outer
+// reference. ok is false when no column of the kind is in reach.
 // References are always alias-qualified — aliases are generation-unique, so
 // qualification is never ambiguous.
-func (g *Gen) genColRef(sc *scope) sql.Expr {
+func (g *Gen) genColRef(sc *scope, kind types.Kind) (sql.Expr, bool) {
 	pick := sc
 	if pick.outer != nil && g.rng.chance(0.3) {
 		pick = pick.outer
@@ -583,116 +750,237 @@ func (g *Gen) genColRef(sc *scope) sql.Expr {
 			pick = pick.outer
 		}
 	}
-	cols := pick.ownCols()
+	cols := colsOfKind(pick.ownCols(), kind)
 	if len(cols) == 0 {
-		cols = sc.ownCols()
+		cols = colsOfKind(sc.ownCols(), kind)
+	}
+	if len(cols) == 0 {
+		return nil, false
 	}
 	c := cols[g.rng.intn(len(cols))]
-	return sql.Ident{Qual: c.qual, Name: c.name}
+	return sql.Ident{Qual: c.qual, Name: c.name}, true
 }
 
-// genScalar builds an integer-valued expression over the scope.
-func (g *Gen) genScalar(depth int, sc *scope, complexity int) sql.Expr {
+// genColRefOr picks a column reference of the kind or falls back to a
+// literal of the kind.
+func (g *Gen) genColRefOr(sc *scope, kind types.Kind) sql.Expr {
+	if ref, ok := g.genColRef(sc, kind); ok {
+		return ref
+	}
+	return g.genLit(kind)
+}
+
+// genScalar builds an expression of the wanted kind over the scope.
+func (g *Gen) genScalar(depth int, sc *scope, complexity int, kind types.Kind) sql.Expr {
+	if kind == types.KindString {
+		return g.genStrScalar(depth, sc, complexity)
+	}
 	roll := g.rng.intn(100)
 	switch {
-	case complexity <= 0 || roll < 55:
-		return g.genColRef(sc)
-	case roll < 65:
+	case complexity <= 0 || roll < 50:
+		return g.genColRefOr(sc, types.KindInt)
+	case roll < 60:
 		return g.genIntLit()
-	case roll < 80:
+	case roll < 74:
 		ops := []string{"+", "-", "*"}
 		return sql.Binary{
 			Op: ops[g.rng.intn(len(ops))],
-			L:  g.genScalar(depth, sc, complexity-1),
-			R:  g.genScalar(depth, sc, complexity-1),
+			L:  g.genScalar(depth, sc, complexity-1, types.KindInt),
+			R:  g.genScalar(depth, sc, complexity-1, types.KindInt),
 		}
+	case roll < 80:
+		// length bridges the string family into integer expressions.
+		return sql.Call{Name: "length", Args: []sql.Expr{g.genStrScalar(depth, sc, complexity-1)}}
 	case roll < 92:
 		c := sql.Case{}
 		n := 1 + g.rng.intn(2)
 		for i := 0; i < n; i++ {
 			c.Whens = append(c.Whens, sql.CaseWhen{
 				Cond:   g.genPred(depth, sc, complexity-1),
-				Result: g.genScalar(depth, sc, complexity-1),
+				Result: g.genScalar(depth, sc, complexity-1, types.KindInt),
 			})
 		}
 		if g.rng.chance(0.7) {
-			c.Else = g.genScalar(depth, sc, complexity-1)
+			c.Else = g.genScalar(depth, sc, complexity-1, types.KindInt)
 		}
 		return c
 	default:
 		if depth > 0 {
-			return g.genScalarSub(depth, sc)
+			return g.genScalarSub(depth, sc, types.KindInt)
 		}
-		return g.genColRef(sc)
+		return g.genColRefOr(sc, types.KindInt)
+	}
+}
+
+// genStrScalar builds a string-kinded expression: column references, string
+// literals, || concatenation, upper/lower/substr, CAST to string, CASE with
+// string results, and string-valued scalar subqueries (min/max).
+func (g *Gen) genStrScalar(depth int, sc *scope, complexity int) sql.Expr {
+	roll := g.rng.intn(100)
+	switch {
+	case complexity <= 0 || roll < 40:
+		return g.genColRefOr(sc, types.KindString)
+	case roll < 52:
+		return g.genStrLit()
+	case roll < 66:
+		return sql.Binary{
+			Op: "||",
+			L:  g.genStrScalar(depth, sc, complexity-1),
+			R:  g.genStrScalar(depth, sc, complexity-1),
+		}
+	case roll < 76:
+		fn := []string{"upper", "lower"}[g.rng.intn(2)]
+		return sql.Call{Name: fn, Args: []sql.Expr{g.genStrScalar(depth, sc, complexity-1)}}
+	case roll < 84:
+		args := []sql.Expr{
+			g.genStrScalar(depth, sc, complexity-1),
+			sql.NumLit{Int: int64(g.rng.intn(3))},
+		}
+		if g.rng.chance(0.6) {
+			args = append(args, sql.NumLit{Int: int64(1 + g.rng.intn(3))})
+		}
+		return sql.Call{Name: "substr", Args: args}
+	case roll < 90:
+		return sql.CastExpr{E: g.genScalar(depth, sc, complexity-1, types.KindInt), Type: "string"}
+	case roll < 96 || depth <= 0:
+		c := sql.Case{}
+		n := 1 + g.rng.intn(2)
+		for i := 0; i < n; i++ {
+			c.Whens = append(c.Whens, sql.CaseWhen{
+				Cond:   g.genPred(depth, sc, complexity-1),
+				Result: g.genStrScalar(depth, sc, complexity-1),
+			})
+		}
+		if g.rng.chance(0.7) {
+			c.Else = g.genStrScalar(depth, sc, complexity-1)
+		}
+		return c
+	default:
+		return g.genScalarSub(depth, sc, types.KindString)
 	}
 }
 
 // genScalarSub builds a scalar subquery guaranteed to yield exactly one
 // row: a global aggregate (no GROUP BY) over one table, optionally
-// correlated with the enclosing scope.
-func (g *Gen) genScalarSub(depth int, sc *scope) sql.Expr {
-	ref, rels := g.genBaseRef()
+// correlated with the enclosing scope. A string-kinded subquery aggregates
+// min/max over the string table.
+func (g *Gen) genScalarSub(depth int, sc *scope, kind types.Kind) sql.Expr {
+	var ref sql.TableRef
+	var rels []scopeRel
+	var strCol string
+	if kind == types.KindString {
+		// Scan a table that has a string column (derived from the schema,
+		// not a fixed position).
+		name, cols, col := stringTable()
+		strCol = col
+		alias := g.freshAlias()
+		ref = sql.TableRef{Table: name, Alias: alias}
+		rels = []scopeRel{{alias: alias, cols: cols}}
+	} else {
+		ref, rels = g.genBaseRef()
+	}
 	inner := &scope{rels: rels, outer: sc}
 	sub := &sql.SelectStmt{Limit: -1, From: []sql.TableRef{ref}}
 	if g.rng.chance(0.6) {
 		sub.Where = g.genPred(depth-1, inner, 1)
 	}
-	agg := g.genAggCall(inner)
+	var agg sql.Expr
+	if kind == types.KindString {
+		fn := []string{"min", "max"}[g.rng.intn(2)]
+		agg = sql.Call{Name: fn, Args: []sql.Expr{sql.Ident{Qual: rels[0].alias, Name: strCol}}}
+	} else {
+		for {
+			var k types.Kind
+			agg, k = g.genAggCall(inner)
+			if k != types.KindString {
+				break
+			}
+		}
+	}
 	sub.Cols = []sql.SelectCol{{E: agg, Alias: g.freshCol()}}
 	return sql.ScalarSub{Sub: &sql.Stmt{Left: sub}}
 }
 
-// genSub builds a subquery for IN/ANY/ALL (width 1) or EXISTS (width 0 =
-// free), possibly correlated with the enclosing scope chain.
-func (g *Gen) genSub(depth int, sc *scope, width int) *sql.Stmt {
+// genSub builds a subquery for IN/ANY/ALL (shape of one column of the
+// wanted kind) or EXISTS (shape nil = free), possibly correlated with the
+// enclosing scope chain.
+func (g *Gen) genSub(depth int, sc *scope, shape []types.Kind) *sql.Stmt {
 	var outer *scope
 	if g.rng.chance(0.55) {
 		outer = sc // correlation allowed
 	}
-	sel := g.genSelect(depth-1, outer, width, g.rng.chance(0.15))
+	sel, _ := g.genSelect(depth-1, outer, shape, g.rng.chance(0.15))
 	return &sql.Stmt{Left: sel}
 }
 
-// genPred builds a boolean predicate over the scope.
+// genPred builds a boolean predicate over the scope. All comparisons are
+// kind-consistent: the analyzer rejects string-vs-number operands, so the
+// generator never produces them.
 func (g *Gen) genPred(depth int, sc *scope, complexity int) sql.Expr {
 	roll := g.rng.intn(100)
 	sub := depth > 0 && complexity > 0
+	// predKind chooses which family a comparison works in.
+	predKind := types.KindInt
+	if g.rng.chance(0.3) {
+		predKind = types.KindString
+	}
 	switch {
-	case complexity <= 0 || roll < 28:
-		r := sql.Expr(g.genIntLit())
+	case complexity <= 0 || roll < 24:
+		r := g.genLit(predKind)
 		if g.rng.chance(0.5) {
-			r = g.genColRef(sc)
+			r = g.genColRefOr(sc, predKind)
 		}
-		return sql.Binary{Op: cmpOp(g.rng), L: g.genColRef(sc), R: r}
-	case roll < 38:
+		return sql.Binary{Op: cmpOp(g.rng), L: g.genColRefOr(sc, predKind), R: r}
+	case roll < 31:
+		// LIKE over a string expression and a pattern from the fixed pool.
+		pat := sql.Expr(sql.StrLit{S: likePatterns[g.rng.intn(len(likePatterns))]})
+		return sql.Like{
+			E:       g.genStrScalar(depth, sc, complexity-1),
+			Pattern: pat,
+			Not:     g.rng.chance(0.3),
+		}
+	case roll < 39:
 		return sql.Binary{Op: "AND", L: g.genPred(depth, sc, complexity-1), R: g.genPred(depth, sc, complexity-1)}
 	case roll < 46:
 		return sql.Binary{Op: "OR", L: g.genPred(depth, sc, complexity-1), R: g.genPred(depth, sc, complexity-1)}
-	case roll < 52:
+	case roll < 51:
 		return sql.Unary{Op: "NOT", E: g.genPred(depth, sc, complexity-1)}
-	case roll < 59:
-		return sql.IsNull{E: g.genColRef(sc), Not: g.rng.chance(0.4)}
-	case roll < 65:
-		return sql.Between{E: g.genColRef(sc), Lo: g.genIntLit(), Hi: g.genIntLit(), Not: g.rng.chance(0.3)}
-	case roll < 71:
+	case roll < 57:
+		return sql.IsNull{E: g.genColRefOr(sc, predKind), Not: g.rng.chance(0.4)}
+	case roll < 62:
+		return sql.Between{
+			E:   g.genColRefOr(sc, predKind),
+			Lo:  g.genLit(predKind),
+			Hi:  g.genLit(predKind),
+			Not: g.rng.chance(0.3),
+		}
+	case roll < 68:
 		n := 1 + g.rng.intn(3)
 		list := make([]sql.Expr, n)
 		for i := range list {
-			list[i] = g.genIntLit()
+			list[i] = g.genLit(predKind)
 		}
-		return sql.InList{E: g.genColRef(sc), List: list, Not: g.rng.chance(0.3)}
-	case roll < 79 && sub:
-		return sql.InSub{E: g.genScalar(0, sc, 1), Sub: g.genSub(depth, sc, 1), Not: g.rng.chance(0.3)}
-	case roll < 86 && sub:
+		return sql.InList{E: g.genColRefOr(sc, predKind), List: list, Not: g.rng.chance(0.3)}
+	case roll < 77 && sub:
+		return sql.InSub{
+			E:   g.genScalar(0, sc, 1, predKind),
+			Sub: g.genSub(depth, sc, []types.Kind{predKind}),
+			Not: g.rng.chance(0.3),
+		}
+	case roll < 85 && sub:
 		return sql.Quant{
 			Op:  cmpOp(g.rng),
 			Any: g.rng.chance(0.5),
-			E:   g.genScalar(0, sc, 1),
-			Sub: g.genSub(depth, sc, 1),
+			E:   g.genScalar(0, sc, 1, predKind),
+			Sub: g.genSub(depth, sc, []types.Kind{predKind}),
 		}
-	case roll < 95 && sub:
-		return sql.Exists{Sub: g.genSub(depth, sc, 0), Not: g.rng.chance(0.35)}
+	case roll < 94 && sub:
+		return sql.Exists{Sub: g.genSub(depth, sc, nil), Not: g.rng.chance(0.35)}
 	default:
-		return sql.Binary{Op: cmpOp(g.rng), L: g.genScalar(0, sc, 1), R: g.genScalar(0, sc, 1)}
+		return sql.Binary{
+			Op: cmpOp(g.rng),
+			L:  g.genScalar(0, sc, 1, predKind),
+			R:  g.genScalar(0, sc, 1, predKind),
+		}
 	}
 }

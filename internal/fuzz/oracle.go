@@ -265,14 +265,21 @@ func compareCells(a, b string, desc bool) (int, bool) {
 	}
 	af, aok := parseNum(a)
 	bf, bok := parseNum(b)
-	if !aok || !bok {
-		return 0, false
-	}
 	cmp := 0
-	if af < bf {
-		cmp = -1
-	} else if af > bf {
-		cmp = 1
+	switch {
+	case aok && bok:
+		if af < bf {
+			cmp = -1
+		} else if af > bf {
+			cmp = 1
+		}
+	case !aok && !bok:
+		// Neither cell is numeric: compare as strings, matching the
+		// engine's lexical string order. The generator's string domain is
+		// digit-free, so a string-kinded cell never parses as a number.
+		cmp = strings.Compare(a, b)
+	default:
+		return 0, false // mixed numeric/string cells: skip the check
 	}
 	if desc {
 		cmp = -cmp

@@ -242,6 +242,21 @@ func renderExpr(b *strings.Builder, e sql.Expr) {
 			}
 		}
 		b.WriteByte(')')
+	case sql.Like:
+		b.WriteByte('(')
+		renderExpr(b, x.E)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" LIKE ")
+		renderExpr(b, x.Pattern)
+		b.WriteByte(')')
+	case sql.CastExpr:
+		b.WriteString("CAST(")
+		renderExpr(b, x.E)
+		b.WriteString(" AS ")
+		b.WriteString(x.Type)
+		b.WriteByte(')')
 	case sql.Between:
 		b.WriteByte('(')
 		renderExpr(b, x.E)

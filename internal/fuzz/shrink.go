@@ -252,6 +252,16 @@ func exprCandidates(e sql.Expr) []sql.Expr {
 		}
 	case sql.Between:
 		out = append(out, simpler...)
+	case sql.Like:
+		out = append(out, simpler...)
+		for _, v := range exprCandidates(x.E) {
+			out = append(out, sql.Like{E: v, Pattern: x.Pattern, Not: x.Not})
+		}
+	case sql.CastExpr:
+		out = append(out, x.E, sql.NumLit{Int: 1}, sql.StrLit{S: "a"})
+		for _, v := range exprCandidates(x.E) {
+			out = append(out, sql.CastExpr{E: v, Type: x.Type})
+		}
 	case sql.Case:
 		for _, w := range x.Whens {
 			out = append(out, w.Result)

@@ -1,0 +1,4 @@
+-- CAST alongside an ORDER BY ordinal (cast-bearing statements are not
+-- semantically order-checked — digit-strings sort lexically — but the
+-- differential matrix still compares the presented sequences).
+SELECT CAST(f1.a AS string) AS x1, f1.b AS x2 FROM r AS f1 ORDER BY 2 DESC

@@ -1,0 +1,4 @@
+-- Comparing a string column with a number is a typed error (PostgreSQL),
+-- not a silent three-valued Unknown that filters every row.
+-- expect-error: operator does not exist: string = integer
+SELECT f1.g AS x1 FROM u AS f1 WHERE f1.g = 1

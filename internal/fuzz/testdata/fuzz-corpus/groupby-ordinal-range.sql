@@ -1,0 +1,2 @@
+-- expect-error: GROUP BY position 3 is not in select list
+SELECT f1.a AS x1, f1.b AS x2 FROM r AS f1 GROUP BY 3

@@ -1,0 +1,4 @@
+-- GROUP BY ordinals group by the referenced select-list column. This
+-- query used to fail with a leaked internal name ("unknown attribute b
+-- (scope (g#1, agg#2), ...)").
+SELECT f1.b AS x1, sum(f1.a) AS x2 FROM r AS f1 GROUP BY 1 ORDER BY 1

@@ -1,0 +1,4 @@
+-- int64 arithmetic raises PostgreSQL's "bigint out of range" instead of
+-- silently wrapping to -9223372036854775808.
+-- expect-error: bigint out of range
+SELECT 9223372036854775807 + 1 AS x1 FROM r AS f1

@@ -1,0 +1,4 @@
+-- An out-of-range ORDER BY ordinal must error, as in PostgreSQL;
+-- it used to be silently ignored.
+-- expect-error: ORDER BY position 5 is not in select list
+SELECT f1.a AS x1 FROM r AS f1 ORDER BY 5

@@ -1,0 +1,4 @@
+-- ORDER BY ordinals must sort by the referenced select-list column.
+-- Pre-analyzer engines parsed the ordinal as the constant 1 — a no-op
+-- sort key — and silently returned unsorted rows.
+SELECT f1.a AS x1, f1.b AS x2 FROM r AS f1 ORDER BY 1 DESC, 2

@@ -1,0 +1,5 @@
+-- The string surface — ||, LIKE, upper/length — under the full
+-- differential matrix including the provenance strategies.
+SELECT upper(f1.g) AS x1, f1.g || 'a' AS x2, length(f1.g) AS x3
+FROM u AS f1
+WHERE f1.g LIKE '%a%' OR f1.h = ANY (SELECT f2.a FROM r AS f2)

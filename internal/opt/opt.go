@@ -48,7 +48,7 @@ func Optimize(op algebra.Op) algebra.Op {
 	case *algebra.Aggregate:
 		gs := make([]algebra.GroupExpr, len(o.Group))
 		for i, g := range o.Group {
-			gs[i] = algebra.GroupExpr{E: optimizeExpr(g.E), As: g.As}
+			gs[i] = algebra.GroupExpr{E: optimizeExpr(g.E), As: g.As, Qual: g.Qual}
 		}
 		as := make([]algebra.AggExpr, len(o.Aggs))
 		for i, a := range o.Aggs {

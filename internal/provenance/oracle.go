@@ -261,7 +261,7 @@ func mapOpExprs(op algebra.Op, fn func(algebra.Expr) algebra.Expr) algebra.Op {
 	case *algebra.Aggregate:
 		gs := make([]algebra.GroupExpr, len(q.Group))
 		for i, g := range q.Group {
-			gs[i] = algebra.GroupExpr{E: fn(g.E), As: g.As}
+			gs[i] = algebra.GroupExpr{E: fn(g.E), As: g.As, Qual: g.Qual}
 		}
 		as := make([]algebra.AggExpr, len(q.Aggs))
 		for i, a := range q.Aggs {

@@ -233,6 +233,38 @@ func (r *Relation) EqualSet(o *Relation) bool {
 	return true
 }
 
+// InferKinds derives a per-column type from the data: the kind shared by
+// every non-NULL value of the column, with int and float unifying to float.
+// A column that is all NULL — or that mixes incompatible kinds, which the
+// SQL surface cannot produce but Register permits — reports KindNull,
+// meaning "unknown" to the semantic analyzer (every operation is admitted
+// and decided at runtime).
+func (r *Relation) InferKinds() []types.Kind {
+	kinds := make([]types.Kind, r.Schema.Len())
+	conflict := make([]bool, r.Schema.Len())
+	for i, t := range r.tuples {
+		if r.counts[i] <= 0 {
+			continue
+		}
+		for j, v := range t {
+			k := v.Kind()
+			if k == types.KindNull || kinds[j] == k || conflict[j] {
+				continue
+			}
+			switch {
+			case kinds[j] == types.KindNull:
+				kinds[j] = k
+			case (kinds[j] == types.KindInt || kinds[j] == types.KindFloat) &&
+				(k == types.KindInt || k == types.KindFloat):
+				kinds[j] = types.KindFloat
+			default:
+				kinds[j], conflict[j] = types.KindNull, true // incompatible mix: unknown
+			}
+		}
+	}
+	return kinds
+}
+
 // SortedTuples returns the distinct positive tuples expanded by multiplicity
 // in a deterministic order — for tests and for stable CLI output.
 func (r *Relation) SortedTuples() []Tuple {

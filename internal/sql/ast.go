@@ -64,13 +64,16 @@ type OrderKey struct {
 	Desc bool
 }
 
-// Expr is a surface expression node.
+// Expr is a surface expression node. Nodes the semantic analyzer reports
+// errors against carry Pos, their 1-based byte position in the source text
+// (0 when the node was built programmatically rather than parsed).
 type Expr interface{ sqlExpr() }
 
 // Ident is a possibly-qualified column reference.
 type Ident struct {
 	Qual string
 	Name string
+	Pos  int
 }
 
 // NumLit is an integer or float literal (Float reports which).
@@ -78,6 +81,7 @@ type NumLit struct {
 	Int   int64
 	Float float64
 	IsFlt bool
+	Pos   int
 }
 
 // StrLit is a string literal.
@@ -89,10 +93,11 @@ type BoolLit struct{ B bool }
 // NullLit is NULL.
 type NullLit struct{}
 
-// Binary is a binary operator: comparison, arithmetic, AND, OR.
+// Binary is a binary operator: comparison, arithmetic, ||, AND, OR.
 type Binary struct {
 	Op   string
 	L, R Expr
+	Pos  int // position of the operator
 }
 
 // Unary is NOT or unary minus.
@@ -138,13 +143,30 @@ type Exists struct {
 // ScalarSub is a parenthesized subquery used as a value.
 type ScalarSub struct{ Sub *Stmt }
 
-// Call is a function call; Star marks count(*), Distinct marks
-// f(DISTINCT x).
+// Call is a function call — an aggregate or a registered scalar function;
+// Star marks count(*), Distinct marks f(DISTINCT x).
 type Call struct {
 	Name     string
 	Args     []Expr
 	Star     bool
 	Distinct bool
+	Pos      int
+}
+
+// Like is "expr [NOT] LIKE pattern".
+type Like struct {
+	E       Expr
+	Pattern Expr
+	Not     bool
+	Pos     int
+}
+
+// CastExpr is "CAST(expr AS type)". Type is the spelled type name, resolved
+// by the analyzer/translator via algebra.ParseCastType.
+type CastExpr struct {
+	E    Expr
+	Type string
+	Pos  int
 }
 
 // Between is "expr [NOT] BETWEEN lo AND hi".
@@ -186,3 +208,59 @@ func (ScalarSub) sqlExpr() {}
 func (Call) sqlExpr()      {}
 func (Between) sqlExpr()   {}
 func (Case) sqlExpr()      {}
+func (Like) sqlExpr()      {}
+func (CastExpr) sqlExpr()  {}
+
+// WalkExprs visits e and its sub-expressions in pre-order; fn returning
+// false skips a node's children. Subquery statements (InSub/Quant/Exists/
+// ScalarSub bodies) are not descended into — callers that care about nested
+// statements type-switch inside fn and recurse themselves. Every traversal
+// over the surface AST goes through this one walker, so a new expression
+// node needs exactly one new arm here.
+func WalkExprs(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case Binary:
+		WalkExprs(x.L, fn)
+		WalkExprs(x.R, fn)
+	case Unary:
+		WalkExprs(x.E, fn)
+	case IsNull:
+		WalkExprs(x.E, fn)
+	case InList:
+		WalkExprs(x.E, fn)
+		for _, it := range x.List {
+			WalkExprs(it, fn)
+		}
+	case InSub:
+		WalkExprs(x.E, fn)
+	case Quant:
+		WalkExprs(x.E, fn)
+	case Between:
+		WalkExprs(x.E, fn)
+		WalkExprs(x.Lo, fn)
+		WalkExprs(x.Hi, fn)
+	case Like:
+		WalkExprs(x.E, fn)
+		WalkExprs(x.Pattern, fn)
+	case CastExpr:
+		WalkExprs(x.E, fn)
+	case Call:
+		for _, arg := range x.Args {
+			WalkExprs(arg, fn)
+		}
+	case Case:
+		if x.Operand != nil {
+			WalkExprs(x.Operand, fn)
+		}
+		for _, w := range x.Whens {
+			WalkExprs(w.Cond, fn)
+			WalkExprs(w.Result, fn)
+		}
+		if x.Else != nil {
+			WalkExprs(x.Else, fn)
+		}
+	}
+}

@@ -1,18 +1,32 @@
 // Package sql implements the SQL front end of the Perm reproduction: a
-// lexer, a recursive-descent parser and a translator from the SQL AST to
-// the extended relational algebra of internal/algebra.
+// lexer, a recursive-descent parser, a semantic analyzer and a translator
+// from the SQL AST to the extended relational algebra of internal/algebra.
 //
 // The dialect covers the subset the paper's workloads need — SELECT
-// [DISTINCT] lists with expressions and aliases, FROM with base tables,
-// aliases, subqueries and INNER/LEFT JOIN … ON, WHERE/HAVING conditions
-// with IN, NOT IN, op ANY/SOME, op ALL, [NOT] EXISTS and scalar subqueries
-// (correlated or not, arbitrarily nested), GROUP BY, ORDER BY, LIMIT/OFFSET,
-// UNION/INTERSECT/EXCEPT [ALL] — plus Perm's extension keyword:
+// [DISTINCT] lists with expressions and aliases (FROM-less SELECT included),
+// FROM with base tables, aliases, subqueries and INNER/LEFT JOIN … ON,
+// WHERE/HAVING conditions with IN, NOT IN, op ANY/SOME, op ALL, [NOT]
+// EXISTS and scalar subqueries (correlated or not, arbitrarily nested),
+// [NOT] LIKE, || concatenation, the scalar functions
+// upper/lower/length/substr, CAST(x AS type), GROUP BY, ORDER BY (both with
+// select-list ordinals), LIMIT/OFFSET, UNION/INTERSECT/EXCEPT [ALL] — plus
+// Perm's extension keyword:
 //
 //	SELECT PROVENANCE … ;
 //
 // marks the query for provenance rewriting, exactly like the language
 // extension described in §4.1 of the paper.
+//
+// Compilation runs in three passes. Parse builds the untyped AST. Analyze
+// (see analyze.go) then resolves names and select-list ordinals, checks
+// types bottom-up over kinds inferred from the catalog, resolves calls
+// against the scalar function registry and enforces SQL's grouping and
+// aggregate-placement rules, reporting errors with source positions and
+// user-visible column names. Translate finally lowers the analyzed AST onto
+// the algebra. Fine-grained provenance is only as trustworthy as the SQL
+// interpretation feeding it, so the analyzer exists to turn every
+// silently-wrong interpretation (no-op ORDER BY ordinals, cross-kind
+// comparisons yielding Unknown) into a loud, PostgreSQL-compatible error.
 package sql
 
 import (
@@ -62,7 +76,7 @@ var keywords = map[string]bool{
 	"INTERSECT": true, "EXCEPT": true, "ASC": true, "DESC": true,
 	"BETWEEN": true, "LIKE": true, "CREATE": true, "VIEW": true,
 	"DROP": true, "CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
-	"END": true,
+	"END": true, "CAST": true,
 }
 
 // lex tokenizes the input. Errors carry byte positions for messages.
@@ -130,7 +144,7 @@ func lex(input string) ([]token, error) {
 				two = input[i : i+2]
 			}
 			switch two {
-			case "<>", "!=", "<=", ">=":
+			case "<>", "!=", "<=", ">=", "||":
 				if two == "!=" {
 					two = "<>"
 				}

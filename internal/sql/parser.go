@@ -108,17 +108,18 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			}
 		}
 	}
-	if err := p.expect(tokKeyword, "FROM"); err != nil {
-		return nil, err
-	}
-	for {
-		ref, err := p.parseTableRef()
-		if err != nil {
-			return nil, err
-		}
-		sel.From = append(sel.From, ref)
-		if !p.accept(tokSymbol, ",") {
-			break
+	// FROM is optional: "SELECT 1" evaluates its select list over a single
+	// empty tuple, as in PostgreSQL.
+	if p.acceptKeyword("FROM") {
+		for {
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, ref)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
 		}
 	}
 	if p.acceptKeyword("WHERE") {
@@ -326,12 +327,13 @@ func (p *parser) parsePredicate() (Expr, error) {
 		}
 		return Exists{Sub: sub}, nil
 	}
-	l, err := p.parseAdditive()
+	l, err := p.parseConcat()
 	if err != nil {
 		return nil, err
 	}
 	// Comparison, possibly quantified.
 	if p.peek().kind == tokSymbol && cmpOps[p.peek().text] {
+		opPos := p.peek().pos
 		op := p.next().text
 		if p.acceptKeyword("ANY") || p.acceptKeyword("SOME") {
 			sub, err := p.parseParenStmt()
@@ -347,11 +349,11 @@ func (p *parser) parsePredicate() (Expr, error) {
 			}
 			return Quant{Op: op, Any: false, E: l, Sub: sub}, nil
 		}
-		r, err := p.parseAdditive()
+		r, err := p.parseConcat()
 		if err != nil {
 			return nil, err
 		}
-		return Binary{Op: op, L: l, R: r}, nil
+		return Binary{Op: op, L: l, R: r, Pos: opPos}, nil
 	}
 	not := false
 	if p.acceptKeyword("NOT") {
@@ -398,21 +400,47 @@ func (p *parser) parsePredicate() (Expr, error) {
 		}
 		return InList{E: l, List: list, Not: not}, nil
 	case p.acceptKeyword("BETWEEN"):
-		lo, err := p.parseAdditive()
+		lo, err := p.parseConcat()
 		if err != nil {
 			return nil, err
 		}
 		if err := p.expect(tokKeyword, "AND"); err != nil {
 			return nil, err
 		}
-		hi, err := p.parseAdditive()
+		hi, err := p.parseConcat()
 		if err != nil {
 			return nil, err
 		}
 		return Between{E: l, Lo: lo, Hi: hi, Not: not}, nil
 	}
+	if likePos := p.peek().pos; p.acceptKeyword("LIKE") {
+		pat, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		return Like{E: l, Pattern: pat, Not: not, Pos: likePos}, nil
+	}
 	if not {
-		return nil, p.errf("expected IN or BETWEEN after NOT")
+		return nil, p.errf("expected IN, BETWEEN or LIKE after NOT")
+	}
+	return l, nil
+}
+
+// parseConcat parses the || level, which binds looser than additive
+// arithmetic and tighter than comparisons (PostgreSQL's operator
+// precedence).
+func (p *parser) parseConcat() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokSymbol && p.peek().text == "||" {
+		pos := p.next().pos
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "||", L: l, R: r, Pos: pos}
 	}
 	return l, nil
 }
@@ -460,6 +488,30 @@ func (p *parser) parseCase() (Expr, error) {
 	return c, nil
 }
 
+// parseCast parses the remainder of CAST(expr AS type) after the CAST
+// keyword. The type name is validated by the semantic analyzer (or the
+// translator), not the parser.
+func (p *parser) parseCast(pos int) (Expr, error) {
+	if err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokKeyword, "AS"); err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokIdent {
+		return nil, p.errf("expected type name in CAST, found %s", p.peek())
+	}
+	typ := p.next().text
+	if err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return CastExpr{E: e, Type: typ, Pos: pos}, nil
+}
+
 func (p *parser) parseParenStmt() (*Stmt, error) {
 	if err := p.expect(tokSymbol, "("); err != nil {
 		return nil, err
@@ -480,18 +532,19 @@ func (p *parser) parseAdditive() (Expr, error) {
 		return nil, err
 	}
 	for {
+		pos := p.peek().pos
 		if p.accept(tokSymbol, "+") {
 			r, err := p.parseMultiplicative()
 			if err != nil {
 				return nil, err
 			}
-			l = Binary{Op: "+", L: l, R: r}
+			l = Binary{Op: "+", L: l, R: r, Pos: pos}
 		} else if p.accept(tokSymbol, "-") {
 			r, err := p.parseMultiplicative()
 			if err != nil {
 				return nil, err
 			}
-			l = Binary{Op: "-", L: l, R: r}
+			l = Binary{Op: "-", L: l, R: r, Pos: pos}
 		} else {
 			return l, nil
 		}
@@ -505,6 +558,7 @@ func (p *parser) parseMultiplicative() (Expr, error) {
 	}
 	for {
 		var op string
+		pos := p.peek().pos
 		switch {
 		case p.accept(tokSymbol, "*"):
 			op = "*"
@@ -519,7 +573,7 @@ func (p *parser) parseMultiplicative() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = Binary{Op: op, L: l, R: r}
+		l = Binary{Op: op, L: l, R: r, Pos: pos}
 	}
 }
 
@@ -540,13 +594,13 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case tokNumber:
 		p.next()
 		if i, err := strconv.ParseInt(t.text, 10, 64); err == nil {
-			return NumLit{Int: i}, nil
+			return NumLit{Int: i, Pos: t.pos}, nil
 		}
 		f, err := strconv.ParseFloat(t.text, 64)
 		if err != nil {
 			return nil, p.errf("invalid number %q", t.text)
 		}
-		return NumLit{Float: f, IsFlt: true}, nil
+		return NumLit{Float: f, IsFlt: true, Pos: t.pos}, nil
 	case tokString:
 		p.next()
 		return StrLit{S: t.text}, nil
@@ -564,13 +618,16 @@ func (p *parser) parsePrimary() (Expr, error) {
 		case "CASE":
 			p.next()
 			return p.parseCase()
+		case "CAST":
+			p.next()
+			return p.parseCast(t.pos)
 		}
 		return nil, p.errf("unexpected keyword %s in expression", t.text)
 	case tokIdent:
 		p.next()
 		// Function call?
 		if p.accept(tokSymbol, "(") {
-			call := Call{Name: t.text}
+			call := Call{Name: t.text, Pos: t.pos}
 			if p.accept(tokSymbol, "*") {
 				call.Star = true
 				if err := p.expect(tokSymbol, ")"); err != nil {
@@ -603,9 +660,9 @@ func (p *parser) parsePrimary() (Expr, error) {
 			if p.peek().kind != tokIdent {
 				return nil, p.errf("expected column name after %s.", t.text)
 			}
-			return Ident{Qual: t.text, Name: p.next().text}, nil
+			return Ident{Qual: t.text, Name: p.next().text, Pos: t.pos}, nil
 		}
-		return Ident{Name: t.text}, nil
+		return Ident{Name: t.text, Pos: t.pos}, nil
 	case tokSymbol:
 		if t.text == "(" {
 			p.next()

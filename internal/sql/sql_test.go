@@ -75,7 +75,6 @@ func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"",
 		"SELECT",
-		"SELECT a",
 		"SELECT a FROM",
 		"SELECT a FROM r WHERE",
 		"SELECT a FROM r GROUP a",

@@ -39,10 +39,13 @@ func Translate(cat *catalog.Catalog, stmt *Stmt) (*Translated, error) {
 	return &Translated{Plan: plan, Provenance: prov, Hidden: tr.hidden}, nil
 }
 
-// Compile parses and translates in one step.
+// Compile parses, analyzes and translates in one step.
 func Compile(cat *catalog.Catalog, query string) (*Translated, error) {
 	stmt, err := Parse(query)
 	if err != nil {
+		return nil, err
+	}
+	if err := Analyze(Env{Catalog: cat}, stmt); err != nil {
 		return nil, err
 	}
 	return Translate(cat, stmt)
@@ -56,6 +59,29 @@ type translator struct {
 	// hidden is the number of trailing hidden sort-key columns the
 	// top-level select block added to its projection (see Translated.Hidden).
 	hidden int
+	// subPlans memoizes sublink subquery translation per AST node. Ordinal
+	// substitution shares one AST subquery between GROUP BY and the select
+	// list; translating both occurrences to the same algebra.Op pointer is
+	// what lets ExprEqual (which compares sublinks by query pointer)
+	// recognize them as one grouping expression. Algebra trees are immutable
+	// and may share subtrees, so reuse is safe.
+	subPlans map[*Stmt]algebra.Op
+}
+
+// subquery translates a sublink subquery, memoizing by AST node.
+func (tr *translator) subquery(s *Stmt) (algebra.Op, error) {
+	if plan, ok := tr.subPlans[s]; ok {
+		return plan, nil
+	}
+	plan, err := tr.stmt(s, false)
+	if err != nil {
+		return nil, err
+	}
+	if tr.subPlans == nil {
+		tr.subPlans = map[*Stmt]algebra.Op{}
+	}
+	tr.subPlans[s] = plan
+	return plan, nil
 }
 
 // freshName returns an internal attribute name (grouping columns, hidden
@@ -105,19 +131,27 @@ func (tr *translator) stmt(s *Stmt, top bool) (algebra.Op, error) {
 }
 
 func (tr *translator) selectStmt(sel *SelectStmt, top bool) (algebra.Op, error) {
+	var plan algebra.Op
+	var err error
 	if len(sel.From) == 0 {
-		return nil, fmt.Errorf("sql: missing FROM clause")
-	}
-	plan, err := tr.fromItem(sel.From[0])
-	if err != nil {
-		return nil, err
-	}
-	for _, ref := range sel.From[1:] {
-		right, err := tr.fromItem(ref)
+		// FROM-less SELECT: the select list evaluates over one empty tuple
+		// (PostgreSQL's implicit single-row source).
+		if sel.Star {
+			return nil, fmt.Errorf("sql: SELECT * with no tables specified is not valid")
+		}
+		plan = &algebra.Values{Rows: []algebra.Row{{}}}
+	} else {
+		plan, err = tr.fromItem(sel.From[0])
 		if err != nil {
 			return nil, err
 		}
-		plan = &algebra.Cross{L: plan, R: right}
+		for _, ref := range sel.From[1:] {
+			right, err := tr.fromItem(ref)
+			if err != nil {
+				return nil, err
+			}
+			plan = &algebra.Cross{L: plan, R: right}
+		}
 	}
 
 	if sel.Where != nil {
@@ -140,23 +174,35 @@ func (tr *translator) selectStmt(sel *SelectStmt, top bool) (algebra.Op, error) 
 		if err != nil {
 			return nil, err
 		}
-		name := ""
+		name, qual := "", ""
 		// Name the grouping column after the grouped identifier — unless two
 		// grouping columns share an identifier name (GROUP BY x.a, y.a),
-		// which would make the post-aggregation schema ambiguous.
+		// which would make the post-aggregation schema ambiguous. The source
+		// qualifier is carried onto the output attribute so qualified
+		// references to the grouping column resolve above the aggregation.
 		if id, ok := g.(Ident); ok && !groupNames[id.Name] {
 			name = id.Name
+			if idx, amb := plan.Schema().Lookup(id.Qual, id.Name); idx >= 0 && !amb {
+				qual = plan.Schema().Attrs[idx].Qual
+			}
 		}
 		if name == "" {
 			name = tr.freshName("g")
 		}
 		groupNames[name] = true
-		groupExprs = append(groupExprs, algebra.GroupExpr{E: ge, As: name})
+		groupExprs = append(groupExprs, algebra.GroupExpr{E: ge, As: name, Qual: qual})
 	}
 	// Sublinks in GROUP BY are evaluated by a projection below the
 	// aggregation (§2.2 of the paper: "this can be simulated … using
 	// projection on sublinks before applying aggregation"), which also
 	// lets the provenance rewrite see them as ordinary projection sublinks.
+	// The pre-push expressions are kept so output-clause occurrences of a
+	// pushed grouping sublink (GROUP BY 1 sharing the select-list subquery)
+	// can still be recognized as the grouping column.
+	origGroup := make([]algebra.Expr, len(groupExprs))
+	for i, g := range groupExprs {
+		origGroup[i] = g.E
+	}
 	if plan, groupExprs, err = tr.pushGroupSublinks(plan, groupExprs); err != nil {
 		return nil, err
 	}
@@ -176,15 +222,7 @@ func (tr *translator) selectStmt(sel *SelectStmt, top bool) (algebra.Op, error) 
 			if err != nil {
 				return nil, err
 			}
-			name := c.Alias
-			if name == "" {
-				if id, ok := c.E.(Ident); ok {
-					name = id.Name
-				} else {
-					name = fmt.Sprintf("col%d", i+1)
-				}
-			}
-			outCols = append(outCols, algebra.Col(e, name))
+			outCols = append(outCols, algebra.Col(e, outputName(c, i)))
 		}
 	}
 	var having algebra.Expr
@@ -207,13 +245,22 @@ func (tr *translator) selectStmt(sel *SelectStmt, top bool) (algebra.Op, error) 
 		if star {
 			return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
 		}
+		preAgg := plan.Schema()
 		plan = &algebra.Aggregate{Child: plan, Group: groupExprs, Aggs: aggs.collected}
 		// Replace grouping expressions in the output clauses with
-		// references to the grouping columns.
+		// references to the grouping columns. The comparison resolves
+		// attribute references against the pre-aggregation schema, so
+		// differently-qualified spellings of one grouping expression match
+		// (SELECT a+1 … GROUP BY r.a+1), as they do in PostgreSQL.
+		normGroups := make([]algebra.Expr, len(groupExprs))
+		for i, g := range groupExprs {
+			normGroups[i] = normalizeRefs(g.E, preAgg)
+		}
 		replace := func(e algebra.Expr) algebra.Expr {
 			return algebra.MapExpr(e, func(x algebra.Expr) algebra.Expr {
-				for _, g := range groupExprs {
-					if algebra.ExprEqual(x, g.E) {
+				nx := normalizeRefs(x, preAgg)
+				for i, g := range groupExprs {
+					if algebra.ExprEqual(nx, normGroups[i]) || algebra.ExprEqual(x, origGroup[i]) {
 						return algebra.Attr(g.As)
 					}
 				}
@@ -248,6 +295,16 @@ func (tr *translator) selectStmt(sel *SelectStmt, top bool) (algebra.Op, error) 
 	hidden := 0
 	if len(orderKeys) > 0 {
 		for i := range orderKeys {
+			// A bare name that directly names an output column is that
+			// output column — SQL's output-alias rule takes precedence over
+			// the structural source-expression match below, which would
+			// otherwise mis-resolve `SELECT a AS b, b AS a … ORDER BY a`
+			// onto the source column a instead of the output alias.
+			if ref, isRef := orderKeys[i].E.(algebra.AttrRef); isRef && ref.Qual == "" {
+				if idx, amb := proj.Schema().Lookup("", ref.Name); idx >= 0 && !amb {
+					continue
+				}
+			}
 			mapped := aliasKeys(orderKeys[i].E, outCols)
 			if keyResolves(mapped, proj.Schema()) && !algebra.HasSublink(mapped) {
 				orderKeys[i].E = mapped
@@ -288,6 +345,22 @@ func (tr *translator) selectStmt(sel *SelectStmt, top bool) (algebra.Op, error) 
 		}
 	}
 	return plan, nil
+}
+
+// normalizeRefs rewrites attribute references that resolve uniquely in sch
+// to positional spellings ("#N" cannot collide with lexed identifiers), so
+// differently-qualified spellings of one column compare structurally equal.
+// Unresolvable or ambiguous references — e.g. correlated ones — are left
+// as written.
+func normalizeRefs(e algebra.Expr, sch schema.Schema) algebra.Expr {
+	return algebra.MapExpr(e, func(x algebra.Expr) algebra.Expr {
+		if ref, ok := x.(algebra.AttrRef); ok {
+			if idx, amb := sch.Lookup(ref.Qual, ref.Name); idx >= 0 && !amb {
+				return algebra.Attr(fmt.Sprintf("#%d", idx))
+			}
+		}
+		return x
+	})
 }
 
 // keyResolves reports whether a sort-key expression can be evaluated over
@@ -349,9 +422,24 @@ func (tr *translator) pushGroupSublinks(plan algebra.Op, groups []algebra.GroupE
 		}
 		name := tr.freshName("gsub")
 		cols = append(cols, algebra.Col(g.E, name))
-		out[i] = algebra.GroupExpr{E: algebra.Attr(name), As: g.As}
+		out[i] = algebra.GroupExpr{E: algebra.Attr(name), As: g.As, Qual: g.Qual}
 	}
 	return algebra.NewProject(plan, cols...), out, nil
+}
+
+// outputName derives the projected column name of select-list item i: its
+// alias, a plain identifier's own name, or the positional fallback colN.
+// The analyzer (ordinal resolution, output-alias typing) and the translator
+// (projection naming) share this single definition so the two can never
+// disagree about what an output column is called.
+func outputName(c SelectCol, i int) string {
+	if c.Alias != "" {
+		return c.Alias
+	}
+	if id, ok := c.E.(Ident); ok {
+		return id.Name
+	}
+	return fmt.Sprintf("col%d", i+1)
 }
 
 // aliasKeys maps ORDER BY references that name an output column's source
@@ -471,6 +559,17 @@ func (tr *translator) expr(e Expr, aggs *aggCollector) (algebra.Expr, error) {
 	case NullLit:
 		return algebra.NullConst(), nil
 	case Binary:
+		if x.Op == "||" {
+			l, err := tr.expr(x.L, aggs)
+			if err != nil {
+				return nil, err
+			}
+			r, err := tr.expr(x.R, aggs)
+			if err != nil {
+				return nil, err
+			}
+			return algebra.Func{Name: "concat", Args: []algebra.Expr{l, r}}, nil
+		}
 		switch x.Op {
 		case "AND", "OR":
 			l, err := tr.expr(x.L, aggs)
@@ -574,7 +673,7 @@ func (tr *translator) expr(e Expr, aggs *aggCollector) (algebra.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		sub, err := tr.stmt(x.Sub, false)
+		sub, err := tr.subquery(x.Sub)
 		if err != nil {
 			return nil, err
 		}
@@ -595,7 +694,7 @@ func (tr *translator) expr(e Expr, aggs *aggCollector) (algebra.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		sub, err := tr.stmt(x.Sub, false)
+		sub, err := tr.subquery(x.Sub)
 		if err != nil {
 			return nil, err
 		}
@@ -608,7 +707,7 @@ func (tr *translator) expr(e Expr, aggs *aggCollector) (algebra.Expr, error) {
 		}
 		return algebra.Sublink{Kind: kind, Op: op, Test: test, Query: sub}, nil
 	case Exists:
-		sub, err := tr.stmt(x.Sub, false)
+		sub, err := tr.subquery(x.Sub)
 		if err != nil {
 			return nil, err
 		}
@@ -618,7 +717,7 @@ func (tr *translator) expr(e Expr, aggs *aggCollector) (algebra.Expr, error) {
 		}
 		return out, nil
 	case ScalarSub:
-		sub, err := tr.stmt(x.Sub, false)
+		sub, err := tr.subquery(x.Sub)
 		if err != nil {
 			return nil, err
 		}
@@ -683,7 +782,48 @@ func (tr *translator) expr(e Expr, aggs *aggCollector) (algebra.Expr, error) {
 			els = e
 		}
 		return algebra.Case{Whens: whens, Else: els}, nil
+	case Like:
+		e, err := tr.expr(x.E, aggs)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := tr.expr(x.Pattern, aggs)
+		if err != nil {
+			return nil, err
+		}
+		var out algebra.Expr = algebra.Func{Name: "like", Args: []algebra.Expr{e, pat}}
+		if x.Not {
+			out = algebra.Not{E: out}
+		}
+		return out, nil
+	case CastExpr:
+		to, ok := algebra.ParseCastType(x.Type)
+		if !ok {
+			return nil, fmt.Errorf("sql: type %q does not exist", x.Type)
+		}
+		e, err := tr.expr(x.E, aggs)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Cast{E: e, To: to}, nil
 	case Call:
+		if def, ok := algebra.LookupFunc(x.Name); ok {
+			if x.Star || x.Distinct {
+				return nil, fmt.Errorf("sql: %s is not an aggregate function", x.Name)
+			}
+			if len(x.Args) < def.MinArgs || len(x.Args) > def.MaxArgs {
+				return nil, fmt.Errorf("sql: %s takes %d to %d arguments, got %d", x.Name, def.MinArgs, def.MaxArgs, len(x.Args))
+			}
+			args := make([]algebra.Expr, len(x.Args))
+			for i, a := range x.Args {
+				arg, err := tr.expr(a, aggs)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = arg
+			}
+			return algebra.Func{Name: x.Name, Args: args}, nil
+		}
 		fn, ok := aggFns[x.Name]
 		if !ok {
 			return nil, fmt.Errorf("sql: unknown function %q", x.Name)

@@ -90,11 +90,14 @@ type Env struct {
 	Views   map[string]*ViewDef
 }
 
-// CompileEnv parses and translates a query against an environment with
-// views.
+// CompileEnv parses, analyzes and translates a query against an environment
+// with views.
 func CompileEnv(env Env, query string) (*Translated, error) {
 	stmt, err := Parse(query)
 	if err != nil {
+		return nil, err
+	}
+	if err := Analyze(env, stmt); err != nil {
 		return nil, err
 	}
 	tr := &translator{cat: env.Catalog, views: env.Views}

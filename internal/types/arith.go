@@ -3,6 +3,7 @@ package types
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ArithOp is a binary arithmetic operator usable in projection and selection
@@ -41,9 +42,47 @@ func (op ArithOp) String() string {
 // raises "division by zero" rather than producing NULL).
 var ErrDivisionByZero = errors.New("types: division by zero")
 
+// ErrNumericOutOfRange is returned when int64 arithmetic (including sum)
+// overflows, matching PostgreSQL's "bigint out of range" error instead of
+// silently wrapping around.
+var ErrNumericOutOfRange = errors.New("types: bigint out of range")
+
+// AddInt64 is checked int64 addition: it returns ErrNumericOutOfRange
+// instead of wrapping. The sum aggregate accumulates through it.
+func AddInt64(x, y int64) (int64, error) {
+	z := x + y
+	// Overflow iff the operands share a sign the result does not.
+	if (x > 0 && y > 0 && z < 0) || (x < 0 && y < 0 && z >= 0) {
+		return 0, ErrNumericOutOfRange
+	}
+	return z, nil
+}
+
+// SubInt64 is checked int64 subtraction.
+func SubInt64(x, y int64) (int64, error) {
+	z := x - y
+	if (x >= 0 && y < 0 && z < 0) || (x < 0 && y > 0 && z >= 0) {
+		return 0, ErrNumericOutOfRange
+	}
+	return z, nil
+}
+
+// MulInt64 is checked int64 multiplication.
+func MulInt64(x, y int64) (int64, error) {
+	if x == 0 || y == 0 {
+		return 0, nil
+	}
+	z := x * y
+	if z/y != x || (x == -1 && y == math.MinInt64) || (y == -1 && x == math.MinInt64) {
+		return 0, ErrNumericOutOfRange
+	}
+	return z, nil
+}
+
 // Apply evaluates a op b with SQL NULL propagation: any NULL operand yields
 // NULL. Integer pairs stay integral; mixed pairs promote to float. Division
-// or modulus by zero is an error (ErrDivisionByZero), as in PostgreSQL.
+// or modulus by zero is an error (ErrDivisionByZero), and int64 overflow is
+// an error (ErrNumericOutOfRange), as in PostgreSQL.
 func (op ArithOp) Apply(a, b Value) (Value, error) {
 	if a.IsNull() || b.IsNull() {
 		return Null(), nil
@@ -55,14 +94,20 @@ func (op ArithOp) Apply(a, b Value) (Value, error) {
 		x, y := a.i, b.i
 		switch op {
 		case OpAdd:
-			return NewInt(x + y), nil
+			z, err := AddInt64(x, y)
+			return NewInt(z), err
 		case OpSub:
-			return NewInt(x - y), nil
+			z, err := SubInt64(x, y)
+			return NewInt(z), err
 		case OpMul:
-			return NewInt(x * y), nil
+			z, err := MulInt64(x, y)
+			return NewInt(z), err
 		case OpDiv:
 			if y == 0 {
 				return Null(), ErrDivisionByZero
+			}
+			if x == math.MinInt64 && y == -1 {
+				return Null(), ErrNumericOutOfRange
 			}
 			// Integer division over integers, matching SQL.
 			return NewInt(x / y), nil

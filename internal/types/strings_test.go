@@ -1,0 +1,72 @@
+package types
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLikeSemantics(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   TriBool
+	}{
+		{"abc", "abc", True},
+		{"abc", "a%", True},
+		{"abc", "%c", True},
+		{"abc", "%b%", True},
+		{"abc", "a_c", True},
+		{"abc", "_", False},
+		{"abc", "___", True},
+		{"abc", "", False},
+		{"", "", True},
+		{"", "%", True},
+		{"", "_", False},
+		{"abc", "%", True},
+		{"abc", "%%", True},
+		{"abc", "a%b%c", True},
+		{"abc", "a%c%b", False},
+		{"aaab", "%a%a%b", True},
+		{"aaab", "%a%a%a%a%b", False},
+		{"banana", "%ana", True},
+		{"banana", "b%na", True},
+		{"banana", "b%x%", False},
+	}
+	for _, c := range cases {
+		got, err := Like(NewString(c.s), NewString(c.pat))
+		if err != nil {
+			t.Fatalf("Like(%q, %q): %v", c.s, c.pat, err)
+		}
+		if got != c.want {
+			t.Errorf("Like(%q, %q) = %v, want %v", c.s, c.pat, got, c.want)
+		}
+	}
+	if got, _ := Like(Null(), NewString("%")); got != Unknown {
+		t.Errorf("Like(NULL, %%) = %v, want unknown", got)
+	}
+	if got, _ := Like(NewString("a"), Null()); got != Unknown {
+		t.Errorf("Like(a, NULL) = %v, want unknown", got)
+	}
+	if _, err := Like(NewInt(1), NewString("%")); err == nil {
+		t.Error("Like over an integer should be a type error")
+	}
+}
+
+// TestLikeManyWildcards: patterns with many '%'s must match in polynomial
+// time — the naive recursive matcher was exponential and hung for over a
+// minute on this input (review-found).
+func TestLikeManyWildcards(t *testing.T) {
+	s := NewString(strings.Repeat("a", 2000))
+	pat := NewString(strings.Repeat("%a", 20) + "%b")
+	start := time.Now()
+	got, err := Like(s, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != False {
+		t.Fatalf("match = %v, want false", got)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("pathological LIKE took %s", elapsed)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"perm/internal/algebra"
 	"perm/internal/catalog"
@@ -61,10 +62,15 @@ func (s Strategy) internal() (rewrite.Strategy, error) {
 	return rewrite.ParseStrategy(string(s))
 }
 
-// DB is an in-memory database with provenance support.
+// DB is an in-memory database with provenance support. Queries may run
+// concurrently with each other and with view DDL: the views map is
+// replaced wholesale under viewMu (never mutated in place), so a query
+// either sees a view completely — with its body already analyzed — or not
+// at all.
 type DB struct {
-	cat   *catalog.Catalog
-	views map[string]*sql.ViewDef
+	cat    *catalog.Catalog
+	viewMu sync.RWMutex
+	views  map[string]*sql.ViewDef
 }
 
 // Open returns an empty database.
@@ -82,20 +88,33 @@ func (db *DB) Exec(statement string, opts ...Option) (*Result, error) {
 	switch {
 	case st.CreateView != nil:
 		name := st.CreateView.Name
-		// Validate the body now so errors surface at definition time.
-		probe := db.views
-		db.views = cloneViews(probe)
-		db.views[name] = st.CreateView
-		if _, err := sql.CompileEnv(db.env(), "SELECT * FROM "+name); err != nil {
-			db.views = probe
+		// Validate the body now so errors surface at definition time. The
+		// whole snapshot–validate–publish sequence holds viewMu, so
+		// concurrent DDL serializes (no lost views) and the probe compiles
+		// against a private map BEFORE the view is published: analysis
+		// substitutes any ordinals in the body in place, and publishing only
+		// afterwards guarantees concurrent queries never see (or race with)
+		// that one-time write (see sql.Analyze). In-flight queries keep the
+		// map they snapshotted; only new snapshots wait out the validation.
+		db.viewMu.Lock()
+		defer db.viewMu.Unlock()
+		probe := cloneViews(db.views)
+		probe[name] = st.CreateView
+		if _, err := sql.CompileEnv(sql.Env{Catalog: db.cat, Views: probe}, "SELECT * FROM "+name); err != nil {
 			return nil, err
 		}
+		db.views = probe
 		return nil, nil
 	case st.DropView != "":
+		db.viewMu.Lock()
+		defer db.viewMu.Unlock()
 		if _, ok := db.views[st.DropView]; !ok {
 			return nil, fmt.Errorf("perm: unknown view %q", st.DropView)
 		}
-		delete(db.views, st.DropView)
+		// Replace, never mutate: concurrent queries may hold the old map.
+		next := cloneViews(db.views)
+		delete(next, st.DropView)
+		db.views = next
 		return nil, nil
 	default:
 		return db.Query(statement, opts...)
@@ -110,12 +129,22 @@ func (db *DB) CreateView(name, query string) error {
 
 // Views lists the defined view names.
 func (db *DB) Views() []string {
-	out := make([]string, 0, len(db.views))
-	for n := range db.views {
+	views := db.snapshotViews()
+	out := make([]string, 0, len(views))
+	for n := range views {
 		out = append(out, n)
 	}
 	sortStrings(out)
 	return out
+}
+
+// snapshotViews returns the current published views map. The map is
+// replaced wholesale on DDL and never mutated in place, so holding the
+// returned reference across a whole compile is safe.
+func (db *DB) snapshotViews() map[string]*sql.ViewDef {
+	db.viewMu.RLock()
+	defer db.viewMu.RUnlock()
+	return db.views
 }
 
 func cloneViews(in map[string]*sql.ViewDef) map[string]*sql.ViewDef {
@@ -134,7 +163,7 @@ func sortStrings(s []string) {
 	}
 }
 
-func (db *DB) env() sql.Env { return sql.Env{Catalog: db.cat, Views: db.views} }
+func (db *DB) env() sql.Env { return sql.Env{Catalog: db.cat, Views: db.snapshotViews()} }
 
 // Register installs a base relation. Row values may be int, int64,
 // float64, string, bool or nil (NULL).

@@ -1,6 +1,7 @@
 package perm
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -289,5 +290,705 @@ func TestGenProjectionSublinkUnknown(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("Gen dropped the Unknown-sublink row: %v", res.Rows)
+	}
+}
+
+// TestOrderByOrdinal: `ORDER BY 1` must sort by the first projected column.
+// Before the semantic-analysis pass the ordinal parsed as the constant 1 —
+// a no-op sort key — and the query silently returned unsorted rows.
+func TestOrderByOrdinal(t *testing.T) {
+	db := Open()
+	if err := db.Register("r", []string{"a", "b"}, [][]any{{2, 20}, {1, 30}, {3, 10}}); err != nil {
+		t.Fatal(err)
+	}
+	bothEngines(t, func(t *testing.T, opts ...Option) {
+		for _, tc := range []struct {
+			q    string
+			want []any
+		}{
+			{`SELECT a FROM r ORDER BY 1 DESC`, []any{int64(3), int64(2), int64(1)}},
+			{`SELECT a FROM r ORDER BY 1`, []any{int64(1), int64(2), int64(3)}},
+			{`SELECT a, b FROM r ORDER BY 2`, []any{int64(3), int64(2), int64(1)}},
+			{`SELECT a + 10 AS x FROM r ORDER BY 1 DESC`, []any{int64(13), int64(12), int64(11)}},
+			{`SELECT * FROM r ORDER BY 2 DESC`, []any{int64(1), int64(2), int64(3)}},
+			{`SELECT a FROM r ORDER BY 1 DESC LIMIT 2`, []any{int64(3), int64(2)}},
+		} {
+			res, err := db.Query(tc.q, opts...)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.q, err)
+			}
+			wantColumn(t, res, 0, tc.want...)
+		}
+	})
+}
+
+// TestOrderByOrdinalRange: an out-of-range ordinal must be an error, as in
+// PostgreSQL — before the fix `ORDER BY 5` was silently ignored.
+func TestOrderByOrdinalRange(t *testing.T) {
+	db := Open()
+	if err := db.Register("r", []string{"a", "b"}, [][]any{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	bothEngines(t, func(t *testing.T, opts ...Option) {
+		for q, want := range map[string]string{
+			`SELECT a FROM r ORDER BY 5`:    "ORDER BY position 5 is not in select list",
+			`SELECT a FROM r ORDER BY 0`:    "ORDER BY position 0 is not in select list",
+			`SELECT a FROM r ORDER BY 1.5`:  "non-integer constant in ORDER BY",
+			`SELECT a, b FROM r GROUP BY 3`: "GROUP BY position 3 is not in select list",
+		} {
+			_, err := db.Query(q, opts...)
+			if err == nil || !strings.Contains(err.Error(), want) {
+				t.Fatalf("%s: error = %v, want %q", q, err, want)
+			}
+		}
+	})
+}
+
+// TestGroupByOrdinal: `GROUP BY 1` must group by the first projected column.
+// Before the fix it grouped by the constant 1 and the projection of b then
+// hard-errored with a leaked internal name ("unknown attribute b (scope
+// (g#1, agg#2), …)").
+func TestGroupByOrdinal(t *testing.T) {
+	db := Open()
+	if err := db.Register("r", []string{"a", "b"}, [][]any{{1, 10}, {2, 10}, {3, 20}}); err != nil {
+		t.Fatal(err)
+	}
+	bothEngines(t, func(t *testing.T, opts ...Option) {
+		res, err := db.Query(`SELECT b, sum(a) FROM r GROUP BY 1 ORDER BY 1`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColumn(t, res, 0, int64(10), int64(20))
+		wantColumn(t, res, 1, int64(3), int64(3))
+		res, err = db.Query(`SELECT b AS g, count(*) AS n FROM r GROUP BY 1 ORDER BY 2 DESC, 1`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColumn(t, res, 0, int64(10), int64(20))
+	})
+}
+
+// TestIntOverflow: int64 arithmetic and sum must raise PostgreSQL's
+// "bigint out of range" instead of silently wrapping around.
+func TestIntOverflow(t *testing.T) {
+	db := Open()
+	max := int64(9223372036854775807)
+	if err := db.Register("big", []string{"v"}, [][]any{{max}, {1}}); err != nil {
+		t.Fatal(err)
+	}
+	bothEngines(t, func(t *testing.T, opts ...Option) {
+		for _, q := range []string{
+			`SELECT v + 1 FROM big`,
+			`SELECT sum(v) FROM big`,
+			`SELECT v * 3 FROM big`,
+			`SELECT 0 - v - 2 FROM big`,
+			`SELECT 9223372036854775807 + 1`,
+		} {
+			_, err := db.Query(q, opts...)
+			if err == nil || !strings.Contains(err.Error(), "bigint out of range") {
+				t.Fatalf("%s: error = %v, want bigint out of range", q, err)
+			}
+		}
+		// Non-overflowing paths still work, and float sums do not overflow.
+		res, err := db.Query(`SELECT sum(v - 1) FROM big`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColumn(t, res, 0, max-1)
+	})
+	// sum overflow is decided by the exact total, not by intermediate
+	// prefixes: {max, 1, -2} sums to max-1 regardless of the accumulation
+	// order the executor or worker pool happens to use.
+	if err := db.Register("mixed", []string{"v"}, [][]any{{max}, {1}, {-2}}); err != nil {
+		t.Fatal(err)
+	}
+	bothEngines(t, func(t *testing.T, opts ...Option) {
+		res, err := db.Query(`SELECT sum(v) FROM mixed`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColumn(t, res, 0, max-1)
+	})
+}
+
+// TestCrossTypeComparison: comparing a string column against a number was
+// silently Unknown (filtering every row); it must be a typed error, and the
+// same error under both executors and every provenance strategy.
+func TestCrossTypeComparison(t *testing.T) {
+	db := Open()
+	if err := db.Register("u", []string{"n"}, [][]any{{"x"}, {"y"}}); err != nil {
+		t.Fatal(err)
+	}
+	bothEngines(t, func(t *testing.T, opts ...Option) {
+		for _, q := range []string{
+			`SELECT n FROM u WHERE n = 1`,
+			`SELECT n FROM u WHERE n > 1`,
+			`SELECT n FROM u WHERE 'x' > 1`,
+			`SELECT n FROM u WHERE n IN (1, 2)`,
+			`SELECT n FROM u WHERE n BETWEEN 1 AND 2`,
+		} {
+			_, err := db.Query(q, opts...)
+			if err == nil || !strings.Contains(err.Error(), "operator does not exist") {
+				t.Fatalf("%s: error = %v, want operator does not exist", q, err)
+			}
+		}
+	})
+	// The error is raised at analysis, so every strategy × executor agrees.
+	for _, s := range []Strategy{Gen, Left, Move, Unn, UnnX, Auto} {
+		_, err := db.Query(`SELECT PROVENANCE n FROM u WHERE n > 1`, WithStrategy(s))
+		if err == nil || !strings.Contains(err.Error(), "operator does not exist: string > integer") {
+			t.Fatalf("%s: error = %v, want operator does not exist", s, err)
+		}
+	}
+}
+
+// TestAnalyzerErrorsNameUserColumns: analyzer errors must name the column
+// the user wrote, with a source position — never translator-internal
+// attribute names (which contain '#').
+func TestAnalyzerErrorsNameUserColumns(t *testing.T) {
+	db := Open()
+	if err := db.Register("r", []string{"a", "b"}, [][]any{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	for q, want := range map[string]string{
+		`SELECT b, sum(a) FROM r`:                           `column "b" must appear in the GROUP BY clause or be used in an aggregate function`,
+		`SELECT b, sum(a) FROM r GROUP BY a`:                `column "b" must appear in the GROUP BY clause`,
+		`SELECT a FROM r GROUP BY a ORDER BY r.b`:           `column "r.b" must appear in the GROUP BY clause`,
+		`SELECT missing FROM r`:                             `column "missing" does not exist`,
+		`SELECT r.missing FROM r`:                           `column "r.missing" does not exist`,
+		`SELECT x.a FROM r AS x, r AS y WHERE c=1`:          `column "c" does not exist`,
+		`SELECT a FROM r AS x, r AS y`:                      `column reference "a" is ambiguous`,
+		`SELECT sum(a) FROM r WHERE sum(a) > 0`:             `aggregate functions are not allowed in WHERE`,
+		`SELECT sum(sum(a)) FROM r`:                         `aggregate function calls cannot be nested`,
+		`SELECT nosuch(a) FROM r`:                           `function nosuch(integer) does not exist`,
+		`SELECT upper(a) FROM r`:                            `function upper(integer) does not exist`,
+		`SELECT CAST(a AS nosuchtype) FROM r`:               `type "nosuchtype" does not exist`,
+		`SELECT a FROM r WHERE a`:                           `argument of WHERE must be type boolean, not type integer`,
+		`SELECT a FROM r WHERE a AND TRUE`:                  `argument of AND must be type boolean, not type integer`,
+		`SELECT a || b FROM r`:                              `operator does not exist: integer || integer`,
+		`SELECT a FROM r WHERE a LIKE 'x'`:                  `operator does not exist: integer LIKE`,
+		`SELECT CASE WHEN a = 1 THEN 1 ELSE 'x' END FROM r`: `CASE types integer and string cannot be matched`,
+		`SELECT a FROM r UNION SELECT 'x'`:                  `UNION types integer and string cannot be matched`,
+	} {
+		_, err := db.Query(q)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Fatalf("%s: error = %v, want %q", q, err, want)
+		}
+		if strings.Contains(err.Error(), "#") {
+			t.Fatalf("%s: error leaks internal names: %v", q, err)
+		}
+	}
+	// Positions are reported where the offending token sits.
+	_, err := db.Query(`SELECT missing FROM r`)
+	if err == nil || !strings.Contains(err.Error(), "position 8") {
+		t.Fatalf("error should carry position 8, got %v", err)
+	}
+}
+
+// TestStringExpressions: the string operator/function surface — ||, LIKE,
+// upper/lower/length/substr, CAST — end to end, including NULL propagation
+// and FROM-less SELECT.
+func TestStringExpressions(t *testing.T) {
+	db := Open()
+	if err := db.Register("u", []string{"g", "h"}, [][]any{{"ab", 1}, {"cd", 2}, {nil, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	bothEngines(t, func(t *testing.T, opts ...Option) {
+		for _, tc := range []struct {
+			q    string
+			want []any
+		}{
+			{`SELECT 'a' || 'b' || 'c'`, []any{"abc"}},
+			{`SELECT upper('ab') || lower('CD')`, []any{"ABcd"}},
+			{`SELECT length('hello')`, []any{int64(5)}},
+			{`SELECT substr('hello', 2, 3)`, []any{"ell"}},
+			{`SELECT substr('hello', 0, 2)`, []any{"h"}},
+			{`SELECT substr('hello', 4)`, []any{"lo"}},
+			{`SELECT CAST(12 AS string) || '!'`, []any{"12!"}},
+			{`SELECT CAST('42' AS integer) + 1`, []any{int64(43)}},
+			{`SELECT CAST('1.5' AS float) * 2`, []any{2 * 1.5}},
+			{`SELECT CAST(TRUE AS integer)`, []any{int64(1)}},
+			{`SELECT CAST('t' AS boolean)`, []any{true}},
+			{`SELECT g || 'x' AS gx FROM u WHERE h = 1`, []any{"abx"}},
+			{`SELECT g FROM u WHERE g LIKE 'a%'`, []any{"ab"}},
+			{`SELECT g FROM u WHERE g LIKE '_b'`, []any{"ab"}},
+			{`SELECT g FROM u WHERE g NOT LIKE '%b%' ORDER BY 1`, []any{"cd"}},
+			{`SELECT h FROM u WHERE g IS NULL`, []any{int64(3)}},
+			{`SELECT upper(g) FROM u WHERE h = 2`, []any{"CD"}},
+			{`SELECT g || 'x' AS e FROM u WHERE h = 3`, []any{nil}},
+			{`SELECT h FROM u ORDER BY g DESC LIMIT 1`, []any{int64(3)}},
+			{`SELECT min(g) FROM u`, []any{"ab"}},
+			{`SELECT max(g) || '!' FROM u`, []any{"cd!"}},
+		} {
+			res, err := db.Query(tc.q, opts...)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.q, err)
+			}
+			wantColumn(t, res, 0, tc.want...)
+		}
+		// Runtime cast errors carry PostgreSQL's message.
+		_, err := db.Query(`SELECT CAST(g AS integer) FROM u`, opts...)
+		if err == nil || !strings.Contains(err.Error(), "invalid input syntax for type integer") {
+			t.Fatalf("cast error = %v", err)
+		}
+	})
+}
+
+// TestStringProvenance: string functions, CAST and LIKE under SELECT
+// PROVENANCE yield identical witness sets across every strategy and
+// executor mode.
+func TestStringProvenance(t *testing.T) {
+	db := Open()
+	if err := db.Register("u", []string{"g", "h"}, [][]any{{"ab", 1}, {"cd", 2}, {"ae", 2}, {nil, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Register("r", []string{"a", "b"}, [][]any{{1, 1}, {2, 1}, {3, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		`SELECT PROVENANCE upper(g) AS s FROM u WHERE g LIKE 'a%'`,
+		`SELECT PROVENANCE g || 'x' AS s FROM u WHERE h = ANY (SELECT a FROM r)`,
+		`SELECT PROVENANCE g FROM u WHERE EXISTS (SELECT a FROM r WHERE a = length(g))`,
+		`SELECT PROVENANCE CAST(h AS string) || g AS s FROM u WHERE h IN (SELECT b FROM r)`,
+		`SELECT PROVENANCE substr(g, 1, 1) AS s, count(*) AS n FROM u GROUP BY 1 ORDER BY 1`,
+	} {
+		checkDifferential(t, db, q)
+	}
+}
+
+// TestFromlessSelect: SELECT without FROM evaluates over one empty tuple.
+func TestFromlessSelect(t *testing.T) {
+	db := Open()
+	bothEngines(t, func(t *testing.T, opts ...Option) {
+		res, err := db.Query(`SELECT 1 + 2 AS x, 'a' || 'b' AS s`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0] != int64(3) || res.Rows[0][1] != "ab" {
+			t.Fatalf("rows = %v", res.Rows)
+		}
+		// A FROM-less subquery works as a scalar and in set operations.
+		if err := db.Register("r", []string{"a"}, [][]any{{1}, {2}}); err != nil {
+			t.Fatal(err)
+		}
+		res, err = db.Query(`SELECT a FROM r WHERE a = (SELECT 2)`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColumn(t, res, 0, int64(2))
+		res, err = db.Query(`SELECT a FROM r UNION SELECT 5 ORDER BY 1`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColumn(t, res, 0, int64(1), int64(2), int64(5))
+	})
+}
+
+// TestGroupingShadowedColumn: an inner-scope column that shadows an outer
+// grouping column must type as the inner column — the analyzer's grouping
+// shortcut must not capture it (review-found).
+func TestGroupingShadowedColumn(t *testing.T) {
+	db := Open()
+	if err := db.Register("r", []string{"a"}, [][]any{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Register("s", []string{"a"}, [][]any{{"x"}, {"yy"}}); err != nil {
+		t.Fatal(err)
+	}
+	bothEngines(t, func(t *testing.T, opts ...Option) {
+		// The inner a is s.a (string): LIKE over it is well-typed even
+		// though the outer block groups by the integer r.a.
+		res, err := db.Query(
+			`SELECT count(*) AS n FROM r GROUP BY a HAVING EXISTS (SELECT a FROM s WHERE a LIKE 'x%')`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColumn(t, res, 0, int64(1), int64(1))
+		// Conversely, integer arithmetic over the shadowed string column
+		// must be the error.
+		_, err = db.Query(
+			`SELECT count(*) AS n FROM r GROUP BY a HAVING EXISTS (SELECT a FROM s WHERE a + 1 > 0)`, opts...)
+		if err == nil || !strings.Contains(err.Error(), "operator does not exist") {
+			t.Fatalf("err = %v, want operator does not exist", err)
+		}
+	})
+}
+
+// TestOrderByOrdinalDuplicateNames: an ordinal names a position, so
+// duplicate output column names are no ambiguity (review-found).
+func TestOrderByOrdinalDuplicateNames(t *testing.T) {
+	db := Open()
+	if err := db.Register("r", []string{"a", "b"}, [][]any{{2, 1}, {1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	bothEngines(t, func(t *testing.T, opts ...Option) {
+		res, err := db.Query(`SELECT a, a FROM r ORDER BY 1`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColumn(t, res, 0, int64(1), int64(2))
+		res, err = db.Query(`SELECT * FROM r AS x, r AS y ORDER BY 1 DESC, 4`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColumn(t, res, 0, int64(2), int64(2), int64(1), int64(1))
+	})
+}
+
+// TestOrdinalOverLiteralColumn: an ordinal resolving to a literal select
+// column must stay stable under re-analysis — views analyze their stored
+// body on every referencing query, so a naive substitution would turn
+// `SELECT a, 5 ... ORDER BY 2` into `ORDER BY 5` and break the view
+// forever (review-found).
+func TestOrdinalOverLiteralColumn(t *testing.T) {
+	db := Open()
+	if err := db.Register("r", []string{"a"}, [][]any{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView("v", `SELECT a, 5 FROM r ORDER BY 2`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView("w", `SELECT 5, count(*) FROM r GROUP BY 1`); err != nil {
+		t.Fatal(err)
+	}
+	bothEngines(t, func(t *testing.T, opts ...Option) {
+		for i := 0; i < 3; i++ { // every use re-analyzes the stored body
+			res, err := db.Query(`SELECT * FROM v ORDER BY 1`, opts...)
+			if err != nil {
+				t.Fatalf("use %d: %v", i, err)
+			}
+			wantColumn(t, res, 0, int64(1), int64(2))
+			res, err = db.Query(`SELECT * FROM w`, opts...)
+			if err != nil {
+				t.Fatalf("use %d: %v", i, err)
+			}
+			wantColumn(t, res, 1, int64(2))
+		}
+	})
+}
+
+// TestOrderByOrdinalDuplicateAliases: an ordinal over duplicate output
+// aliases keeps its positional meaning (review-found).
+func TestOrderByOrdinalDuplicateAliases(t *testing.T) {
+	db := Open()
+	if err := db.Register("r", []string{"a", "b"}, [][]any{{1, 2}, {2, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	bothEngines(t, func(t *testing.T, opts ...Option) {
+		res, err := db.Query(`SELECT a AS x, b AS x FROM r ORDER BY 2`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColumn(t, res, 0, int64(2), int64(1))
+	})
+}
+
+// TestSubstrHugeCount: substr with a count near int64 max must clamp to
+// the string instead of overflowing into an empty result (review-found).
+func TestSubstrHugeCount(t *testing.T) {
+	db := Open()
+	bothEngines(t, func(t *testing.T, opts ...Option) {
+		res, err := db.Query(`SELECT substr('hello', 2, 9223372036854775807) AS s`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColumn(t, res, 0, "ello")
+	})
+}
+
+// TestOrderByOrdinalAliasShadowsColumn: an ordinal whose target's alias
+// shadows a source column name must still sort by the output position —
+// substituting the alias verbatim re-resolved to the wrong column
+// (review-found).
+func TestOrderByOrdinalAliasShadowsColumn(t *testing.T) {
+	db := Open()
+	if err := db.Register("r", []string{"a", "b"}, [][]any{{1, 30}, {2, 20}, {3, 10}}); err != nil {
+		t.Fatal(err)
+	}
+	bothEngines(t, func(t *testing.T, opts ...Option) {
+		res, err := db.Query(`SELECT a AS b, b AS a FROM r ORDER BY 1`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColumn(t, res, 0, int64(1), int64(2), int64(3))
+		res, err = db.Query(`SELECT a AS b, b AS a FROM r ORDER BY 1 DESC`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColumn(t, res, 0, int64(3), int64(2), int64(1))
+	})
+}
+
+// TestStarOrdinalDuplicateTables: a star ordinal over a duplicated
+// unaliased table is a clean analysis-time ambiguity error (PostgreSQL
+// rejects the FROM list outright) instead of a runtime error leaking
+// internal scope names (review-found).
+func TestStarOrdinalDuplicateTables(t *testing.T) {
+	db := Open()
+	if err := db.Register("r", []string{"a", "b"}, [][]any{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := db.Query(`SELECT * FROM r, r ORDER BY 3`)
+	if err == nil || !strings.Contains(err.Error(), `column reference "r.a" is ambiguous`) ||
+		!strings.Contains(err.Error(), "position") || strings.Contains(err.Error(), "#") {
+		t.Fatalf("err = %v, want a positioned ambiguity error without internal names", err)
+	}
+}
+
+// TestGroupingAggArgSubquery: correlated references made from inside an
+// aggregate argument — including via nested subqueries — are exempt from
+// the grouping rule, and qualified/unqualified spellings of one grouping
+// expression match (review-found).
+func TestGroupingAggArgSubquery(t *testing.T) {
+	db := Open()
+	if err := db.Register("r", []string{"a", "b"}, [][]any{{1, 1}, {2, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Register("s", []string{"c", "d"}, [][]any{{10, 1}, {20, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	bothEngines(t, func(t *testing.T, opts ...Option) {
+		// b is ungrouped but appears only inside the aggregate's argument,
+		// correlated through a subquery.
+		res, err := db.Query(
+			`SELECT a, sum(a + (SELECT max(c) FROM s WHERE d = b)) AS x FROM r GROUP BY a ORDER BY 1`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColumn(t, res, 1, int64(11), int64(22))
+		// Qualified GROUP BY expression, unqualified select-list spelling —
+		// and the converse.
+		res, err = db.Query(`SELECT a + 1 AS x FROM r GROUP BY r.a + 1 ORDER BY 1`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColumn(t, res, 0, int64(2), int64(3))
+		res, err = db.Query(`SELECT r.a + 1 AS x FROM r GROUP BY a + 1 ORDER BY 1`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColumn(t, res, 0, int64(2), int64(3))
+		// The rule still fires for genuinely ungrouped references.
+		_, err = db.Query(`SELECT b + 1 FROM r GROUP BY a + 1`, opts...)
+		if err == nil || !strings.Contains(err.Error(), "must appear in the GROUP BY clause") {
+			t.Fatalf("err = %v, want grouping error", err)
+		}
+	})
+}
+
+// TestGroupedSublinkReferences: output-clause sublinks of a grouped query —
+// qualified correlated references to a grouping column, and a GROUP BY
+// ordinal sharing the select-list subquery — execute instead of failing
+// with leaked internal names (review-found).
+func TestGroupedSublinkReferences(t *testing.T) {
+	db := Open()
+	if err := db.Register("r", []string{"a", "b"}, [][]any{{1, 1}, {2, 1}, {3, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Register("u", []string{"g", "h"}, [][]any{{"x", 1}, {"y", 1}, {"z", 2}}); err != nil {
+		t.Fatal(err)
+	}
+	bothEngines(t, func(t *testing.T, opts ...Option) {
+		// Qualified correlated reference to the grouping column.
+		res, err := db.Query(
+			`SELECT b, (SELECT count(*) FROM u WHERE h = r.b) AS n FROM r GROUP BY b ORDER BY 1`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColumn(t, res, 1, int64(2), int64(1))
+		// GROUP BY ordinal sharing the select-list subquery expression.
+		res, err = db.Query(
+			`SELECT (SELECT count(*) FROM u WHERE h = r.a) AS k FROM r GROUP BY 1 ORDER BY 1`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColumn(t, res, 0, int64(0), int64(1), int64(2))
+		// An aggregate over only outer columns inside an output sublink is
+		// beyond the engine (PostgreSQL treats it as an outer aggregate);
+		// it must be a clean analysis error, not an internal-name leak.
+		_, err = db.Query(`SELECT b, (SELECT sum(r.a) FROM u) FROM r GROUP BY b`, opts...)
+		if err == nil || !strings.Contains(err.Error(), "must appear in the GROUP BY clause") ||
+			strings.Contains(err.Error(), "#") {
+			t.Fatalf("err = %v, want clean grouping error", err)
+		}
+	})
+}
+
+// TestNegativeOrdinal: ORDER BY -1 / GROUP BY -1 must error like any other
+// out-of-range position — the unary minus folds into the constant, as in
+// PostgreSQL (review-found silent no-op).
+func TestNegativeOrdinal(t *testing.T) {
+	db := Open()
+	if err := db.Register("r", []string{"a"}, [][]any{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	for q, want := range map[string]string{
+		`SELECT a FROM r ORDER BY -1`: "ORDER BY position -1 is not in select list",
+		`SELECT a FROM r GROUP BY -2`: "GROUP BY position -2 is not in select list",
+	} {
+		_, err := db.Query(q)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Fatalf("%s: err = %v, want %q", q, err, want)
+		}
+	}
+	// A negated literal as a select column survives re-analysis in a view.
+	if err := db.CreateView("nv", `SELECT a, -5 FROM r ORDER BY 2`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		res, err := db.Query(`SELECT * FROM nv`)
+		if err != nil {
+			t.Fatalf("use %d: %v", i, err)
+		}
+		wantColumn(t, res, 1, int64(-5))
+	}
+}
+
+// TestConcurrentViewDDL: queries racing with CREATE/DROP VIEW must be safe
+// — the views map is replaced under a lock, never mutated in place (run
+// under -race in CI).
+func TestConcurrentViewDDL(t *testing.T) {
+	db := Open()
+	if err := db.Register("r", []string{"a"}, [][]any{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView("v0", `SELECT a FROM r ORDER BY 1`); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 30; i++ {
+			name := fmt.Sprintf("v%d", i+1)
+			if err := db.CreateView(name, `SELECT a, 5 FROM r GROUP BY 1 ORDER BY 1`); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := db.Exec("DROP VIEW " + name); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			if _, err := db.Query(`SELECT * FROM v0`); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestOrderByAggregateOverAlias: an ORDER BY aggregate's argument is
+// computed below the projection, so output aliases are not visible in it —
+// a clean analysis error, as in PostgreSQL, not a leaked internal name at
+// run time (review-found).
+func TestOrderByAggregateOverAlias(t *testing.T) {
+	db := Open()
+	if err := db.Register("r", []string{"a", "b"}, [][]any{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := db.Query(`SELECT a AS x FROM r GROUP BY a ORDER BY sum(x)`)
+	if err == nil || !strings.Contains(err.Error(), `column "x" does not exist`) ||
+		strings.Contains(err.Error(), "#") {
+		t.Fatalf("err = %v, want a clean unknown-column error", err)
+	}
+	// The source column itself stays fine.
+	if _, err := db.Query(`SELECT a AS x FROM r GROUP BY a ORDER BY sum(b)`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentCreateViews: concurrent CREATE VIEWs must not lose each
+// other's registrations (review-found lost update).
+func TestConcurrentCreateViews(t *testing.T) {
+	db := Open()
+	if err := db.Register("r", []string{"a"}, [][]any{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	errs := make(chan error, 2*n)
+	for w := 0; w < 2; w++ {
+		go func(w int) {
+			for i := 0; i < n; i++ {
+				errs <- db.CreateView(fmt.Sprintf("w%dv%d", w, i), `SELECT a FROM r`)
+			}
+		}(w)
+	}
+	for i := 0; i < 2*n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(db.Views()); got != 2*n {
+		t.Fatalf("views = %d, want %d (lost concurrent registrations)", got, 2*n)
+	}
+}
+
+// TestOrderByDuplicateIdenticalColumns: duplicate output columns that
+// denote the same expression are no ambiguity for a bare ORDER BY name
+// (review-found regression against the pre-analyzer engine).
+func TestOrderByDuplicateIdenticalColumns(t *testing.T) {
+	db := Open()
+	if err := db.Register("r", []string{"a"}, [][]any{{2}, {1}}); err != nil {
+		t.Fatal(err)
+	}
+	bothEngines(t, func(t *testing.T, opts ...Option) {
+		for _, q := range []string{
+			`SELECT a, a FROM r ORDER BY a`,
+			`SELECT a, r.a FROM r ORDER BY a`,
+		} {
+			res, err := db.Query(q, opts...)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			wantColumn(t, res, 0, int64(1), int64(2))
+		}
+	})
+	// Different expressions under one name stay ambiguous, as in PostgreSQL.
+	if err := db.Register("s", []string{"a", "b"}, [][]any{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := db.Query(`SELECT a AS x, b AS x FROM s ORDER BY x`)
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("err = %v, want ambiguity error", err)
+	}
+}
+
+// TestOrderByAliasPrecedence: a bare ORDER BY name that is both an output
+// alias and a source column resolves to the output alias, as in PostgreSQL
+// (review-found silent wrong order under swapped aliases).
+func TestOrderByAliasPrecedence(t *testing.T) {
+	db := Open()
+	if err := db.Register("r", []string{"a", "b"}, [][]any{{1, 30}, {2, 20}, {3, 10}}); err != nil {
+		t.Fatal(err)
+	}
+	bothEngines(t, func(t *testing.T, opts ...Option) {
+		res, err := db.Query(`SELECT a AS b, b AS a FROM r ORDER BY a`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ORDER BY a names the output alias (source b values ascending).
+		wantColumn(t, res, 0, int64(3), int64(2), int64(1))
+		// Inside an expression the name resolves to the source column.
+		res, err = db.Query(`SELECT a AS b, b AS a FROM r ORDER BY a + 0`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantColumn(t, res, 0, int64(1), int64(2), int64(3))
+	})
+	// Narrow numeric type spellings are rejected rather than silently
+	// widened to 64 bits.
+	for _, q := range []string{
+		`SELECT CAST(70000 AS smallint)`,
+		`SELECT CAST(5000000000 AS int4)`,
+		`SELECT CAST(1 AS real)`,
+	} {
+		if _, err := db.Query(q); err == nil || !strings.Contains(err.Error(), "does not exist") {
+			t.Fatalf("%s: err = %v, want type-does-not-exist", q, err)
+		}
 	}
 }
