@@ -32,11 +32,22 @@ func New() *Catalog {
 // (relations are immutable once registered), so compiling a query never
 // rescans table data.
 func (c *Catalog) Register(name string, r *rel.Relation) {
+	c.RegisterWithKinds(name, r, nil)
+}
+
+// RegisterWithKinds installs (or replaces) a base relation with declared
+// column kinds — the CREATE TABLE path, where an empty relation carries
+// types that inference could not recover from data. kinds == nil infers
+// from the data as Register does.
+func (c *Catalog) RegisterWithKinds(name string, r *rel.Relation, kinds []types.Kind) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	r.Schema = r.Schema.WithQual(name)
 	c.rels[name] = r
-	c.kinds[name] = r.InferKinds()
+	if kinds == nil {
+		kinds = r.InferKinds()
+	}
+	c.kinds[name] = kinds
 }
 
 // Relation returns the base relation registered under name.

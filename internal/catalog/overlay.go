@@ -1,0 +1,223 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"perm/internal/rel"
+	"perm/internal/schema"
+	"perm/internal/types"
+)
+
+// Source is the read surface the compiler and executor need from a
+// catalog: schemas and kinds for analysis/translation, relations for
+// execution. *Catalog, *Overlay and *Snapshot all implement it.
+type Source interface {
+	Relation(name string) (*rel.Relation, error)
+	Schema(name string) (schema.Schema, error)
+	Kinds(name string) ([]types.Kind, error)
+	Has(name string) bool
+	Names() []string
+}
+
+// Overlay is a copy-on-write catalog layer above a shared base Source.
+// Sessions hold one: their DDL (CREATE TABLE, INSERT, DROP) lands in the
+// overlay's private layer — shadowing, never mutating, the base — so any
+// number of sessions share one immutable base catalog without
+// coordination. All overlay maps are replaced wholesale on write (never
+// mutated in place), so a Snapshot taken before a write keeps observing
+// the pre-write state for as long as it lives; a long-running provenance
+// query therefore never blocks, and is never torn by, concurrent session
+// DDL. This grows the view-publish discipline of the perm layer into full
+// catalog snapshot semantics.
+type Overlay struct {
+	base Source
+
+	mu      sync.RWMutex
+	rels    map[string]*rel.Relation
+	kinds   map[string][]types.Kind
+	dropped map[string]bool
+}
+
+// NewOverlay returns an empty copy-on-write layer over base.
+func NewOverlay(base Source) *Overlay {
+	return &Overlay{
+		base:    base,
+		rels:    map[string]*rel.Relation{},
+		kinds:   map[string][]types.Kind{},
+		dropped: map[string]bool{},
+	}
+}
+
+// Snapshot is an immutable point-in-time view of an Overlay. It implements
+// Source; queries compile and execute against one Snapshot so they observe
+// exactly one catalog state end to end.
+type Snapshot struct {
+	base    Source
+	rels    map[string]*rel.Relation
+	kinds   map[string][]types.Kind
+	dropped map[string]bool
+}
+
+// Snapshot captures the overlay's current state. The returned view is
+// immutable: later overlay writes replace the overlay's maps and cannot
+// reach a previously taken snapshot.
+func (o *Overlay) Snapshot() *Snapshot {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return &Snapshot{base: o.base, rels: o.rels, kinds: o.kinds, dropped: o.dropped}
+}
+
+// cow clones the overlay maps for one write. Callers must hold o.mu.
+func (o *Overlay) cow() (map[string]*rel.Relation, map[string][]types.Kind, map[string]bool) {
+	rels := make(map[string]*rel.Relation, len(o.rels)+1)
+	for k, v := range o.rels {
+		rels[k] = v
+	}
+	kinds := make(map[string][]types.Kind, len(o.kinds)+1)
+	for k, v := range o.kinds {
+		kinds[k] = v
+	}
+	dropped := make(map[string]bool, len(o.dropped))
+	for k, v := range o.dropped {
+		dropped[k] = v
+	}
+	return rels, kinds, dropped
+}
+
+// Create installs a new empty relation with declared column kinds in the
+// overlay layer. It fails if the name is visible — in the layer or in the
+// (un-dropped) base.
+func (o *Overlay) Create(name string, r *rel.Relation, kinds []types.Kind) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.rels[name]; ok || (!o.dropped[name] && o.base.Has(name)) {
+		return fmt.Errorf("catalog: relation %q already exists", name)
+	}
+	rels, ks, dropped := o.cow()
+	r.Schema = r.Schema.WithQual(name)
+	rels[name] = r
+	if kinds == nil {
+		kinds = r.InferKinds()
+	}
+	ks[name] = kinds
+	delete(dropped, name)
+	o.rels, o.kinds, o.dropped = rels, ks, dropped
+	return nil
+}
+
+// Replace publishes a new version of a relation into the overlay layer —
+// the write half of copy-on-write INSERT: the caller builds the appended
+// relation (typically starting from a clone of the base's version) and
+// Replace shadows the old one. In-flight snapshots keep the old version.
+func (o *Overlay) Replace(name string, r *rel.Relation, kinds []types.Kind) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	rels, ks, dropped := o.cow()
+	r.Schema = r.Schema.WithQual(name)
+	rels[name] = r
+	if kinds == nil {
+		kinds = r.InferKinds()
+	}
+	ks[name] = kinds
+	delete(dropped, name)
+	o.rels, o.kinds, o.dropped = rels, ks, dropped
+}
+
+// Drop removes a relation from the overlay's visibility: a layer-local
+// relation is deleted, a base relation is tombstoned (the base itself is
+// never touched).
+func (o *Overlay) Drop(name string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	_, local := o.rels[name]
+	if !local && (o.dropped[name] || !o.base.Has(name)) {
+		return fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	rels, ks, dropped := o.cow()
+	delete(rels, name)
+	delete(ks, name)
+	if o.base.Has(name) {
+		dropped[name] = true
+	}
+	o.rels, o.kinds, o.dropped = rels, ks, dropped
+	return nil
+}
+
+// Relation resolves through the layer, honouring tombstones.
+func (o *Overlay) Relation(name string) (*rel.Relation, error) { return o.Snapshot().Relation(name) }
+
+// Schema resolves through the layer, honouring tombstones.
+func (o *Overlay) Schema(name string) (schema.Schema, error) { return o.Snapshot().Schema(name) }
+
+// Kinds resolves through the layer, honouring tombstones.
+func (o *Overlay) Kinds(name string) ([]types.Kind, error) { return o.Snapshot().Kinds(name) }
+
+// Has resolves through the layer, honouring tombstones.
+func (o *Overlay) Has(name string) bool { return o.Snapshot().Has(name) }
+
+// Names lists the visible relation names, sorted.
+func (o *Overlay) Names() []string { return o.Snapshot().Names() }
+
+// Relation returns the snapshot's version of name: the overlay layer wins,
+// tombstones hide base relations.
+func (s *Snapshot) Relation(name string) (*rel.Relation, error) {
+	if r, ok := s.rels[name]; ok {
+		return r, nil
+	}
+	if s.dropped[name] {
+		return nil, fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	return s.base.Relation(name)
+}
+
+// Schema returns the snapshot's schema for name.
+func (s *Snapshot) Schema(name string) (schema.Schema, error) {
+	if r, ok := s.rels[name]; ok {
+		return r.Schema, nil
+	}
+	if s.dropped[name] {
+		return schema.Schema{}, fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	return s.base.Schema(name)
+}
+
+// Kinds returns the snapshot's column kinds for name.
+func (s *Snapshot) Kinds(name string) ([]types.Kind, error) {
+	if k, ok := s.kinds[name]; ok {
+		return k, nil
+	}
+	if s.dropped[name] {
+		return nil, fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	return s.base.Kinds(name)
+}
+
+// Has reports whether name is visible in the snapshot.
+func (s *Snapshot) Has(name string) bool {
+	if _, ok := s.rels[name]; ok {
+		return true
+	}
+	if s.dropped[name] {
+		return false
+	}
+	return s.base.Has(name)
+}
+
+// Names lists the snapshot's visible relation names, sorted.
+func (s *Snapshot) Names() []string {
+	seen := map[string]bool{}
+	var names []string
+	for n := range s.rels {
+		seen[n] = true
+		names = append(names, n)
+	}
+	for _, n := range s.base.Names() {
+		if !seen[n] && !s.dropped[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,127 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"perm/internal/rel"
+	"perm/internal/schema"
+	"perm/internal/types"
+)
+
+func intRelation(col string, vals ...int64) *rel.Relation {
+	r := rel.New(schema.New("", col))
+	for _, v := range vals {
+		r.Add(rel.Tuple{types.NewInt(v)}, 1)
+	}
+	return r
+}
+
+func TestOverlayShadowsBase(t *testing.T) {
+	base := New()
+	base.Register("r", intRelation("a", 1, 2))
+	o := NewOverlay(base)
+
+	if err := o.Create("w", intRelation("a", 7), []types.Kind{types.KindInt}); err != nil {
+		t.Fatal(err)
+	}
+	if !o.Has("w") || !o.Has("r") {
+		t.Fatalf("overlay visibility: w=%v r=%v", o.Has("w"), o.Has("r"))
+	}
+	if base.Has("w") {
+		t.Fatal("overlay CREATE leaked into the base catalog")
+	}
+	if got := strings.Join(o.Names(), ","); got != "r,w" {
+		t.Fatalf("Names() = %s, want r,w", got)
+	}
+	ks, err := o.Kinds("w")
+	if err != nil || len(ks) != 1 || ks[0] != types.KindInt {
+		t.Fatalf("Kinds(w) = %v, %v", ks, err)
+	}
+
+	// Creating a name that the base already owns must fail.
+	if err := o.Create("r", intRelation("a"), nil); err == nil {
+		t.Fatal("Create over a base relation succeeded")
+	}
+}
+
+func TestOverlaySnapshotIsImmutable(t *testing.T) {
+	base := New()
+	base.Register("r", intRelation("a", 1))
+	o := NewOverlay(base)
+	if err := o.Create("w", intRelation("a", 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Snapshot()
+
+	// Every class of later write: replace, create, drop — the snapshot
+	// must keep observing the pre-write state.
+	o.Replace("w", intRelation("a", 1, 2, 3), nil)
+	if err := o.Create("w2", intRelation("a"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Drop("r"); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := snap.Relation("w")
+	if err != nil || r.Card() != 1 {
+		t.Fatalf("snapshot w: len=%v err=%v, want the 1-row version", r.Card(), err)
+	}
+	if snap.Has("w2") {
+		t.Fatal("snapshot sees a relation created after it was taken")
+	}
+	if !snap.Has("r") {
+		t.Fatal("snapshot lost a base relation dropped after it was taken")
+	}
+
+	// The overlay itself sees the new state.
+	r, err = o.Relation("w")
+	if err != nil || r.Card() != 3 {
+		t.Fatalf("overlay w: len=%v err=%v", r.Card(), err)
+	}
+	if o.Has("r") {
+		t.Fatal("overlay still sees dropped base relation")
+	}
+}
+
+func TestOverlayDropTombstonesBase(t *testing.T) {
+	base := New()
+	base.Register("r", intRelation("a", 1))
+	o := NewOverlay(base)
+
+	if err := o.Drop("r"); err != nil {
+		t.Fatal(err)
+	}
+	if o.Has("r") {
+		t.Fatal("dropped base relation still visible")
+	}
+	if !base.Has("r") {
+		t.Fatal("overlay DROP mutated the base catalog")
+	}
+	if _, err := o.Relation("r"); err == nil {
+		t.Fatal("Relation on a tombstoned name succeeded")
+	}
+	if err := o.Drop("r"); err == nil {
+		t.Fatal("double DROP succeeded")
+	}
+	if err := o.Drop("nope"); err == nil {
+		t.Fatal("DROP of an unknown name succeeded")
+	}
+
+	// The tombstoned name is free for reuse in the layer.
+	if err := o.Create("r", intRelation("a", 9), nil); err != nil {
+		t.Fatalf("re-CREATE after DROP: %v", err)
+	}
+	r, err := o.Relation("r")
+	if err != nil || r.Card() != 1 {
+		t.Fatalf("recreated r: len=%v err=%v", r.Card(), err)
+	}
+	// Dropping the recreated layer relation re-tombstones the base name.
+	if err := o.Drop("r"); err != nil {
+		t.Fatal(err)
+	}
+	if o.Has("r") {
+		t.Fatal("base relation resurfaced after dropping its layer shadow")
+	}
+}

@@ -94,6 +94,14 @@ func (e *Evaluator) WithContext(ctx context.Context) *Evaluator {
 
 // Eval executes the plan and returns its materialized result.
 func (e *Evaluator) Eval(op algebra.Op) (*rel.Relation, error) {
+	// A request whose deadline already passed (e.g. one that waited in a
+	// service queue) must abort before any work, not after the first 1024
+	// ticks.
+	select {
+	case <-e.ctx.Done():
+		return nil, fmt.Errorf("%w: %v", ErrCanceled, e.ctx.Err())
+	default:
+	}
 	e.shared = newRunShared()
 	if e.Parallelism > 1 {
 		e.shared.sem = make(chan struct{}, e.Parallelism)
@@ -159,7 +167,14 @@ func (e *Evaluator) charge(n int) error {
 }
 
 // add materializes one output row, charging it against the row budget.
+// It is also a cancellation checkpoint: every materialization path — the
+// final result bag, pipeline-breaker buffers, parallel-worker output
+// buffers — funnels through here, so a canceled context stops bag fills
+// even when the producing operator has no checkpoint of its own.
 func (e *Evaluator) add(out *rel.Relation, t rel.Tuple, n int) error {
+	if err := e.tick(); err != nil {
+		return err
+	}
 	if err := e.charge(1); err != nil {
 		return err
 	}

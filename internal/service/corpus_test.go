@@ -1,0 +1,93 @@
+package service
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perm/internal/fuzz"
+)
+
+// TestCorpusOverHTTP replays the checked-in fuzz corpus through the HTTP
+// service and demands row-for-row equality with direct library execution
+// over the same seed. Files annotated "-- expect-error:" must fail over
+// JSON with the same error class and the engine's message verbatim.
+func TestCorpusOverHTTP(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "fuzz", "testdata", "fuzz-corpus", "*.sql"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fuzz corpus found: %v", err)
+	}
+	direct := fuzz.NewDB(1)
+	s := New(Config{DB: fuzz.NewDB(1)})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			raw, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			query, expectErr := parseCorpus(string(raw))
+			if query == "" {
+				t.Fatalf("%s contains no SQL", file)
+			}
+			queries := []string{query}
+			upper := strings.ToUpper(query)
+			if expectErr == "" && strings.HasPrefix(query, "SELECT ") &&
+				!strings.Contains(upper, "LIMIT") && !strings.Contains(upper, "OFFSET") {
+				queries = append(queries, "SELECT PROVENANCE "+strings.TrimPrefix(query, "SELECT "))
+			}
+			for _, q := range queries {
+				status, out := post(t, ts.URL+"/query", map[string]any{"query": q})
+				want, wantErr := direct.Query(q)
+				if wantErr != nil {
+					if status == 200 || out.Error == nil {
+						t.Fatalf("library errored (%v) but service returned %d\n%s", wantErr, status, q)
+					}
+					if out.Error.Message != wantErr.Error() {
+						t.Fatalf("error text diverged:\nservice: %s\nlibrary: %s\n%s", out.Error.Message, wantErr, q)
+					}
+					wantBody, _ := classify(wantErr, nil)
+					if out.Error.Class != wantBody.Class {
+						t.Fatalf("error class diverged: service %s, library %s\n%s", out.Error.Class, wantBody.Class, q)
+					}
+					if expectErr != "" && !strings.Contains(out.Error.Message, expectErr) {
+						t.Fatalf("error %q does not contain %q", out.Error.Message, expectErr)
+					}
+					continue
+				}
+				if expectErr != "" {
+					t.Fatalf("expected an error containing %q, got success over both paths\n%s", expectErr, q)
+				}
+				if status != 200 {
+					t.Fatalf("service status %d (%+v) but library succeeded\n%s", status, out.Error, q)
+				}
+				if msg := sameResult(want, out); msg != "" {
+					t.Fatalf("%s\n%s", msg, q)
+				}
+			}
+		})
+	}
+}
+
+// parseCorpus extracts the SQL text and the optional expect-error
+// annotation from one corpus file (same format as internal/fuzz).
+func parseCorpus(raw string) (query, expectErr string) {
+	var sqlLines []string
+	for _, line := range strings.Split(raw, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(trimmed, "-- expect-error:"); ok {
+			expectErr = strings.TrimSpace(rest)
+			continue
+		}
+		if strings.HasPrefix(trimmed, "--") || trimmed == "" {
+			continue
+		}
+		sqlLines = append(sqlLines, trimmed)
+	}
+	return strings.Join(sqlLines, " "), expectErr
+}

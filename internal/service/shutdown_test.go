@@ -1,0 +1,97 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGracefulShutdownDrains: Shutdown lets an admitted slow query run to
+// completion and deliver its full response, while new statement requests
+// are rejected with 503 and healthz flips to draining.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s, ts, wl := newSynthServer(t, 200, 10, Config{})
+	slow := "SELECT PROVENANCE " + strings.TrimPrefix(wl.Q3(0), "SELECT ")
+
+	type result struct {
+		status int
+		out    reply
+	}
+	resc := make(chan result, 1)
+	go func() {
+		status, out := post(t, ts.URL+"/query", map[string]any{"query": slow, "strategy": "Gen"})
+		resc <- result{status, out}
+	}()
+	waitUntil(t, 2*time.Second, func() bool { return s.inFlightN.Load() == 1 })
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+	waitUntil(t, 2*time.Second, func() bool { return s.Draining() })
+
+	// New statement work is rejected while the drain runs.
+	status, out := post(t, ts.URL+"/query", map[string]any{"query": "SELECT a FROM r1 WHERE b = 0"})
+	if status != 503 || out.Error == nil || out.Error.Class != ClassDraining {
+		t.Fatalf("during drain: status = %d, error = %+v, want 503 class draining", status, out.Error)
+	}
+	status, out = post(t, ts.URL+"/exec", map[string]any{"statement": "CREATE TABLE d (a int)"})
+	if status != 503 || out.Error == nil || out.Error.Class != ClassDraining {
+		t.Fatalf("exec during drain: status = %d, error = %+v", status, out.Error)
+	}
+
+	// Health reports draining with 503.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 || health.Status != "draining" {
+		t.Fatalf("healthz during drain = %d %+v", resp.StatusCode, health)
+	}
+
+	// The in-flight query still delivers its complete response: no
+	// dropped responses during drain.
+	r := <-resc
+	if r.status != 200 {
+		t.Fatalf("in-flight query during drain: status = %d (%+v)", r.status, r.out.Error)
+	}
+	if len(r.out.Rows) == 0 || len(r.out.Columns) == 0 {
+		t.Fatalf("in-flight query returned a truncated body: %d rows, %v", len(r.out.Rows), r.out.Columns)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if n := s.inFlightN.Load(); n != 0 {
+		t.Fatalf("in-flight gauge = %d after drain", n)
+	}
+}
+
+// TestShutdownDeadline: a drain that cannot finish in time reports the
+// context error instead of hanging.
+func TestShutdownDeadline(t *testing.T) {
+	s, ts, wl := newSynthServer(t, 200, 10, Config{})
+	slow := "SELECT PROVENANCE " + strings.TrimPrefix(wl.Q3(0), "SELECT ")
+	done := make(chan struct{})
+	go func() {
+		post(t, ts.URL+"/query", map[string]any{"query": slow, "strategy": "Gen"})
+		close(done)
+	}()
+	waitUntil(t, 2*time.Second, func() bool { return s.inFlightN.Load() == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err == nil {
+		t.Fatal("Shutdown returned nil although a request was still in flight")
+	}
+	<-done
+}

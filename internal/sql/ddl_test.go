@@ -1,0 +1,117 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"perm/internal/types"
+)
+
+func TestParseCreateTable(t *testing.T) {
+	st, err := ParseStatement("CREATE TABLE w (a int, b text, c double precision, d boolean)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := st.CreateTable
+	if def == nil || def.Name != "w" {
+		t.Fatalf("CreateTable = %+v", def)
+	}
+	want := []ColDef{
+		{"a", types.KindInt}, {"b", types.KindString},
+		{"c", types.KindFloat}, {"d", types.KindBool},
+	}
+	if len(def.Cols) != len(want) {
+		t.Fatalf("cols = %+v", def.Cols)
+	}
+	for i, c := range def.Cols {
+		if c != want[i] {
+			t.Errorf("col %d = %+v, want %+v", i, c, want[i])
+		}
+	}
+
+	for _, bad := range []struct{ stmt, wantErr string }{
+		{"CREATE TABLE w (a serial)", "does not exist"},
+		{"CREATE TABLE w (a int, a text)", "more than once"},
+		{"CREATE TABLE w (a int) garbage", "unexpected"},
+		{"CREATE TABLE w ()", "expected column name"},
+	} {
+		_, err := ParseStatement(bad.stmt)
+		if err == nil || !strings.Contains(err.Error(), bad.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", bad.stmt, err, bad.wantErr)
+		}
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st, err := ParseStatement("INSERT INTO w VALUES (1, 'x', 2.5, TRUE), (-3, NULL, -0.5, FALSE)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.Insert
+	if ins == nil || ins.Table != "w" || len(ins.Rows) != 2 {
+		t.Fatalf("Insert = %+v", ins)
+	}
+	kinds := func(row []types.Value) string {
+		var parts []string
+		for _, v := range row {
+			parts = append(parts, v.Kind().String())
+		}
+		return strings.Join(parts, ",")
+	}
+	if got := kinds(ins.Rows[0]); got != "integer,string,float,boolean" {
+		t.Errorf("row 0 kinds = %s", got)
+	}
+	if got := kinds(ins.Rows[1]); got != "integer,null,float,boolean" {
+		t.Errorf("row 1 kinds = %s", got)
+	}
+
+	for _, bad := range []struct{ stmt, wantErr string }{
+		{"INSERT w VALUES (1)", "INTO"},
+		{"INSERT INTO w (1)", "VALUES"},
+		{"INSERT INTO w VALUES (9223372036854775808)", "out of range"},
+		{"INSERT INTO w VALUES (-NULL)", "cannot negate"},
+		{"INSERT INTO w VALUES (a)", "expected a literal"},
+	} {
+		_, err := ParseStatement(bad.stmt)
+		if err == nil || !strings.Contains(err.Error(), bad.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", bad.stmt, err, bad.wantErr)
+		}
+	}
+}
+
+func TestParseDropTable(t *testing.T) {
+	st, err := ParseStatement("DROP TABLE w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DropTable != "w" {
+		t.Fatalf("DropTable = %q", st.DropTable)
+	}
+}
+
+func TestCheckInsertKinds(t *testing.T) {
+	cols := []string{"a", "b"}
+	kinds := []types.Kind{types.KindInt, types.KindString}
+	ok := &InsertStmt{Table: "w", Rows: [][]types.Value{
+		{types.NewInt(1), types.NewString("x")},
+		{types.Null(), types.Null()},
+	}}
+	if err := CheckInsertKinds(ok, cols, kinds); err != nil {
+		t.Fatalf("valid insert rejected: %v", err)
+	}
+
+	narrow := &InsertStmt{Table: "w", Rows: [][]types.Value{{types.NewInt(1)}}}
+	if err := CheckInsertKinds(narrow, cols, kinds); err == nil || !strings.Contains(err.Error(), "columns") {
+		t.Errorf("width mismatch: err = %v", err)
+	}
+
+	wrong := &InsertStmt{Table: "w", Rows: [][]types.Value{{types.NewString("x"), types.NewString("y")}}}
+	if err := CheckInsertKinds(wrong, cols, kinds); err == nil || !strings.Contains(err.Error(), "string value for integer column") {
+		t.Errorf("kind mismatch: err = %v", err)
+	}
+
+	// A KindNull column (kind unknown) admits anything.
+	if err := CheckInsertKinds(wrong, cols, []types.Kind{types.KindNull, types.KindString}); err != nil {
+		t.Errorf("null-kind column rejected a value: %v", err)
+	}
+}

@@ -76,7 +76,8 @@ var keywords = map[string]bool{
 	"INTERSECT": true, "EXCEPT": true, "ASC": true, "DESC": true,
 	"BETWEEN": true, "LIKE": true, "CREATE": true, "VIEW": true,
 	"DROP": true, "CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
-	"END": true, "CAST": true,
+	"END": true, "CAST": true, "TABLE": true, "INSERT": true, "INTO": true,
+	"VALUES": true,
 }
 
 // lex tokenizes the input. Errors carry byte positions for messages.

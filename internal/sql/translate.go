@@ -52,7 +52,7 @@ func Compile(cat *catalog.Catalog, query string) (*Translated, error) {
 }
 
 type translator struct {
-	cat       *catalog.Catalog
+	cat       catalog.Source
 	views     map[string]*ViewDef
 	viewStack []string
 	fresh     int

@@ -2,6 +2,7 @@ package sql
 
 import (
 	"fmt"
+	"strings"
 
 	"perm/internal/algebra"
 	"perm/internal/catalog"
@@ -17,6 +18,12 @@ type Statement struct {
 	// DROP VIEW name.
 	CreateView *ViewDef
 	DropView   string
+	// CreateTable / Insert / DropTable are set for the DDL/DML statements
+	// of the service layer: CREATE TABLE name (col type, …),
+	// INSERT INTO name VALUES (…), … and DROP TABLE name.
+	CreateTable *TableDef
+	Insert      *InsertStmt
+	DropTable   string
 }
 
 // ViewDef is a named stored query.
@@ -34,6 +41,13 @@ func ParseStatement(input string) (*Statement, error) {
 	p := &parser{toks: toks}
 	switch {
 	case p.acceptKeyword("CREATE"):
+		if p.acceptKeyword("TABLE") {
+			def, err := p.parseCreateTable()
+			if err != nil {
+				return nil, err
+			}
+			return &Statement{CreateTable: def}, nil
+		}
 		if err := p.expect(tokKeyword, "VIEW"); err != nil {
 			return nil, err
 		}
@@ -57,18 +71,34 @@ func ParseStatement(input string) (*Statement, error) {
 		}
 		return &Statement{CreateView: &ViewDef{Name: name, Body: body}}, nil
 	case p.acceptKeyword("DROP"):
-		if err := p.expect(tokKeyword, "VIEW"); err != nil {
-			return nil, err
+		isTable := p.acceptKeyword("TABLE")
+		if !isTable {
+			if err := p.expect(tokKeyword, "VIEW"); err != nil {
+				return nil, err
+			}
+		}
+		kw := "VIEW"
+		if isTable {
+			kw = "TABLE"
 		}
 		if p.peek().kind != tokIdent {
-			return nil, p.errf("expected view name, found %s", p.peek())
+			return nil, p.errf("expected %s name, found %s", strings.ToLower(kw), p.peek())
 		}
 		name := p.next().text
 		p.accept(tokSymbol, ";")
 		if p.peek().kind != tokEOF {
-			return nil, p.errf("unexpected %s after DROP VIEW", p.peek())
+			return nil, p.errf("unexpected %s after DROP %s", p.peek(), kw)
+		}
+		if isTable {
+			return &Statement{DropTable: name}, nil
 		}
 		return &Statement{DropView: name}, nil
+	case p.acceptKeyword("INSERT"):
+		ins, err := p.parseInsert()
+		if err != nil {
+			return nil, err
+		}
+		return &Statement{Insert: ins}, nil
 	default:
 		stmt, err := p.parseStmt()
 		if err != nil {
@@ -86,7 +116,7 @@ func ParseStatement(input string) (*Statement, error) {
 // Views shadow base relations of the same name and may reference other
 // views; cycles are rejected.
 type Env struct {
-	Catalog *catalog.Catalog
+	Catalog catalog.Source
 	Views   map[string]*ViewDef
 }
 

@@ -116,9 +116,79 @@ func (db *DB) Exec(statement string, opts ...Option) (*Result, error) {
 		delete(next, st.DropView)
 		db.views = next
 		return nil, nil
+	case st.CreateTable != nil:
+		if db.cat.Has(st.CreateTable.Name) {
+			return nil, fmt.Errorf("perm: relation %q already exists", st.CreateTable.Name)
+		}
+		r, kinds := tableDefRelation(st.CreateTable)
+		db.cat.RegisterWithKinds(st.CreateTable.Name, r, kinds)
+		return nil, nil
+	case st.Insert != nil:
+		old, err := db.cat.Relation(st.Insert.Table)
+		if err != nil {
+			return nil, err
+		}
+		kinds, err := db.cat.Kinds(st.Insert.Table)
+		if err != nil {
+			return nil, err
+		}
+		next, merged, err := appendRows(old, kinds, st.Insert)
+		if err != nil {
+			return nil, err
+		}
+		db.cat.RegisterWithKinds(st.Insert.Table, next, merged)
+		return nil, nil
+	case st.DropTable != "":
+		if !db.cat.Has(st.DropTable) {
+			return nil, fmt.Errorf("perm: unknown relation %q", st.DropTable)
+		}
+		db.cat.Drop(st.DropTable)
+		return nil, nil
 	default:
 		return db.Query(statement, opts...)
 	}
+}
+
+// tableDefRelation materializes a CREATE TABLE definition: an empty
+// relation plus the declared column kinds (which inference could never
+// recover from zero rows).
+func tableDefRelation(def *sql.TableDef) (*rel.Relation, []types.Kind) {
+	cols := make([]string, len(def.Cols))
+	kinds := make([]types.Kind, len(def.Cols))
+	for i, c := range def.Cols {
+		cols[i] = c.Name
+		kinds[i] = c.Kind
+	}
+	return rel.New(schema.New("", cols...)), kinds
+}
+
+// appendRows builds the next copy-on-write version of a relation with an
+// INSERT's rows appended, type-checking values against the column kinds
+// and widening unknown (all-NULL) columns to the kinds the new values
+// establish. The old relation is never mutated: snapshots that hold it
+// keep observing the pre-INSERT state.
+func appendRows(old *rel.Relation, kinds []types.Kind, ins *sql.InsertStmt) (*rel.Relation, []types.Kind, error) {
+	cols := make([]string, old.Schema.Len())
+	for i, a := range old.Schema.Attrs {
+		cols[i] = a.Name
+	}
+	if err := sql.CheckInsertKinds(ins, cols, kinds); err != nil {
+		return nil, nil, err
+	}
+	merged := make([]types.Kind, len(kinds))
+	copy(merged, kinds)
+	next := old.Clone()
+	for _, row := range ins.Rows {
+		t := make(rel.Tuple, len(row))
+		copy(t, row)
+		next.Add(t, 1)
+		for j, v := range row {
+			if j < len(merged) && merged[j] == types.KindNull && v.Kind() != types.KindNull {
+				merged[j] = v.Kind()
+			}
+		}
+	}
+	return next, merged, nil
 }
 
 // CreateView stores a named query.
@@ -163,28 +233,36 @@ func sortStrings(s []string) {
 	}
 }
 
-func (db *DB) env() sql.Env { return sql.Env{Catalog: db.cat, Views: db.snapshotViews()} }
-
 // Register installs a base relation. Row values may be int, int64,
 // float64, string, bool or nil (NULL).
 func (db *DB) Register(name string, columns []string, rows [][]any) error {
+	r, err := buildRelation(columns, rows)
+	if err != nil {
+		return err
+	}
+	db.cat.Register(name, r)
+	return nil
+}
+
+// buildRelation converts Go values into a relation (shared by DB.Register
+// and Session.Register).
+func buildRelation(columns []string, rows [][]any) (*rel.Relation, error) {
 	r := rel.New(schema.New("", columns...))
 	for i, row := range rows {
 		if len(row) != len(columns) {
-			return fmt.Errorf("perm: row %d has %d values, want %d", i, len(row), len(columns))
+			return nil, fmt.Errorf("perm: row %d has %d values, want %d", i, len(row), len(columns))
 		}
 		t := make(rel.Tuple, len(row))
 		for j, v := range row {
 			val, err := toValue(v)
 			if err != nil {
-				return fmt.Errorf("perm: row %d column %q: %w", i, columns[j], err)
+				return nil, fmt.Errorf("perm: row %d column %q: %w", i, columns[j], err)
 			}
 			t[j] = val
 		}
 		r.Add(t, 1)
 	}
-	db.cat.Register(name, r)
-	return nil
+	return r, nil
 }
 
 // LoadCSV installs a base relation from CSV (header row of column names;
@@ -313,16 +391,56 @@ type Result struct {
 	// Provenance describes the provenance column groups (empty for plain
 	// queries).
 	Provenance []ProvGroup
+	// PeakRows is the executor's high-water mark of resident rows for this
+	// query (see eval.Stats) — the service layer's /stats endpoint
+	// aggregates it.
+	PeakRows int64
+}
+
+// snapshot is one consistent (catalog, views) state that a single
+// statement compiles and executes against. DB statements snapshot the base
+// catalog and the published views map; Session statements snapshot their
+// copy-on-write overlay — either way the whole pipeline (parse, analyze,
+// translate, rewrite, optimize, evaluate) observes exactly one catalog
+// state, unaffected by concurrent DDL.
+type snapshot struct {
+	src   catalog.Source
+	views map[string]*sql.ViewDef
+}
+
+func (sn snapshot) env() sql.Env { return sql.Env{Catalog: sn.src, Views: sn.views} }
+
+func (db *DB) snapshot() snapshot { return snapshot{src: db.cat, views: db.snapshotViews()} }
+
+func newQueryConfig(opts []Option) queryConfig {
+	cfg := queryConfig{strategy: Auto, ctx: context.Background()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
 }
 
 // Query parses, plans and executes a SQL statement. SELECT PROVENANCE
 // statements are rewritten with the configured strategy before execution.
 func (db *DB) Query(query string, opts ...Option) (*Result, error) {
-	cfg := queryConfig{strategy: Auto, ctx: context.Background()}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	tr, err := sql.CompileEnv(db.env(), query)
+	return db.snapshot().query(query, newQueryConfig(opts))
+}
+
+// QueryContext is Query under a context: cancellation or deadline expiry
+// aborts evaluation with an error wrapping eval.ErrCanceled and the
+// context's error. It is equivalent to passing WithContext(ctx).
+func (db *DB) QueryContext(ctx context.Context, query string, opts ...Option) (*Result, error) {
+	return db.Query(query, append([]Option{WithContext(ctx)}, opts...)...)
+}
+
+// ExecContext is Exec under a context (see QueryContext).
+func (db *DB) ExecContext(ctx context.Context, statement string, opts ...Option) (*Result, error) {
+	return db.Exec(statement, append([]Option{WithContext(ctx)}, opts...)...)
+}
+
+// query runs the full pipeline against one snapshot.
+func (sn snapshot) query(query string, cfg queryConfig) (*Result, error) {
+	tr, err := sql.CompileEnv(sn.env(), query)
 	if err != nil {
 		return nil, err
 	}
@@ -350,13 +468,14 @@ func (db *DB) Query(query string, opts ...Option) (*Result, error) {
 	if !cfg.noOptimize {
 		plan = opt.Optimize(plan)
 	}
-	ev := eval.New(db.cat).WithContext(cfg.ctx)
+	ev := eval.New(sn.src).WithContext(cfg.ctx)
 	ev.Parallelism = cfg.parallelism
 	ev.DisableStreaming = cfg.materialize
 	relOut, err := ev.Eval(plan)
 	if err != nil {
 		return nil, err
 	}
+	out.PeakRows = ev.LastStats().PeakRows
 	if !tr.Provenance {
 		out.DataColumns = relOut.Schema.Len() - tr.Hidden
 	}
@@ -408,7 +527,11 @@ type StrategyAdvice struct {
 // provenance-aware). The query must not use the PROVENANCE keyword — pass
 // the plain query you intend to ask provenance for.
 func (db *DB) Advise(query string) ([]StrategyAdvice, error) {
-	tr, err := sql.CompileEnv(db.env(), query)
+	return db.snapshot().advise(query)
+}
+
+func (sn snapshot) advise(query string) ([]StrategyAdvice, error) {
+	tr, err := sql.CompileEnv(sn.env(), query)
 	if err != nil {
 		return nil, err
 	}
@@ -416,7 +539,7 @@ func (db *DB) Advise(query string) ([]StrategyAdvice, error) {
 		return nil, fmt.Errorf("perm: Advise takes the plain query, without PROVENANCE")
 	}
 	stats := rewrite.StatsFunc(func(rel string) int {
-		r, err := db.cat.Relation(rel)
+		r, err := sn.src.Relation(rel)
 		if err != nil {
 			return 1000
 		}
@@ -437,11 +560,11 @@ func (db *DB) Advise(query string) ([]StrategyAdvice, error) {
 // Explain returns the (optimized) algebra plan of a statement, after the
 // provenance rewrite for PROVENANCE queries.
 func (db *DB) Explain(query string, opts ...Option) (string, error) {
-	cfg := queryConfig{strategy: Auto, ctx: context.Background()}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	tr, err := sql.CompileEnv(db.env(), query)
+	return db.snapshot().explain(query, newQueryConfig(opts))
+}
+
+func (sn snapshot) explain(query string, cfg queryConfig) (string, error) {
+	tr, err := sql.CompileEnv(sn.env(), query)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,247 @@
+package perm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"perm/internal/catalog"
+	"perm/internal/sql"
+)
+
+// Session is an isolated statement scope over a shared DB: its DDL —
+// CREATE TABLE, INSERT, CREATE VIEW, DROP — lands in a private
+// copy-on-write layer (a catalog.Overlay plus a session views map) that
+// shadows the base without ever mutating it. Any number of sessions run
+// concurrently against one DB; a session's writes are invisible to every
+// other session, and every statement executes against one immutable
+// snapshot of (base + session layer), so long-running provenance queries
+// neither block nor observe concurrent DDL — not even their own session's.
+//
+// A Session's methods are safe for concurrent use; session DDL serializes
+// on the session's mutex while queries only take snapshots.
+type Session struct {
+	db *DB
+
+	// mu serializes session DDL (the copy-on-write read-modify-write
+	// cycles) and guards the views/droppedViews maps, which are replaced
+	// wholesale so snapshots stay stable. The overlay has its own lock.
+	mu           sync.Mutex
+	overlay      *catalog.Overlay
+	views        map[string]*sql.ViewDef
+	droppedViews map[string]bool
+}
+
+// NewSession opens a session layered over db's current and future base
+// state: base DDL performed after the session is created is visible to the
+// session unless shadowed by the session's own layer.
+func (db *DB) NewSession() *Session {
+	return &Session{
+		db:           db,
+		overlay:      catalog.NewOverlay(db.cat),
+		views:        map[string]*sql.ViewDef{},
+		droppedViews: map[string]bool{},
+	}
+}
+
+func (s *Session) lock()   { s.mu.Lock() }
+func (s *Session) unlock() { s.mu.Unlock() }
+
+// snapshot captures one consistent view of the session: the overlay's
+// catalog snapshot plus the merged views map (session views shadow base
+// views; session drops hide them).
+func (s *Session) snapshot() snapshot {
+	s.lock()
+	local, dropped := s.views, s.droppedViews
+	s.unlock()
+	base := s.db.snapshotViews()
+	merged := make(map[string]*sql.ViewDef, len(base)+len(local))
+	for n, v := range base {
+		if !dropped[n] {
+			merged[n] = v
+		}
+	}
+	for n, v := range local {
+		merged[n] = v
+	}
+	return snapshot{src: s.overlay.Snapshot(), views: merged}
+}
+
+// Query parses, plans and executes a SQL statement against the session's
+// snapshot. See DB.Query.
+func (s *Session) Query(query string, opts ...Option) (*Result, error) {
+	return s.snapshot().query(query, newQueryConfig(opts))
+}
+
+// QueryContext is Query under a context (see DB.QueryContext).
+func (s *Session) QueryContext(ctx context.Context, query string, opts ...Option) (*Result, error) {
+	return s.Query(query, append([]Option{WithContext(ctx)}, opts...)...)
+}
+
+// Advise ranks the rewrite strategies for a query against the session's
+// snapshot. See DB.Advise.
+func (s *Session) Advise(query string) ([]StrategyAdvice, error) {
+	return s.snapshot().advise(query)
+}
+
+// Explain returns the (optimized) plan of a statement against the
+// session's snapshot. See DB.Explain.
+func (s *Session) Explain(query string, opts ...Option) (string, error) {
+	return s.snapshot().explain(query, newQueryConfig(opts))
+}
+
+// Relations lists the relation names visible to the session.
+func (s *Session) Relations() []string { return s.overlay.Names() }
+
+// Views lists the view names visible to the session.
+func (s *Session) Views() []string {
+	sn := s.snapshot()
+	out := make([]string, 0, len(sn.views))
+	for n := range sn.views {
+		out = append(out, n)
+	}
+	sortStrings(out)
+	return out
+}
+
+// ExecContext is Exec under a context (see DB.QueryContext).
+func (s *Session) ExecContext(ctx context.Context, statement string, opts ...Option) (*Result, error) {
+	return s.Exec(statement, append([]Option{WithContext(ctx)}, opts...)...)
+}
+
+// Exec runs any statement in the session: queries return a Result; CREATE
+// TABLE / CREATE VIEW / INSERT / DROP mutate only the session's
+// copy-on-write layer and return nil.
+func (s *Session) Exec(statement string, opts ...Option) (*Result, error) {
+	st, err := sql.ParseStatement(statement)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case st.CreateView != nil:
+		return nil, s.createView(st.CreateView)
+	case st.DropView != "":
+		return nil, s.dropView(st.DropView)
+	case st.CreateTable != nil:
+		return nil, s.createTable(st.CreateTable)
+	case st.Insert != nil:
+		return nil, s.insert(st.Insert)
+	case st.DropTable != "":
+		return nil, s.overlay.Drop(st.DropTable)
+	default:
+		return s.Query(statement, opts...)
+	}
+}
+
+// createView mirrors the DB's probe-before-publish discipline at session
+// scope: the body is compiled against a snapshot that already contains the
+// new view (substituting any ordinals in place, see sql.Analyze), and only
+// a successful probe publishes. The session lock spans the whole cycle, so
+// concurrent session DDL serializes; concurrent queries keep whatever
+// snapshot they hold.
+func (s *Session) createView(def *sql.ViewDef) error {
+	s.lock()
+	defer s.unlock()
+	probe := cloneViews(s.views)
+	probe[def.Name] = def
+	base := s.db.snapshotViews()
+	merged := make(map[string]*sql.ViewDef, len(base)+len(probe))
+	for n, v := range base {
+		if !s.droppedViews[n] {
+			merged[n] = v
+		}
+	}
+	for n, v := range probe {
+		merged[n] = v
+	}
+	if _, err := sql.CompileEnv(sql.Env{Catalog: s.overlay.Snapshot(), Views: merged}, "SELECT * FROM "+def.Name); err != nil {
+		return err
+	}
+	s.views = probe
+	return nil
+}
+
+func (s *Session) dropView(name string) error {
+	s.lock()
+	defer s.unlock()
+	if _, ok := s.views[name]; ok {
+		next := cloneViews(s.views)
+		delete(next, name)
+		s.views = next
+		return nil
+	}
+	base := s.db.snapshotViews()
+	if _, ok := base[name]; ok && !s.droppedViews[name] {
+		// A base view is dropped by tombstone: the base map is shared.
+		next := make(map[string]bool, len(s.droppedViews)+1)
+		for k, v := range s.droppedViews {
+			next[k] = v
+		}
+		next[name] = true
+		s.droppedViews = next
+		return nil
+	}
+	return fmt.Errorf("perm: unknown view %q", name)
+}
+
+func (s *Session) createTable(def *sql.TableDef) error {
+	s.lock()
+	defer s.unlock()
+	if s.viewVisibleLocked(def.Name) {
+		return fmt.Errorf("perm: relation %q already exists (as a view)", def.Name)
+	}
+	r, kinds := tableDefRelation(def)
+	return s.overlay.Create(def.Name, r, kinds)
+}
+
+// insert runs the session-scope copy-on-write cycle: read the current
+// version through the overlay (a base relation on first touch), build the
+// appended copy, publish it into the session layer. The session lock makes
+// the cycle atomic against concurrent session DDL; snapshots taken before
+// the publish keep the old version.
+func (s *Session) insert(ins *sql.InsertStmt) error {
+	s.lock()
+	defer s.unlock()
+	if s.viewVisibleLocked(ins.Table) {
+		return fmt.Errorf("perm: cannot INSERT into view %q", ins.Table)
+	}
+	old, err := s.overlay.Relation(ins.Table)
+	if err != nil {
+		return err
+	}
+	kinds, err := s.overlay.Kinds(ins.Table)
+	if err != nil {
+		return err
+	}
+	next, merged, err := appendRows(old, kinds, ins)
+	if err != nil {
+		return err
+	}
+	s.overlay.Replace(ins.Table, next, merged)
+	return nil
+}
+
+// viewVisibleLocked reports whether name resolves to a view in the
+// session. Callers must hold the session lock.
+func (s *Session) viewVisibleLocked(name string) bool {
+	if _, ok := s.views[name]; ok {
+		return true
+	}
+	if s.droppedViews[name] {
+		return false
+	}
+	_, ok := s.db.snapshotViews()[name]
+	return ok
+}
+
+// Register installs a base relation into the session's layer (shadowing
+// any base relation of the same name) — the programmatic counterpart of
+// CREATE TABLE + INSERT for tools. Row values follow DB.Register.
+func (s *Session) Register(name string, columns []string, rows [][]any) error {
+	r, err := buildRelation(columns, rows)
+	if err != nil {
+		return err
+	}
+	s.overlay.Replace(name, r, nil)
+	return nil
+}
