@@ -17,9 +17,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
@@ -91,27 +93,32 @@ func main() {
 		st.Sizes = append([]int(nil), sc.Sizes...)
 	}
 
+	// The process entry point owns the root context; an interrupt cancels
+	// the in-flight cell and the run exits at the next measurement.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	fmt.Printf("permbench: timeout=%v instances=%d seed=%d\n", *timeout, *instances, *seed)
 	switch *fig {
 	case "6":
-		r.Figure6(f6)
+		r.Figure6(ctx, f6)
 	case "7":
-		r.Figure7(sc)
+		r.Figure7(ctx, sc)
 	case "8":
-		r.Figure8(sc)
+		r.Figure8(ctx, sc)
 	case "9":
-		r.Figure9(sc)
+		r.Figure9(ctx, sc)
 	case "modes":
-		r.Modes(mc)
+		r.Modes(ctx, mc)
 	case "stream":
-		r.FigureStream(st)
+		r.FigureStream(ctx, st)
 	case "all":
-		r.Figure6(f6)
-		r.Figure7(sc)
-		r.Figure8(sc)
-		r.Figure9(sc)
-		r.Modes(mc)
-		r.FigureStream(st)
+		r.Figure6(ctx, f6)
+		r.Figure7(ctx, sc)
+		r.Figure8(ctx, sc)
+		r.Figure9(ctx, sc)
+		r.Modes(ctx, mc)
+		r.FigureStream(ctx, st)
 	default:
 		fatalf("unknown figure %q (want 6, 7, 8, 9, modes, stream or all)", *fig)
 	}

@@ -1,0 +1,102 @@
+// Command permlint runs the perm invariant checkers over Go packages.
+//
+// Usage:
+//
+//	go run ./cmd/permlint ./...
+//
+// By default every analyzer runs and any non-advisory finding makes the
+// process exit 1. The hotalloc analyzer's findings are advisory — they form
+// the allocation inventory for the vectorized-executor work — and are
+// printed without affecting the exit status unless -strict-hot is set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"perm/internal/lint"
+)
+
+func main() {
+	var (
+		checks    = flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+		listFlag  = flag.Bool("list", false, "list the available analyzers and exit")
+		strictHot = flag.Bool("strict-hot", false, "count advisory (hotalloc) findings against the exit status")
+		inventory = flag.Bool("inventory", false, "print only advisory findings (the hot-path allocation inventory) and exit 0")
+		dir       = flag.String("C", ".", "change to this directory before loading packages")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: permlint [flags] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the perm invariant checkers over the named packages (default ./...).\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.Analyzers() {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Printf("%-12s %s\n", a.Name, doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *checks != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			a, ok := lint.AnalyzerByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "permlint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.NewLoader().Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "permlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "permlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	failing := 0
+	for _, d := range diags {
+		if *inventory && !d.Info {
+			continue
+		}
+		if !d.Info {
+			failing++
+		}
+		fmt.Println(d)
+	}
+	if *inventory {
+		return
+	}
+	if *strictHot {
+		failing = len(diags)
+	}
+	if failing > 0 {
+		fmt.Fprintf(os.Stderr, "permlint: %d finding(s)\n", failing)
+		os.Exit(1)
+	}
+}

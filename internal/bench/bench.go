@@ -112,15 +112,16 @@ func fmtDuration(d time.Duration) string {
 const Baseline = "base"
 
 // Measure runs the given SQL instances under one strategy name (Baseline,
-// "Gen", "Left", "Move", "Unn") and returns the averaged cell.
-func (r *Runner) Measure(cat *catalog.Catalog, instances []string, strategy string) Measurement {
-	m, _ := r.measure(cat, instances, strategy)
+// "Gen", "Left", "Move", "Unn") and returns the averaged cell. Canceling
+// ctx excludes the remaining instances, like a timeout would.
+func (r *Runner) Measure(ctx context.Context, cat *catalog.Catalog, instances []string, strategy string) Measurement {
+	m, _ := r.measure(ctx, cat, instances, strategy)
 	return m
 }
 
 // measure is Measure plus the last instance's materialized result, which
 // the streaming table uses to assert executor-mode agreement.
-func (r *Runner) measure(cat *catalog.Catalog, instances []string, strategy string) (Measurement, *rel.Relation) {
+func (r *Runner) measure(ctx context.Context, cat *catalog.Catalog, instances []string, strategy string) (Measurement, *rel.Relation) {
 	var total time.Duration
 	var rows int
 	var peak int64
@@ -152,8 +153,8 @@ func (r *Runner) measure(cat *catalog.Catalog, instances []string, strategy stri
 		if remaining <= 0 {
 			return Measurement{Excluded: true}, nil
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), remaining)
-		ev := eval.New(cat).WithContext(ctx)
+		runCtx, cancel := context.WithTimeout(ctx, remaining)
+		ev := eval.New(cat).WithContext(runCtx)
 		ev.MaxRows = r.MaxRows
 		ev.Parallelism = r.Parallelism
 		ev.DisableSublinkMemo = !r.SublinkMemo

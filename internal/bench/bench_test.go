@@ -14,20 +14,20 @@ func TestMeasureBaselineAndStrategies(t *testing.T) {
 	cat := w.Catalog()
 	r := New(nil, 5*time.Second, 2)
 	instances := []string{w.Q1(0), w.Q1(1)}
-	base := r.Measure(cat, instances, Baseline)
+	base := r.Measure(t.Context(), cat, instances, Baseline)
 	if base.Err != nil || base.NA || base.Excluded {
 		t.Fatalf("baseline: %+v", base)
 	}
-	gen := r.Measure(cat, instances, "Gen")
+	gen := r.Measure(t.Context(), cat, instances, "Gen")
 	if gen.Err != nil || gen.NA {
 		t.Fatalf("gen: %+v", gen)
 	}
-	unn := r.Measure(cat, instances, "Unn")
+	unn := r.Measure(t.Context(), cat, instances, "Unn")
 	if unn.Err != nil || unn.NA {
 		t.Fatalf("unn: %+v", unn)
 	}
 	// q2 under Unn is not applicable.
-	na := r.Measure(cat, []string{w.Q2(0)}, "Unn")
+	na := r.Measure(t.Context(), cat, []string{w.Q2(0)}, "Unn")
 	if !na.NA {
 		t.Fatalf("q2/Unn should be n/a: %+v", na)
 	}
@@ -40,7 +40,7 @@ func TestMeasureTimeoutExcludes(t *testing.T) {
 	w := synth.Workload{InputSize: 2000, SublinkSize: 2000, Seed: 2}
 	cat := w.Catalog()
 	r := New(nil, time.Millisecond, 1)
-	m := r.Measure(cat, []string{w.Q2(0)}, "Gen")
+	m := r.Measure(t.Context(), cat, []string{w.Q2(0)}, "Gen")
 	if !m.Excluded {
 		t.Fatalf("1ms budget should exclude Gen at size 2000: %+v", m)
 	}
@@ -52,10 +52,10 @@ func TestMeasureTimeoutExcludes(t *testing.T) {
 func TestMeasureBadSQL(t *testing.T) {
 	w := synth.Workload{InputSize: 10, SublinkSize: 10, Seed: 2}
 	r := New(nil, time.Second, 1)
-	if m := r.Measure(w.Catalog(), []string{"SELEC nope"}, Baseline); m.Err == nil {
+	if m := r.Measure(t.Context(), w.Catalog(), []string{"SELEC nope"}, Baseline); m.Err == nil {
 		t.Fatal("bad SQL should error")
 	}
-	if m := r.Measure(w.Catalog(), []string{"SELECT * FROM r1"}, "Bogus"); m.Err == nil {
+	if m := r.Measure(t.Context(), w.Catalog(), []string{"SELECT * FROM r1"}, "Bogus"); m.Err == nil {
 		t.Fatal("bad strategy should error")
 	}
 }
@@ -63,7 +63,7 @@ func TestMeasureBadSQL(t *testing.T) {
 func TestFigure6SmallRun(t *testing.T) {
 	var sb strings.Builder
 	r := New(&sb, 3*time.Second, 1)
-	r.Figure6(Fig6Config{Scales: []float64{0.05}, Queries: []int{4, 11}, Seed: 1})
+	r.Figure6(t.Context(), Fig6Config{Scales: []float64{0.05}, Queries: []int{4, 11}, Seed: 1})
 	out := sb.String()
 	for _, want := range []string{"Figure 6(a)", "Q4", "Q11", "baseline", "Gen"} {
 		if !strings.Contains(out, want) {
@@ -81,7 +81,7 @@ func TestFigure6SmallRun(t *testing.T) {
 func TestFigure7SmallRun(t *testing.T) {
 	var sb strings.Builder
 	r := New(&sb, 3*time.Second, 1)
-	r.Figure7(SynthConfig{Sizes: []int{10, 50}, FixedSublink: 20, Seed: 1})
+	r.Figure7(t.Context(), SynthConfig{Sizes: []int{10, 50}, FixedSublink: 20, Seed: 1})
 	out := sb.String()
 	for _, want := range []string{"Figure 7", "q1", "q2", "Unn"} {
 		if !strings.Contains(out, want) {
@@ -93,7 +93,7 @@ func TestFigure7SmallRun(t *testing.T) {
 func TestFigureStreamSmallRun(t *testing.T) {
 	var sb strings.Builder
 	r := New(&sb, 5*time.Second, 1)
-	r.FigureStream(StreamConfig{Sizes: []int{40}, Domain: 8, Seed: 1})
+	r.FigureStream(t.Context(), StreamConfig{Sizes: []int{40}, Domain: 8, Seed: 1})
 	out := sb.String()
 	for _, want := range []string{"Streaming vs materializing", "q4 (correlated EXISTS)", "matrows", "streamrows", "speedup", "agree"} {
 		if !strings.Contains(out, want) {
@@ -114,9 +114,9 @@ func TestStreamEarlyTerminationWins(t *testing.T) {
 	instances := []string{w.Q4(0), w.Q4(1)}
 	r := New(nil, 30*time.Second, 2)
 	r.Materialize = true
-	mat, matOut := r.measure(cat, instances, Baseline)
+	mat, matOut := r.measure(t.Context(), cat, instances, Baseline)
 	r.Materialize = false
-	str, strOut := r.measure(cat, instances, Baseline)
+	str, strOut := r.measure(t.Context(), cat, instances, Baseline)
 	if mat.Err != nil || str.Err != nil || mat.Excluded || str.Excluded {
 		t.Fatalf("mat %+v str %+v", mat, str)
 	}
@@ -152,8 +152,8 @@ func TestShapePreserved(t *testing.T) {
 	cat := w.Catalog()
 	r := New(nil, 30*time.Second, 3)
 	instances := []string{w.Q1(0), w.Q1(1), w.Q1(2)}
-	gen := r.Measure(cat, instances, "Gen")
-	unn := r.Measure(cat, instances, "Unn")
+	gen := r.Measure(t.Context(), cat, instances, "Gen")
+	unn := r.Measure(t.Context(), cat, instances, "Unn")
 	if gen.Err != nil || unn.Err != nil {
 		t.Fatalf("gen %+v unn %+v", gen, unn)
 	}
@@ -170,8 +170,8 @@ func TestTPCHFigure6UncorrelatedStrategies(t *testing.T) {
 		t.Fatal(err)
 	}
 	inst := []string{q.Instance(1)}
-	left := r.Measure(cat, inst, "Left")
-	move := r.Measure(cat, inst, "Move")
+	left := r.Measure(t.Context(), cat, inst, "Left")
+	move := r.Measure(t.Context(), cat, inst, "Move")
 	if left.Err != nil || left.NA || move.Err != nil || move.NA {
 		t.Fatalf("Q11 Left/Move should run: %+v %+v", left, move)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"perm/internal/catalog"
@@ -30,7 +31,7 @@ func DefaultFig6() Fig6Config {
 // runtime of every sublink query under the baseline (no provenance), the
 // Gen strategy, and — for the uncorrelated queries 11, 15 and 16 — the
 // Left and Move strategies.
-func (r *Runner) Figure6(cfg Fig6Config) {
+func (r *Runner) Figure6(ctx context.Context, cfg Fig6Config) {
 	r = r.paperExecutor()
 	queries := tpch.SublinkQueries()
 	if len(cfg.Queries) > 0 {
@@ -61,7 +62,7 @@ func (r *Runner) Figure6(cfg Fig6Config) {
 			}
 			row := []string{fmt.Sprintf("Q%d", q.Num)}
 			for _, strat := range []string{Baseline, "Gen", "Left", "Move"} {
-				row = append(row, r.Measure(cat, instances, strat).String())
+				row = append(row, r.Measure(ctx, cat, instances, strat).String())
 			}
 			tb.add(row...)
 		}
@@ -101,25 +102,25 @@ var synthStrategies = []string{Baseline, "Gen", "Left", "Move", "Unn", "UnnX"}
 
 // Figure7 varies the size of the selection's input relation with the
 // sublink relation size fixed.
-func (r *Runner) Figure7(cfg SynthConfig) {
+func (r *Runner) Figure7(ctx context.Context, cfg SynthConfig) {
 	fmt.Fprintf(r.Out, "\nFigure 7: varying input relation size (sublink relation fixed at %d)\n", cfg.FixedSublink)
-	r.synthSweep(cfg, func(size int) synth.Workload {
+	r.synthSweep(ctx, cfg, func(size int) synth.Workload {
 		return synth.Workload{InputSize: size, SublinkSize: cfg.FixedSublink, Seed: cfg.Seed}
 	})
 }
 
 // Figure8 varies the sublink relation size with the input size fixed.
-func (r *Runner) Figure8(cfg SynthConfig) {
+func (r *Runner) Figure8(ctx context.Context, cfg SynthConfig) {
 	fmt.Fprintf(r.Out, "\nFigure 8: varying sublink relation size (input relation fixed at %d)\n", cfg.FixedInput)
-	r.synthSweep(cfg, func(size int) synth.Workload {
+	r.synthSweep(ctx, cfg, func(size int) synth.Workload {
 		return synth.Workload{InputSize: cfg.FixedInput, SublinkSize: size, Seed: cfg.Seed}
 	})
 }
 
 // Figure9 varies both relation sizes together.
-func (r *Runner) Figure9(cfg SynthConfig) {
+func (r *Runner) Figure9(ctx context.Context, cfg SynthConfig) {
 	fmt.Fprintf(r.Out, "\nFigure 9: varying both relation sizes\n")
-	r.synthSweep(cfg, func(size int) synth.Workload {
+	r.synthSweep(ctx, cfg, func(size int) synth.Workload {
 		return synth.Workload{InputSize: size, SublinkSize: size, Seed: cfg.Seed}
 	})
 }
@@ -163,7 +164,7 @@ var executorModes = []struct {
 // Modes runs the executor-mode comparison: the correlated query q3 under
 // the baseline (no provenance) and the Gen strategy (the only strategy that
 // rewrites correlated sublinks), across the four executor modes.
-func (r *Runner) Modes(cfg ModesConfig) {
+func (r *Runner) Modes(ctx context.Context, cfg ModesConfig) {
 	r = r.paperExecutor()
 	fmt.Fprintf(r.Out, "\nExecutor modes: correlated q3, domain %d, %d workers (not a paper figure)\n",
 		cfg.Domain, cfg.Workers)
@@ -188,7 +189,7 @@ func (r *Runner) Modes(cfg ModesConfig) {
 				if m.workers {
 					rm.Parallelism = cfg.Workers
 				}
-				row = append(row, rm.Measure(cat, instances, strat).String())
+				row = append(row, rm.Measure(ctx, cat, instances, strat).String())
 			}
 			tb.add(row...)
 		}
@@ -230,13 +231,13 @@ func DefaultStream() StreamConfig {
 // streamRow renders one comparison row: the materializing and streaming
 // cells for the same workload, their speedup, the materialization ratio,
 // and whether the two executors returned the identical result bag.
-func (r *Runner) streamRow(tb *table, label string, cat *catalog.Catalog, instances []string, strategy string) {
+func (r *Runner) streamRow(ctx context.Context, tb *table, label string, cat *catalog.Catalog, instances []string, strategy string) {
 	rm := *r
 	rm.Materialize = true
-	mat, matOut := rm.measure(cat, instances, strategy)
+	mat, matOut := rm.measure(ctx, cat, instances, strategy)
 	rs := *r
 	rs.Materialize = false
-	str, strOut := rs.measure(cat, instances, strategy)
+	str, strOut := rs.measure(ctx, cat, instances, strategy)
 	speedup, ratio, agree := "-", "-", "-"
 	if mat.Err == nil && str.Err == nil && !mat.Excluded && !str.Excluded && !mat.NA {
 		if str.Mean > 0 {
@@ -273,7 +274,7 @@ func fmtPeak(m Measurement) string {
 // early termination targets) and the correlated q3 on the synthetic
 // workload, plus EXISTS-heavy TPC-H queries, each under the baseline (no
 // provenance) and the Gen strategy.
-func (r *Runner) FigureStream(cfg StreamConfig) {
+func (r *Runner) FigureStream(ctx context.Context, cfg StreamConfig) {
 	for _, q := range []struct {
 		name string
 		mk   func(w synth.Workload, i int64) string
@@ -292,7 +293,7 @@ func (r *Runner) FigureStream(cfg StreamConfig) {
 				for i := range instances {
 					instances[i] = q.mk(w, int64(i))
 				}
-				r.streamRow(tb, fmt.Sprintf("%d", size), cat, instances, strat)
+				r.streamRow(ctx, tb, fmt.Sprintf("%d", size), cat, instances, strat)
 			}
 			tb.render(r.Out)
 		}
@@ -318,8 +319,8 @@ func (r *Runner) FigureStream(cfg StreamConfig) {
 		for i := range instances {
 			instances[i] = q.Instance(cfg.Seed + int64(i))
 		}
-		r.streamRow(tb, fmt.Sprintf("Q%d base", q.Num), cat, instances, Baseline)
-		r.streamRow(tb, fmt.Sprintf("Q%d Gen", q.Num), cat, instances, "Gen")
+		r.streamRow(ctx, tb, fmt.Sprintf("Q%d base", q.Num), cat, instances, Baseline)
+		r.streamRow(ctx, tb, fmt.Sprintf("Q%d Gen", q.Num), cat, instances, "Gen")
 	}
 	tb.render(r.Out)
 }
@@ -335,7 +336,7 @@ func (r *Runner) paperExecutor() *Runner {
 	return &rm
 }
 
-func (r *Runner) synthSweep(cfg SynthConfig, mk func(size int) synth.Workload) {
+func (r *Runner) synthSweep(ctx context.Context, cfg SynthConfig, mk func(size int) synth.Workload) {
 	r = r.paperExecutor()
 	for qi, queryName := range []string{"q1 (a = ANY)", "q2 (a < ALL)"} {
 		fmt.Fprintf(r.Out, "\n%s\n", queryName)
@@ -353,7 +354,7 @@ func (r *Runner) synthSweep(cfg SynthConfig, mk func(size int) synth.Workload) {
 			}
 			row := []string{fmt.Sprintf("%d", size)}
 			for _, strat := range synthStrategies {
-				row = append(row, r.Measure(cat, instances, strat).String())
+				row = append(row, r.Measure(ctx, cat, instances, strat).String())
 			}
 			tb.add(row...)
 		}

@@ -34,9 +34,15 @@ type Source interface {
 type Overlay struct {
 	base Source
 
-	mu      sync.RWMutex
-	rels    map[string]*rel.Relation
-	kinds   map[string][]types.Kind
+	mu sync.RWMutex
+	// rels is the layer's private relation map.
+	// guarded-by: mu
+	rels map[string]*rel.Relation
+	// kinds holds the layer's declared column kinds.
+	// guarded-by: mu
+	kinds map[string][]types.Kind
+	// dropped tombstones base relations.
+	// guarded-by: mu
 	dropped map[string]bool
 }
 
@@ -70,6 +76,8 @@ func (o *Overlay) Snapshot() *Snapshot {
 }
 
 // cow clones the overlay maps for one write. Callers must hold o.mu.
+//
+// permlint:held mu
 func (o *Overlay) cow() (map[string]*rel.Relation, map[string][]types.Kind, map[string]bool) {
 	rels := make(map[string]*rel.Relation, len(o.rels)+1)
 	for k, v := range o.rels {

@@ -79,9 +79,11 @@ type Evaluator struct {
 	ticks int
 }
 
-// New returns an evaluator over db.
+// New returns an evaluator over db. The evaluator has no cancellation
+// context until WithContext installs the caller's; request paths (the
+// service, the benchmark harness) always do.
 func New(db DB) *Evaluator {
-	return &Evaluator{db: db, ctx: context.Background()}
+	return &Evaluator{db: db}
 }
 
 // WithContext returns a copy of the evaluator that checks ctx for
@@ -98,7 +100,7 @@ func (e *Evaluator) Eval(op algebra.Op) (*rel.Relation, error) {
 	// service queue) must abort before any work, not after the first 1024
 	// ticks.
 	select {
-	case <-e.ctx.Done():
+	case <-e.done():
 		return nil, fmt.Errorf("%w: %v", ErrCanceled, e.ctx.Err())
 	default:
 	}
@@ -147,11 +149,21 @@ func (e *Evaluator) tick() error {
 		return nil
 	}
 	select {
-	case <-e.ctx.Done():
+	case <-e.done():
 		return fmt.Errorf("%w: %v", ErrCanceled, e.ctx.Err())
 	default:
 		return nil
 	}
+}
+
+// done returns the evaluator's cancellation channel; a nil channel (never
+// ready) when no context was installed, so the selects above fall through
+// to their default case.
+func (e *Evaluator) done() <-chan struct{} {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Done()
 }
 
 // charge counts n rows of resident executor state — materialized bag slots,

@@ -101,6 +101,8 @@ func sideOnly(e algebra.Expr, sch, other schema.Schema) bool {
 // keys. The caller guarantees len(keys.lKeys) > 0. The build side hashes
 // sequentially; the probe side fans out across workers when the evaluator
 // parallelizes (the hash table is read-only during the probe).
+//
+// perm:hot
 func (e *Evaluator) hashJoin(o algebra.Op, l, r *rel.Relation, keys equiKeys, leftOuter bool, outer []frame) (*rel.Relation, error) {
 	sch := o.Schema()
 	rightWidth := r.Schema.Len()

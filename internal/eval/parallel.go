@@ -28,22 +28,28 @@ type runShared struct {
 	mu sync.Mutex
 	// memo caches materialized results of uncorrelated sublink queries,
 	// keyed by plan-node identity (PostgreSQL's InitPlan behaviour).
+	// guarded-by: mu
 	memo map[algebra.Op]*rel.Relation
 	// anyMemo caches hash sets for uncorrelated = ANY sublinks
 	// (PostgreSQL's hashed subplans).
+	// guarded-by: mu
 	anyMemo map[algebra.Op]*anySet
 	// subMemo caches correlated sublink results per plan node, keyed by the
 	// encoded values of the node's free parameters — repeated outer
 	// bindings evaluate the sublink once instead of O(outer) times.
+	// guarded-by: mu
 	subMemo map[algebra.Op]map[string]*rel.Relation
 	// existsMemo and scalarMemo cache the verdicts of early-terminating
 	// streaming probes per plan node and parameter binding. A probe that
 	// stopped at its deciding row has seen only part of the subplan's bag,
 	// so the bag caches above must never receive it — the verdict is the
 	// memoizable result.
+	// guarded-by: mu
 	existsMemo map[algebra.Op]map[string]bool
+	// guarded-by: mu
 	scalarMemo map[algebra.Op]map[string]types.Value
 	// free caches the free-variable analysis per plan node.
+	// guarded-by: mu
 	free map[algebra.Op][]algebra.AttrRef
 }
 

@@ -87,6 +87,7 @@ func (e *Evaluator) stream(op algebra.Op, outer []frame, emit emitFn) error {
 	}
 }
 
+// perm:hot
 func (e *Evaluator) streamSelect(o *algebra.Select, outer []frame, emit emitFn) error {
 	sch := o.Child.Schema()
 	apply := func(w *Evaluator, t rel.Tuple, n int, out emitFn) error {
@@ -110,6 +111,7 @@ func (e *Evaluator) streamSelect(o *algebra.Select, outer []frame, emit emitFn) 
 	})
 }
 
+// perm:hot
 func (e *Evaluator) streamProject(o *algebra.Project, outer []frame, emit emitFn) error {
 	sch := o.Child.Schema()
 	hasSublink := false
@@ -208,6 +210,7 @@ func (e *Evaluator) streamJoin(l, r algebra.Op, cond algebra.Expr, leftOuter boo
 	})
 }
 
+// perm:hot
 func (e *Evaluator) streamHashJoin(l algebra.Op, rRel *rel.Relation, keys equiKeys, leftOuter bool, joined schema.Schema, rightWidth int, outer []frame, emit emitFn) error {
 	type bucket struct {
 		tuples []rel.Tuple

@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant over a type-checked package. The shape
+// mirrors golang.org/x/tools/go/analysis so the suite can migrate to the
+// real framework wholesale if the dependency ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //permlint:ignore comments.
+	Name string
+	// Doc is the one-paragraph description the multichecker prints.
+	Doc string
+	// Run reports the analyzer's findings for one package via pass.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message describes the violated invariant.
+	Message string
+	// Info marks an advisory finding (the hotalloc inventory): printed, but
+	// not counted against the exit status unless the checker runs strict.
+	Info bool
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass carries one (analyzer, package) run: the package under analysis
+// plus the report sink. Suppressed positions (//permlint:ignore) are
+// filtered here so analyzers never deal with them.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	diags   *[]Diagnostic
+	ignores map[ignoreKey]bool
+}
+
+// ignoreKey identifies one suppressed (file, line, analyzer) cell; analyzer
+// "" suppresses every analyzer on the line.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, false, format, args...)
+}
+
+// ReportInfof records an advisory finding at pos (see Diagnostic.Info).
+func (p *Pass) ReportInfof(pos token.Pos, format string, args ...any) {
+	p.report(pos, true, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, info bool, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+		Info:     info,
+	})
+}
+
+// suppressed reports whether a //permlint:ignore comment covers the
+// position: on the same line (trailing comment) or on the line above.
+func (p *Pass) suppressed(pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range []string{p.Analyzer.Name, ""} {
+			if p.ignores[ignoreKey{file: pos.Filename, line: line, analyzer: name}] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ignoreRE matches "permlint:ignore [analyzer [reason]]" in a comment.
+var ignoreRE = regexp.MustCompile(`^//\s*permlint:ignore(?:\s+([a-z]+))?`)
+
+// buildIgnores scans every comment of the package for suppressions.
+func buildIgnores(pkg *Package) map[ignoreKey]bool {
+	out := map[ignoreKey]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out[ignoreKey{file: pos.Filename, line: pos.Line, analyzer: m[1]}] = true
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies the analyzers to each package and returns the
+// findings sorted by position. Standard-library packages in pkgs are
+// skipped: they are loaded only as type-checking context.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.Standard {
+			continue
+		}
+		ignores := buildIgnores(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Types:    pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+				ignores:  ignores,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{CtxFlow, LockCheck, ErrClass, AtomicField, HotAlloc}
+}
+
+// AnalyzerByName resolves one analyzer.
+func AnalyzerByName(name string) (*Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// --- shared annotation and AST helpers ---
+
+// commentDirective scans a function's doc comment for a "marker" or
+// "marker value" line and returns the value ("" when the marker stands
+// alone) and whether it was found.
+func commentDirective(doc *ast.CommentGroup, marker string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == marker {
+			return "", true
+		}
+		if rest, ok := strings.CutPrefix(text, marker+" "); ok {
+			return strings.TrimSpace(rest), true
+		}
+		if rest, ok := strings.CutPrefix(text, marker+":"); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// funcFor returns the innermost function declaration enclosing pos, using
+// the stack maintained by inspectWithStack.
+func enclosingFunc(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// inspectWithStack walks the node like ast.Inspect but hands the visitor
+// the current ancestor stack (excluding n itself).
+func inspectWithStack(root ast.Node, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := visit(n, stack)
+		if keep {
+			stack = append(stack, n)
+		}
+		return keep
+	})
+}
+
+// derefNamed strips one level of pointer, returning the (possibly named)
+// element type — the receiver type two accesses must share for the
+// lockcheck receiver match.
+func derefNamed(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+// isPkgFunc reports whether the call invokes the named function of the
+// named package (e.g. "context", "Background"), resolving through the
+// type-checker so aliases and shadowing don't fool it.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

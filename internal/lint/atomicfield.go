@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicField enforces all-or-nothing atomicity: once any site accesses a
+// struct field through sync/atomic (atomic.AddInt64(&s.n, 1), ...), every
+// other access of that field must be atomic too. A single plain read mixed
+// in — a stats snapshot reading a gauge, a drain path checking a counter —
+// is a data race that -race only catches under the right interleaving.
+//
+// Fields of the typed atomic kinds (atomic.Int64, atomic.Bool, ...) are
+// safe by construction and need no checking; this analyzer exists for the
+// plain-integer-plus-atomic-functions pattern.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "struct fields accessed via sync/atomic functions anywhere must be " +
+		"accessed atomically everywhere",
+	Run: runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	atomicFields := map[*types.Var][]ast.Node{}
+	atomicArgs := map[ast.Expr]bool{}
+
+	// Pass 1: find every &x.f argument of a sync/atomic call.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			un, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := un.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if v, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+				atomicFields[v] = append(atomicFields[v], call)
+				atomicArgs[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access of those fields must be atomic.
+	for _, f := range pass.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArgs[sel] {
+				return true
+			}
+			v, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+			if !ok || !v.IsField() {
+				return true
+			}
+			if _, atomicallyUsed := atomicFields[v]; !atomicallyUsed {
+				return true
+			}
+			if insideCompositeLit(stack) {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(), "field %q is accessed via sync/atomic elsewhere; this plain access races with the atomic sites", v.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether the call targets a sync/atomic package
+// function that takes an address (Add*, Load*, Store*, Swap*,
+// CompareAndSwap*).
+func isAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(obj.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestAtomicField(t *testing.T) {
+	RunFixture(t, AtomicField, fixturePath("atomicfield"))
+}

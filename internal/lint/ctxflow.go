@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the request-path cancellation discipline: every
+// statement executing on behalf of a request must stay cancellable end to
+// end, so no function may sever the context chain by minting a fresh root
+// context, and context parameters must sit where convention (and the next
+// refactor) expects them.
+//
+// Rules:
+//
+//  1. context.Background() and context.TODO() are forbidden outside main
+//     packages (the process owns its root context there) and _test.go
+//     files. Library code receives its context from the caller.
+//  2. A function taking a context.Context must take it as the first
+//     parameter.
+//  3. A call must not pass a nil literal where a context.Context parameter
+//     is declared.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "request-path functions must thread context.Context (first parameter, " +
+		"no context.Background/TODO outside main and tests, no nil contexts)",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	isMain := pass.Types.Name() == "main"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !isMain {
+					if isPkgFunc(pass.Info, n, "context", "Background") {
+						pass.Reportf(n.Pos(), "context.Background() severs the request cancellation chain; accept a context.Context parameter instead")
+					}
+					if isPkgFunc(pass.Info, n, "context", "TODO") {
+						pass.Reportf(n.Pos(), "context.TODO() severs the request cancellation chain; accept a context.Context parameter instead")
+					}
+				}
+				checkNilContextArg(pass, n)
+			case *ast.FuncDecl:
+				checkContextFirst(pass, n.Type)
+			case *ast.FuncLit:
+				checkContextFirst(pass, n.Type)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkContextFirst flags signatures where a context.Context parameter is
+// not the first parameter.
+func checkContextFirst(pass *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		t := pass.Info.Types[field.Type].Type
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(t) && pos > 0 {
+			pass.Reportf(field.Pos(), "context.Context should be the first parameter of a function")
+			return
+		}
+		pos += n
+	}
+}
+
+// checkNilContextArg flags nil literals in context.Context argument slots.
+func checkNilContextArg(pass *Pass, call *ast.CallExpr) {
+	sigType := pass.Info.Types[call.Fun].Type
+	if sigType == nil {
+		return
+	}
+	sig, ok := sigType.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		id, ok := arg.(*ast.Ident)
+		if !ok || id.Name != "nil" || pass.Info.Uses[id] != types.Universe.Lookup("nil") {
+			continue
+		}
+		if i >= params.Len() {
+			break // variadic tail; contexts don't travel there
+		}
+		if isContextType(params.At(i).Type()) {
+			pass.Reportf(arg.Pos(), "do not pass a nil context.Context; thread the caller's context")
+		}
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestCtxFlow(t *testing.T) {
+	RunFixture(t, CtxFlow, fixturePath("ctxflow"))
+}
+
+func TestCtxFlowMainExempt(t *testing.T) {
+	RunFixture(t, CtxFlow, fixturePath("ctxflowmain"))
+}

@@ -1,0 +1,87 @@
+// Package lint is the perm repository's invariant-checking suite: five
+// analyzers over type-checked packages, run by cmd/permlint and by the
+// fixture tests in this package. The analyzers encode the concurrency,
+// cancellation and error-handling disciplines the engine relies on but the
+// compiler cannot enforce.
+//
+// # Framework
+//
+// The Analyzer/Pass/Diagnostic types mirror golang.org/x/tools/go/analysis
+// so the suite can migrate to the real framework wholesale; the build
+// environment has no module cache or network, so the loader (load.go)
+// instead shells out to `go list -deps -json` and type-checks the module
+// plus its standard-library closure from source with go/parser and
+// go/types. `go list` never lists _test.go files, so test code is never
+// analyzed — which is exactly the exemption ctxflow wants.
+//
+// Findings are suppressed line by line with
+//
+//	//permlint:ignore <analyzer> <reason>
+//
+// on the offending line or the line above; omitting the analyzer name
+// suppresses every analyzer on that line. The reason is free text but
+// should say why the invariant does not apply.
+//
+// # ctxflow
+//
+// The service attributes every query to a request context: cancellation
+// (client gone, deadline expired, server draining) must propagate from the
+// HTTP layer through the session to the evaluator's per-tuple cancellation
+// checkpoints. A context.Background() or context.TODO() anywhere on that
+// path silently severs the chain — the query keeps running after the
+// client gave up, holding its admission token. ctxflow therefore forbids
+// both constructors outside main packages (the process entry point owns
+// the root context) and test files, requires context.Context parameters to
+// come first, and rejects explicit nil contexts.
+//
+// # lockcheck
+//
+// The engine's shared maps (the DB and Session view maps, the catalog
+// overlay layers, the evaluator's sublink memos, the service session
+// table) follow one discipline: replaced wholesale, never mutated in
+// place, always under their mutex. The compiler cannot see which mutex
+// guards which field, so the struct field says so:
+//
+//	// guarded-by: mu
+//	views map[string]*sql.ViewDef
+//
+// lockcheck flags any access to an annotated field from a function that
+// neither locks the guard (a `x.mu.Lock()` or `x.mu.RLock()` call on the
+// same receiver type) nor declares, via `// permlint:held mu` in its doc
+// comment, that its callers hold it (the *Locked naming convention made
+// checkable). Composite-literal initialization is exempt: the value is not
+// shared yet. The check is lexical and flow-insensitive by design — it
+// catches the common mistake (a new method reading a guarded map lock-free)
+// without simulating control flow.
+//
+// # errclass
+//
+// The service maps engine errors onto stable error classes (timeout,
+// canceled, budget, compile, ...) that tests and the load harness key on.
+// That mapping works only if errors keep their identity on the way up:
+// sentinels must be compared with errors.Is (a fmt.Errorf-wrapped
+// eval.ErrCanceled fails ==), wrapping must use %w (a %v flattens the
+// chain to a string), and HTTP handlers must route errors through the
+// classifier rather than calling http.Error or writing 4xx/5xx statuses
+// ad hoc.
+//
+// # atomicfield
+//
+// A field accessed through sync/atomic anywhere must be accessed that way
+// everywhere: one plain `s.n++` next to an atomic.AddInt64(&s.n, 1) is a
+// data race that -race only reports when both sites actually interleave.
+// atomicfield finds every field passed by address to a sync/atomic
+// function and flags plain reads or writes of the same field elsewhere in
+// the package. (Fields of type atomic.Int64 and friends are immune by
+// construction; the check matters for the plain-integer pattern.)
+//
+// # hotalloc
+//
+// The per-tuple executor paths — the streaming operators and the sublink
+// probes, annotated `// perm:hot` — pay for every allocation once per row.
+// hotalloc inventories make/new/append calls, composite literals, closure
+// creations and interface boxing (a types.Value stored into an any) inside
+// those functions. Its findings are advisory: they do not fail permlint
+// (pass -strict-hot to make them fail, -inventory to print only them) but
+// form the measured burn-down list for the planned vectorized executor.
+package lint

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestErrClass(t *testing.T) {
+	RunFixture(t, ErrClass, fixturePath("errclass"))
+}

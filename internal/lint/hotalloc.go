@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc inventories per-row cost in functions annotated `// perm:hot` —
+// the emitFn pipeline, the sublink probes, the hash-join probe: everything
+// that runs once per tuple. It flags
+//
+//   - interface boxing: storing a concrete value (a types.Value, a sortRow)
+//     into an interface-typed slot allocates and is the cost the planned
+//     vectorized executor removes, and
+//   - per-row allocations: make/new/append, composite literals, closures.
+//
+// The findings are advisory (an inventory, not failures): the multichecker
+// prints them but exits 0 unless run with -strict-hot. The nightly CI job
+// uploads the inventory so the vectorization work can track the count
+// burning down.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "inventory interface boxing and per-row allocations in `// perm:hot` " +
+		"functions (advisory; the vectorized-executor burn-down list)",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, hot := commentDirective(fd.Doc, "perm:hot"); !hot {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make", "new", "append":
+						pass.ReportInfof(n.Pos(), "alloc in hot function %s: %s", name, b.Name())
+					}
+				}
+			}
+			checkBoxingCall(pass, name, n)
+		case *ast.CompositeLit:
+			pass.ReportInfof(n.Pos(), "alloc in hot function %s: composite literal", name)
+		case *ast.FuncLit:
+			pass.ReportInfof(n.Pos(), "alloc in hot function %s: closure", name)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) != len(n.Rhs) {
+					break
+				}
+				lhsT := pass.Info.Types[n.Lhs[i]].Type
+				reportBoxing(pass, name, rhs, lhsT)
+			}
+		}
+		return true
+	})
+}
+
+// checkBoxingCall flags concrete arguments passed in interface-typed
+// parameter slots.
+func checkBoxingCall(pass *Pass, name string, call *ast.CallExpr) {
+	sigT := pass.Info.Types[call.Fun].Type
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramT types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				paramT = s.Elem()
+			}
+		case i < params.Len():
+			paramT = params.At(i).Type()
+		}
+		reportBoxing(pass, name, arg, paramT)
+	}
+}
+
+// reportBoxing flags expr when its concrete static type meets an
+// interface-typed destination.
+func reportBoxing(pass *Pass, name string, expr ast.Expr, dst types.Type) {
+	if dst == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	src := tv.Type
+	if _, ok := src.Underlying().(*types.Interface); ok {
+		return // interface-to-interface: no new box
+	}
+	if b, ok := src.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	pass.ReportInfof(expr.Pos(), "boxing in hot function %s: %s stored into %s", name, src, dst)
+}

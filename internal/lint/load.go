@@ -1,0 +1,299 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, parsed and type-checked package — the unit an
+// Analyzer runs over.
+type Package struct {
+	// PkgPath is the import path (the go list ImportPath).
+	PkgPath string
+	// Name is the package name; "main" marks command packages, which some
+	// analyzers treat more leniently (ctxflow allows context.Background
+	// there).
+	Name string
+	// Dir is the package directory on disk.
+	Dir string
+	// Standard marks packages of the standard library: loaded only so the
+	// module's packages type-check, never analyzed.
+	Standard bool
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	// ImportMap maps source-level import paths to resolved package paths
+	// (the stdlib vendors golang.org/x/... under vendor/).
+	ImportMap map[string]string
+	Error     *struct{ Err string }
+}
+
+// Loader loads packages by shelling out to `go list` for dependency
+// resolution and type-checking everything — including the standard-library
+// closure — from source, so it needs no pre-built export data and no
+// network. Loaded packages are cached per import path, so one Loader
+// amortizes the stdlib across many Load/LoadDir calls.
+type Loader struct {
+	mu   sync.Mutex
+	fset *token.FileSet
+	pkgs map[string]*Package // by resolved import path
+	meta map[string]*listPackage
+}
+
+// NewLoader returns an empty loader.
+func NewLoader() *Loader {
+	return &Loader{
+		fset: token.NewFileSet(),
+		pkgs: map[string]*Package{},
+		meta: map[string]*listPackage{},
+	}
+}
+
+// Load resolves the patterns (e.g. "./...") relative to dir and returns the
+// matched packages, type-checked, in dependency order. Standard-library
+// dependencies are loaded into the cache but not returned.
+func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	roots, err := l.list(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, path := range roots {
+		p, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// list runs `go list -deps -json` and records every package's metadata in
+// dependency order, returning the import paths of the pattern roots
+// (go list marks dependencies with DepOnly; roots are the rest).
+func (l *Loader) list(dir string, patterns []string) ([]string, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Name,Dir,Standard,GoFiles,Imports,ImportMap,Error,DepOnly", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// Pure-Go builds only: with cgo off, go list selects the no-cgo file
+	// sets, which are what a from-source type-check can handle.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var roots []string
+	for dec.More() {
+		var p struct {
+			listPackage
+			DepOnly bool
+		}
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		meta := p.listPackage
+		l.meta[p.ImportPath] = &meta
+		if !p.DepOnly {
+			roots = append(roots, p.ImportPath)
+		}
+	}
+	return roots, nil
+}
+
+// check type-checks one package (and, recursively, its dependencies) from
+// source. Callers hold l.mu.
+func (l *Loader) check(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	meta := l.meta[path]
+	if meta == nil {
+		return nil, fmt.Errorf("lint: package %s was not listed", path)
+	}
+	files := make([]*ast.File, 0, len(meta.GoFiles))
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	for _, imp := range meta.Imports {
+		if imp == "unsafe" || imp == "C" {
+			continue
+		}
+		if _, err := l.check(imp); err != nil {
+			return nil, err
+		}
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			if importPath == "unsafe" {
+				return types.Unsafe, nil
+			}
+			if resolved, ok := meta.ImportMap[importPath]; ok {
+				importPath = resolved
+			}
+			if p, ok := l.pkgs[importPath]; ok {
+				return p.Types, nil
+			}
+			return nil, fmt.Errorf("lint: import %q not loaded", importPath)
+		}),
+		Sizes: types.SizesFor("gc", "amd64"),
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	p := &Package{
+		PkgPath:  path,
+		Name:     meta.Name,
+		Dir:      meta.Dir,
+		Standard: meta.Standard,
+		Fset:     l.fset,
+		Files:    files,
+		Types:    tpkg,
+		Info:     info,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// LoadDir parses the Go files of one directory as a stand-alone package
+// (used by the fixture tests, whose packages live under testdata and are
+// invisible to `go list ./...`), resolving its imports through the loader's
+// stdlib cache.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var files []*ast.File
+	var imports []string
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	if err := l.ensure(dir, imports); err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			if importPath == "unsafe" {
+				return types.Unsafe, nil
+			}
+			if p, ok := l.pkgs[importPath]; ok {
+				return p.Types, nil
+			}
+			return nil, fmt.Errorf("lint: import %q not loaded", importPath)
+		}),
+		Sizes: types.SizesFor("gc", "amd64"),
+	}
+	name := files[0].Name.Name
+	tpkg, err := conf.Check(name, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", dir, err)
+	}
+	return &Package{
+		PkgPath: name,
+		Name:    name,
+		Dir:     dir,
+		Fset:    l.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// ensure lists and checks the given import paths (plus dependencies) into
+// the cache. Callers hold l.mu.
+func (l *Loader) ensure(dir string, imports []string) error {
+	var missing []string
+	for _, imp := range imports {
+		if imp == "unsafe" {
+			continue
+		}
+		if _, ok := l.pkgs[imp]; !ok {
+			missing = append(missing, imp)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if _, err := l.list(dir, missing); err != nil {
+		return err
+	}
+	for _, imp := range missing {
+		if _, err := l.check(imp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

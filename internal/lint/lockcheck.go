@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockCheck enforces `// guarded-by: mu` field annotations: every read or
+// write of an annotated struct field must happen in a function that
+// demonstrably holds the guard. The check is lexical and flow-insensitive —
+// deliberately so: it catches the unguarded access -race only finds under
+// the right interleaving, at the cost of requiring honest annotations.
+//
+// A function "holds" a guard when either
+//
+//   - its body (including nested function literals) calls Lock or RLock on
+//     the same-named mutex field of a value of the same receiver type as
+//     the access, or
+//   - its doc comment carries `// permlint:held mu`, documenting the
+//     caller-holds-the-lock convention (the *Locked helper idiom).
+//
+// Accesses inside composite literals are initialization of a value not yet
+// shared and are exempt.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "fields annotated `// guarded-by: mu` must only be accessed while the " +
+		"guard is held (a Lock/RLock call in the function, or `// permlint:held mu`)",
+	Run: runLockCheck,
+}
+
+// guardInfo is one annotated field: the guard's field name within the same
+// struct.
+type guardInfo struct {
+	guard string
+}
+
+func runLockCheck(pass *Pass) error {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			held := heldGuards(fd)
+			locked := lockedGuards(pass, fd)
+			checkGuardedAccesses(pass, fd, guarded, held, locked)
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields maps field objects to their guard annotations. The
+// annotation may be the field's doc comment or its trailing line comment:
+//
+//	views map[string]*ViewDef // guarded-by: mu
+func collectGuardedFields(pass *Pass) map[*types.Var]guardInfo {
+	out := map[*types.Var]guardInfo{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := ""
+				if g, ok := commentDirective(field.Doc, "guarded-by"); ok {
+					guard = g
+				} else if g, ok := commentDirective(field.Comment, "guarded-by"); ok {
+					guard = g
+				}
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj, ok := pass.Info.Defs[name].(*types.Var); ok {
+						out[obj] = guardInfo{guard: guard}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// heldGuards returns the guard names a function's doc comment declares as
+// held by the caller (`// permlint:held mu`).
+func heldGuards(fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	if v, ok := commentDirective(fd.Doc, "permlint:held"); ok {
+		for _, g := range strings.Fields(v) {
+			out[g] = true
+		}
+	}
+	return out
+}
+
+// lockKey is one acquired lock: the receiver type owning the mutex field
+// and the mutex field's name.
+type lockKey struct {
+	recv  types.Type
+	guard string
+}
+
+// lockedGuards collects every `x.mu.Lock()` / `x.mu.RLock()` call in the
+// function body: evidence that the function acquires the guard "mu" of a
+// value of x's type.
+func lockedGuards(pass *Pass, fd *ast.FuncDecl) map[lockKey]bool {
+	out := map[lockKey]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		// sel.X should itself be a selector: <base>.<guardField>
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		baseType := pass.Info.Types[inner.X].Type
+		if baseType == nil {
+			return true
+		}
+		out[lockKey{recv: derefNamed(baseType), guard: inner.Sel.Name}] = true
+		return true
+	})
+	return out
+}
+
+// checkGuardedAccesses flags guarded-field accesses that neither hold the
+// lock nor carry a held annotation.
+func checkGuardedAccesses(pass *Pass, fd *ast.FuncDecl, guarded map[*types.Var]guardInfo, held map[string]bool, locked map[lockKey]bool) {
+	inspectWithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+		if !ok || !obj.IsField() {
+			return true
+		}
+		info, ok := guarded[obj]
+		if !ok {
+			return true
+		}
+		if held[info.guard] {
+			return true
+		}
+		baseType := pass.Info.Types[sel.X].Type
+		if baseType != nil && locked[lockKey{recv: derefNamed(baseType), guard: info.guard}] {
+			return true
+		}
+		if insideCompositeLit(stack) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(), "access to %q (guarded-by: %s) without holding %s: add %s.Lock()/RLock() or annotate the function `// permlint:held %s`",
+			obj.Name(), info.guard, info.guard, info.guard, info.guard)
+		return true
+	})
+}
+
+// insideCompositeLit reports whether the node stack passes through a
+// composite literal (value initialization).
+func insideCompositeLit(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.CompositeLit); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLockCheck(t *testing.T) {
+	RunFixture(t, LockCheck, fixturePath("lockcheck"))
+}

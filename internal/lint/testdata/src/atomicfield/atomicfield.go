@@ -1,0 +1,43 @@
+// Package atomicfield is the fixture for the atomicfield analyzer.
+package atomicfield
+
+import "sync/atomic"
+
+// gauges mirrors the plain-integer-plus-atomic-functions pattern.
+type gauges struct {
+	inFlight int64
+	peak     int64
+	// plain is never touched atomically; unchecked.
+	plain int64
+}
+
+// enter and exit keep inFlight atomic everywhere: fine.
+func (g *gauges) enter() { atomic.AddInt64(&g.inFlight, 1) }
+func (g *gauges) exit()  { atomic.AddInt64(&g.inFlight, -1) }
+
+// snapshot reads atomically: fine.
+func (g *gauges) snapshot() int64 { return atomic.LoadInt64(&g.inFlight) }
+
+// record uses the atomic CAS loop on peak.
+func (g *gauges) record(v int64) {
+	for {
+		old := atomic.LoadInt64(&g.peak)
+		if v <= old || atomic.CompareAndSwapInt64(&g.peak, old, v) {
+			return
+		}
+	}
+}
+
+// report mixes a plain read in: races with the atomic writers.
+func (g *gauges) report() int64 {
+	return g.inFlight + g.plain // want `field "inFlight" is accessed via sync/atomic elsewhere`
+}
+
+// reset mixes a plain write in.
+func (g *gauges) reset() {
+	g.peak = 0 // want `field "peak" is accessed via sync/atomic elsewhere`
+	g.plain = 0
+}
+
+// newGauges initializes by composite literal: exempt.
+func newGauges() *gauges { return &gauges{inFlight: 0} }

@@ -1,0 +1,43 @@
+// Package ctxflow is the fixture for the ctxflow analyzer.
+package ctxflow
+
+import "context"
+
+// query is a well-behaved request-path function: context first, threaded
+// through.
+func query(ctx context.Context, sql string) error {
+	return run(ctx, sql)
+}
+
+func run(ctx context.Context, sql string) error {
+	_ = sql
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// severed mints a root context on the request path.
+func severed(sql string) error {
+	ctx := context.Background() // want `context\.Background\(\) severs the request cancellation chain`
+	return run(ctx, sql)
+}
+
+// todo uses the other root constructor.
+func todo(sql string) error {
+	return run(context.TODO(), sql) // want `context\.TODO\(\) severs the request cancellation chain`
+}
+
+// misplaced takes its context second.
+func misplaced(sql string, ctx context.Context) error { // want `context\.Context should be the first parameter`
+	return run(ctx, sql)
+}
+
+// nilCtx passes an explicit nil context.
+func nilCtx(sql string) error {
+	return run(nil, sql) // want `do not pass a nil context\.Context`
+}
+
+// suppressed demonstrates the escape hatch for deliberate roots.
+func suppressed(sql string) error {
+	ctx := context.Background() //permlint:ignore ctxflow the detached audit log must outlive the request
+	return run(ctx, sql)
+}

@@ -1,0 +1,10 @@
+// Command ctxflowmain is the fixture proving ctxflow exempts main
+// packages: the process entry point owns its root context.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // no diagnostic: main packages own the root context
+	<-ctx.Done()
+}

@@ -1,0 +1,63 @@
+// Package errclass is the fixture for the errclass analyzer.
+package errclass
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// errStop mirrors the engine's pipeline stop sentinel.
+var errStop = errors.New("stop")
+
+// ErrBudget mirrors an exported sentinel.
+var ErrBudget = errors.New("budget exceeded")
+
+// drain compares sentinels correctly.
+func drain(err error) bool {
+	return errors.Is(err, errStop) || errors.Is(err, ErrBudget)
+}
+
+// drainBroken compares with ==: a wrapped errStop slips through.
+func drainBroken(err error) bool {
+	if err == errStop { // want `sentinel error errStop compared with ==; use errors\.Is`
+		return true
+	}
+	return err != ErrBudget // want `sentinel error ErrBudget compared with !=; use errors\.Is`
+}
+
+// nilCheck is fine: nil is not a sentinel.
+func nilCheck(err error) bool { return err == nil }
+
+// wrapKeep preserves the class with %w.
+func wrapKeep(err error) error {
+	return fmt.Errorf("evaluating plan: %w", err)
+}
+
+// wrapLose reclasses the error: %v flattens it to a string.
+func wrapLose(err error) error {
+	return fmt.Errorf("evaluating plan: %v", err) // want `fmt\.Errorf wraps an error without %w`
+}
+
+// classified is the package's classifier boundary, standing in for the
+// service layer's writeError.
+func classified(w http.ResponseWriter, err error) {
+	w.WriteHeader(500)
+	_, _ = w.Write([]byte(err.Error()))
+}
+
+// handleGood routes its error through the classifier.
+func handleGood(w http.ResponseWriter, r *http.Request) {
+	if err := r.Context().Err(); err != nil {
+		classified(w, err)
+	}
+}
+
+// handleBad writes ad-hoc errors.
+func handleBad(w http.ResponseWriter, r *http.Request) {
+	if err := r.Context().Err(); err != nil {
+		http.Error(w, err.Error(), 500) // want `handler writes an error with http\.Error`
+		return
+	}
+	w.WriteHeader(http.StatusBadGateway) // want `handler writes status 502 directly`
+}

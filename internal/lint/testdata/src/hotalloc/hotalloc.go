@@ -1,0 +1,38 @@
+// Package hotalloc is the fixture for the hotalloc analyzer.
+package hotalloc
+
+// value mirrors the engine's types.Value: a small struct passed by value
+// that allocates when boxed into an interface.
+type value struct {
+	kind int
+	i    int64
+}
+
+type row []value
+
+// sink stands in for an interface-typed destination (heap.Push, any).
+func sink(x any) { _ = x }
+
+// emitHot is the per-tuple path; every allocation here runs once per row.
+//
+// perm:hot
+func emitHot(in row) row {
+	out := make(row, len(in)) // want `alloc in hot function emitHot: make`
+	copy(out, in)
+	sink(in[0]) // want `boxing in hot function emitHot: .*value stored into any`
+	var x any
+	x = out[0] // want `boxing in hot function emitHot: .*value stored into any`
+	_ = x
+	out = append(out, value{}) // want `alloc in hot function emitHot: append` `alloc in hot function emitHot: composite literal`
+	f := func() {}             // want `alloc in hot function emitHot: closure`
+	f()
+	return out
+}
+
+// emitCold has the same shape but no annotation: no findings.
+func emitCold(in row) row {
+	out := make(row, len(in))
+	copy(out, in)
+	sink(in[0])
+	return append(out, value{})
+}

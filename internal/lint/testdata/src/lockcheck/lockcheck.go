@@ -1,0 +1,71 @@
+// Package lockcheck is the fixture for the lockcheck analyzer.
+package lockcheck
+
+import "sync"
+
+// registry mirrors the engine's views-map shape: a map replaced wholesale
+// under a mutex.
+type registry struct {
+	mu sync.RWMutex
+
+	// views is the published definitions map.
+	// guarded-by: mu
+	views map[string]int
+
+	// dropped is tombstone state.
+	dropped map[string]bool // guarded-by: mu
+
+	// free is not annotated; accesses are unchecked.
+	free int
+}
+
+// newRegistry initializes a fresh value: composite-literal initialization
+// is exempt (the value is not shared yet).
+func newRegistry() *registry {
+	return &registry{views: map[string]int{}, dropped: map[string]bool{}}
+}
+
+// lookup holds the read lock: fine.
+func (r *registry) lookup(name string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.views[name]
+}
+
+// publish holds the write lock: fine.
+func (r *registry) publish(name string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next := make(map[string]int, len(r.views)+1)
+	for k, old := range r.views {
+		next[k] = old
+	}
+	next[name] = v
+	r.views = next
+}
+
+// leak reads the guarded map without the lock.
+func (r *registry) leak(name string) int {
+	return r.views[name] // want `access to "views" \(guarded-by: mu\) without holding mu`
+}
+
+// torn writes both guarded fields without the lock.
+func (r *registry) torn(name string) {
+	r.views[name] = 1      // want `access to "views" \(guarded-by: mu\) without holding mu`
+	r.dropped[name] = true // want `access to "dropped" \(guarded-by: mu\) without holding mu`
+	r.free++
+}
+
+// sizeLocked follows the *Locked helper convention: the caller holds mu.
+//
+// permlint:held mu
+func (r *registry) sizeLocked() int {
+	return len(r.views) + len(r.dropped)
+}
+
+// size takes the lock and delegates.
+func (r *registry) size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sizeLocked()
+}

@@ -51,7 +51,7 @@ func TestCorpusOverHTTP(t *testing.T) {
 					if out.Error.Message != wantErr.Error() {
 						t.Fatalf("error text diverged:\nservice: %s\nlibrary: %s\n%s", out.Error.Message, wantErr, q)
 					}
-					wantBody, _ := classify(wantErr, nil)
+					wantBody, _ := classify(nil, wantErr)
 					if out.Error.Class != wantBody.Class {
 						t.Fatalf("error class diverged: service %s, library %s\n%s", out.Error.Class, wantBody.Class, q)
 					}

@@ -51,7 +51,7 @@ var positionRE = regexp.MustCompile(`position (-?\d+)`)
 // status). ctx is the request context: a deadline that expired while the
 // query ran turns the evaluator's generic cancellation into class
 // "timeout".
-func classify(err error, ctx context.Context) (ErrorJSON, int) {
+func classify(ctx context.Context, err error) (ErrorJSON, int) {
 	msg := err.Error()
 	out := ErrorJSON{Message: msg}
 	switch {

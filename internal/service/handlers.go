@@ -92,8 +92,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, err error, ctx context.Context) {
-	body, status := classify(err, ctx)
+func writeError(ctx context.Context, w http.ResponseWriter, err error) {
+	body, status := classify(ctx, err)
 	writeJSON(w, status, ErrorBody{body})
 }
 
@@ -189,7 +189,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	if err != nil {
 		s.queryStats.observe(elapsed, true, 0)
-		writeError(w, err, ctx)
+		writeError(ctx, w, err)
 		return
 	}
 	s.queryStats.observe(elapsed, false, res.PeakRows)
@@ -216,7 +216,7 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	if err != nil {
 		s.execStats.observe(elapsed, true, 0)
-		writeError(w, err, ctx)
+		writeError(ctx, w, err)
 		return
 	}
 	resp := ExecResponse{OK: true}
@@ -247,7 +247,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	if err != nil {
 		s.adviseStats.observe(elapsed, true, 0)
-		writeError(w, err, r.Context())
+		writeError(r.Context(), w, err)
 		return
 	}
 	s.adviseStats.observe(elapsed, false, 0)

@@ -58,7 +58,9 @@ type Server struct {
 	cfg Config
 	mux *http.ServeMux
 
-	sessMu   sync.Mutex
+	sessMu sync.Mutex
+	// sessions maps session names to their engine sessions.
+	// guarded-by: sessMu
 	sessions map[string]*perm.Session
 
 	// limiter is the admission semaphore: a token per executing statement.

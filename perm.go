@@ -70,7 +70,9 @@ func (s Strategy) internal() (rewrite.Strategy, error) {
 type DB struct {
 	cat    *catalog.Catalog
 	viewMu sync.RWMutex
-	views  map[string]*sql.ViewDef
+	// views is the published views map, replaced wholesale on DDL.
+	// guarded-by: viewMu
+	views map[string]*sql.ViewDef
 }
 
 // Open returns an empty database.
@@ -413,7 +415,10 @@ func (sn snapshot) env() sql.Env { return sql.Env{Catalog: sn.src, Views: sn.vie
 func (db *DB) snapshot() snapshot { return snapshot{src: db.cat, views: db.snapshotViews()} }
 
 func newQueryConfig(opts []Option) queryConfig {
-	cfg := queryConfig{strategy: Auto, ctx: context.Background()}
+	// cfg.ctx stays nil unless WithContext supplies one: a bare Query call
+	// is not cancelable, and the evaluator treats a nil context as "never
+	// canceled" rather than minting a root context here.
+	cfg := queryConfig{strategy: Auto}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -468,7 +473,10 @@ func (sn snapshot) query(query string, cfg queryConfig) (*Result, error) {
 	if !cfg.noOptimize {
 		plan = opt.Optimize(plan)
 	}
-	ev := eval.New(sn.src).WithContext(cfg.ctx)
+	ev := eval.New(sn.src)
+	if cfg.ctx != nil {
+		ev = ev.WithContext(cfg.ctx)
+	}
 	ev.Parallelism = cfg.parallelism
 	ev.DisableStreaming = cfg.materialize
 	relOut, err := ev.Eval(plan)

@@ -26,9 +26,12 @@ type Session struct {
 	// mu serializes session DDL (the copy-on-write read-modify-write
 	// cycles) and guards the views/droppedViews maps, which are replaced
 	// wholesale so snapshots stay stable. The overlay has its own lock.
-	mu           sync.Mutex
-	overlay      *catalog.Overlay
-	views        map[string]*sql.ViewDef
+	mu      sync.Mutex
+	overlay *catalog.Overlay
+	// views is the session's private view layer. guarded-by: mu
+	views map[string]*sql.ViewDef
+	// droppedViews tombstones base views dropped in this session.
+	// guarded-by: mu
 	droppedViews map[string]bool
 }
 
@@ -44,16 +47,13 @@ func (db *DB) NewSession() *Session {
 	}
 }
 
-func (s *Session) lock()   { s.mu.Lock() }
-func (s *Session) unlock() { s.mu.Unlock() }
-
 // snapshot captures one consistent view of the session: the overlay's
 // catalog snapshot plus the merged views map (session views shadow base
 // views; session drops hide them).
 func (s *Session) snapshot() snapshot {
-	s.lock()
+	s.mu.Lock()
 	local, dropped := s.views, s.droppedViews
-	s.unlock()
+	s.mu.Unlock()
 	base := s.db.snapshotViews()
 	merged := make(map[string]*sql.ViewDef, len(base)+len(local))
 	for n, v := range base {
@@ -140,8 +140,8 @@ func (s *Session) Exec(statement string, opts ...Option) (*Result, error) {
 // concurrent session DDL serializes; concurrent queries keep whatever
 // snapshot they hold.
 func (s *Session) createView(def *sql.ViewDef) error {
-	s.lock()
-	defer s.unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	probe := cloneViews(s.views)
 	probe[def.Name] = def
 	base := s.db.snapshotViews()
@@ -162,8 +162,8 @@ func (s *Session) createView(def *sql.ViewDef) error {
 }
 
 func (s *Session) dropView(name string) error {
-	s.lock()
-	defer s.unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.views[name]; ok {
 		next := cloneViews(s.views)
 		delete(next, name)
@@ -185,8 +185,8 @@ func (s *Session) dropView(name string) error {
 }
 
 func (s *Session) createTable(def *sql.TableDef) error {
-	s.lock()
-	defer s.unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.viewVisibleLocked(def.Name) {
 		return fmt.Errorf("perm: relation %q already exists (as a view)", def.Name)
 	}
@@ -200,8 +200,8 @@ func (s *Session) createTable(def *sql.TableDef) error {
 // the cycle atomic against concurrent session DDL; snapshots taken before
 // the publish keep the old version.
 func (s *Session) insert(ins *sql.InsertStmt) error {
-	s.lock()
-	defer s.unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.viewVisibleLocked(ins.Table) {
 		return fmt.Errorf("perm: cannot INSERT into view %q", ins.Table)
 	}
@@ -223,6 +223,8 @@ func (s *Session) insert(ins *sql.InsertStmt) error {
 
 // viewVisibleLocked reports whether name resolves to a view in the
 // session. Callers must hold the session lock.
+//
+// permlint:held mu
 func (s *Session) viewVisibleLocked(name string) bool {
 	if _, ok := s.views[name]; ok {
 		return true
