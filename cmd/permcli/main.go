@@ -60,13 +60,7 @@ func main() {
 		if !ok {
 			fatalf("-csv wants name=path, got %q", spec)
 		}
-		f, err := os.Open(path)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		err = db.LoadCSV(name, f)
-		f.Close()
-		if err != nil {
+		if err := loadCSV(db, name, path); err != nil {
 			fatalf("loading %s: %v", path, err)
 		}
 		fmt.Printf("loaded %s from %s\n", name, path)
@@ -187,6 +181,16 @@ func must(err error) {
 	if err != nil {
 		fatalf("%v", err)
 	}
+}
+
+// loadCSV loads one relation from a CSV file, closing it on every path.
+func loadCSV(db *perm.DB, name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return db.LoadCSV(name, f)
 }
 
 func fatalf(format string, args ...any) {

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 
 	"perm/internal/catalog"
+	"perm/internal/rel"
 	"perm/internal/tpch"
 )
 
@@ -32,20 +33,27 @@ func main() {
 			fatalf("%v", err)
 		}
 		path := filepath.Join(*out, name+".csv")
-		f, err := os.Create(path)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		err = catalog.WriteCSV(f, r)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
+		if err := writeCSV(path, r); err != nil {
 			fatalf("writing %s: %v", path, err)
 		}
 		fmt.Printf("wrote %s (%d rows)\n", path, r.Card())
 	}
 	fmt.Printf("scale %g: %+v\n", *sf, counts)
+}
+
+// writeCSV writes one relation to path, folding a close failure into the
+// returned error.
+func writeCSV(path string, r *rel.Relation) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return catalog.WriteCSV(f, r)
 }
 
 func fatalf(format string, args ...any) {

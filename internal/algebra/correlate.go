@@ -20,8 +20,8 @@ func freeVarsOp(op Op) []AttrRef {
 		return nil
 	}
 	var out []AttrRef
-	in := exprInputSchema(op)
-	for _, e := range operatorExprs(op) {
+	in := ExprInputSchema(op)
+	for _, e := range OperatorExprs(op) {
 		out = append(out, freeVarsExpr(e, in)...)
 	}
 	for _, c := range op.Children() {
@@ -30,9 +30,11 @@ func freeVarsOp(op Op) []AttrRef {
 	return out
 }
 
-// exprInputSchema is the schema the operator's expressions are evaluated
-// over — the (concatenated) input, not the output.
-func exprInputSchema(op Op) schema.Schema {
+// ExprInputSchema is the schema the operator's expressions are evaluated
+// over — the (concatenated) input, not the output. Leaf operators (scans,
+// literal relations) evaluate their expressions, if any, over the empty
+// schema.
+func ExprInputSchema(op Op) schema.Schema {
 	switch o := op.(type) {
 	case *Select:
 		return o.Child.Schema()

@@ -428,7 +428,7 @@ func Walk(op Op, fn func(Op) bool) {
 	if op == nil || !fn(op) {
 		return
 	}
-	for _, e := range operatorExprs(op) {
+	for _, e := range OperatorExprs(op) {
 		WalkExpr(e, func(x Expr) bool {
 			if s, ok := x.(Sublink); ok {
 				Walk(s.Query, fn)
@@ -441,8 +441,12 @@ func Walk(op Op, fn func(Op) bool) {
 	}
 }
 
-// operatorExprs returns the scalar expressions embedded in an operator.
-func operatorExprs(op Op) []Expr {
+// OperatorExprs returns the scalar expressions embedded in an operator —
+// the condition of a selection or join, the column expressions of a
+// projection, the grouping and aggregate argument expressions of an
+// aggregation, the sort keys of an ordering. Static analyses over plans
+// (plancheck) use it to reach every expression exactly once.
+func OperatorExprs(op Op) []Expr {
 	switch o := op.(type) {
 	case *Select:
 		return []Expr{o.Cond}
@@ -475,6 +479,41 @@ func operatorExprs(op Op) []Expr {
 		return es
 	default:
 		return nil
+	}
+}
+
+// OpName returns the operator's node name for plan-path addressing (the
+// compact form used by plancheck diagnostics): scans show their relation,
+// every other operator its kind.
+func OpName(op Op) string {
+	switch o := op.(type) {
+	case *Scan:
+		return "Scan(" + o.Name + ")"
+	case *Values:
+		return "Values"
+	case *Select:
+		return "Select"
+	case *Project:
+		if o.Distinct {
+			return "ProjectDistinct"
+		}
+		return "Project"
+	case *Cross:
+		return "Cross"
+	case *Join:
+		return "Join"
+	case *LeftJoin:
+		return "LeftJoin"
+	case *Aggregate:
+		return "Aggregate"
+	case *SetOp:
+		return o.Kind.String()
+	case *Order:
+		return "Order"
+	case *Limit:
+		return "Limit"
+	default:
+		return fmt.Sprintf("%T", op)
 	}
 }
 

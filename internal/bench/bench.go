@@ -17,6 +17,7 @@ import (
 	"io"
 	"time"
 
+	"perm/internal/algebra"
 	"perm/internal/catalog"
 	"perm/internal/eval"
 	"perm/internal/opt"
@@ -153,16 +154,7 @@ func (r *Runner) measure(ctx context.Context, cat *catalog.Catalog, instances []
 		if remaining <= 0 {
 			return Measurement{Excluded: true}, nil
 		}
-		runCtx, cancel := context.WithTimeout(ctx, remaining)
-		ev := eval.New(cat).WithContext(runCtx)
-		ev.MaxRows = r.MaxRows
-		ev.Parallelism = r.Parallelism
-		ev.DisableSublinkMemo = !r.SublinkMemo
-		ev.DisableStreaming = r.Materialize
-		start := time.Now()
-		out, err := ev.Eval(plan)
-		elapsed := time.Since(start)
-		cancel()
+		out, elapsed, evPeak, err := r.evalOnce(ctx, cat, plan, remaining)
 		if err != nil {
 			if errors.Is(err, eval.ErrCanceled) || errors.Is(err, eval.ErrBudget) {
 				return Measurement{Excluded: true}, nil
@@ -171,7 +163,7 @@ func (r *Runner) measure(ctx context.Context, cat *catalog.Catalog, instances []
 		}
 		total += elapsed
 		rows += out.Card()
-		peak += ev.LastStats().PeakRows
+		peak += evPeak
 		last = out
 	}
 	n := len(instances)
@@ -179,6 +171,21 @@ func (r *Runner) measure(ctx context.Context, cat *catalog.Catalog, instances []
 		return Measurement{Err: errors.New("bench: no instances")}, nil
 	}
 	return Measurement{Mean: total / time.Duration(n), Rows: rows / n, PeakRows: peak / int64(n)}, last
+}
+
+// evalOnce evaluates one plan under the remaining time budget; the timeout
+// context is canceled before returning so its timer never outlives the run.
+func (r *Runner) evalOnce(ctx context.Context, cat *catalog.Catalog, plan algebra.Op, budget time.Duration) (*rel.Relation, time.Duration, int64, error) {
+	runCtx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+	ev := eval.New(cat).WithContext(runCtx)
+	ev.MaxRows = r.MaxRows
+	ev.Parallelism = r.Parallelism
+	ev.DisableSublinkMemo = !r.SublinkMemo
+	ev.DisableStreaming = r.Materialize
+	start := time.Now()
+	out, err := ev.Eval(plan)
+	return out, time.Since(start), ev.LastStats().PeakRows, err
 }
 
 // table renders one aligned text table.

@@ -33,6 +33,21 @@ var Strategies = []perm.Strategy{perm.Gen, perm.Left, perm.Move, perm.Unn, perm.
 // fuzzer can raise it.
 var MaxProvScans = 5
 
+// PlanCheck makes every query of the matrix run under strict per-stage
+// plan verification (perm.WithPlanCheck), so "plancheck clean at every
+// stage" is an oracle assertion: a structural violation surfaces as a
+// non-rewrite error and fails the check. On by default; permfuzz
+// -plancheck=false turns it off.
+var PlanCheck = true
+
+// queryOpts prepends the plan-verification mode to a mode's options.
+func queryOpts(opts []perm.Option) []perm.Option {
+	if !PlanCheck {
+		return opts
+	}
+	return append([]perm.Option{perm.WithPlanCheck(perm.PlanCheckStrict)}, opts...)
+}
+
 // outcome is one (query, strategy, mode) execution result.
 type outcome struct {
 	err  string   // "" on success
@@ -41,7 +56,7 @@ type outcome struct {
 }
 
 func run(db *perm.DB, q string, opts ...perm.Option) outcome {
-	res, err := db.Query(q, opts...)
+	res, err := db.Query(q, queryOpts(opts)...)
 	if err != nil {
 		return outcome{err: err.Error()}
 	}

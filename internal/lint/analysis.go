@@ -165,7 +165,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{CtxFlow, LockCheck, ErrClass, AtomicField, HotAlloc}
+	return []*Analyzer{CtxFlow, LockCheck, ErrClass, AtomicField, DeferClose, HotAlloc}
 }
 
 // AnalyzerByName resolves one analyzer.

@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeferClose enforces the resource-release discipline: a function that
+// acquires a releasable resource — a value with a niladic Close method, or
+// a context.CancelFunc from context.WithCancel/WithTimeout/WithDeadline —
+// must release it on every exit path, which in Go means `defer`.
+//
+// For every short variable declaration whose right-hand side is a single
+// call producing such a value, the analyzer classifies what the function
+// does with it:
+//
+//   - released by defer (defer x.Close(), defer cancel(), or a release
+//     inside a deferred closure): clean;
+//   - handed off (passed to another call, returned, stored into a
+//     composite or another variable, captured by a non-deferred closure,
+//     address taken): ownership moved, the analyzer stays quiet;
+//   - released only by a plain call: flagged — an early return or panic
+//     between acquisition and the call leaks the resource;
+//   - discarded with the blank identifier or never released at all:
+//     flagged. The context.WithTimeout cancel-leak (`_ = cancel`) is the
+//     canonical instance: the timer keeps a goroutine alive until it
+//     fires.
+//
+// Deliberate leaks (process-lifetime resources) carry a
+// //permlint:ignore deferclose comment with the reason.
+var DeferClose = &Analyzer{
+	Name: "deferclose",
+	Doc: "releasable resources (Close methods, context cancel functions) must be " +
+		"released on every exit path: defer the release or hand the value off",
+	Run: runDeferClose,
+}
+
+func runDeferClose(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkResourceScope(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkResourceScope(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// resourceUse aggregates what one function body does with one candidate.
+type resourceUse struct {
+	deferred bool // released under a defer on some path
+	direct   bool // released by a plain, non-deferred call
+	escaped  bool // handed off; release responsibility moved elsewhere
+}
+
+// checkResourceScope analyzes one function body. Candidate acquisitions
+// are the := assignments directly in this scope (nested function literals
+// are scopes of their own); uses are tracked through the whole subtree so
+// a release inside a deferred closure counts.
+func checkResourceScope(pass *Pass, body *ast.BlockStmt) {
+	type candidate struct {
+		obj  *types.Var
+		id   *ast.Ident
+		kind string
+	}
+	var cands []candidate
+
+	var findAcquisitions func(n ast.Node)
+	findAcquisitions = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // its own scope; visited by runDeferClose
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			results := callResults(pass.Info, call)
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if ok && i < len(results) {
+					if kind, res := resourceKind(pass.Types, results[i]); res {
+						if id.Name == "_" {
+							pass.Reportf(id.Pos(), "%s is discarded by the blank identifier and never released; assign it and defer the release", kind)
+							continue
+						}
+						obj, _ := pass.Info.Defs[id].(*types.Var)
+						if obj != nil {
+							cands = append(cands, candidate{obj: obj, id: id, kind: kind})
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	findAcquisitions(body)
+	if len(cands) == 0 {
+		return
+	}
+
+	uses := make(map[*types.Var]*resourceUse, len(cands))
+	for _, c := range cands {
+		uses[c.obj] = &resourceUse{}
+	}
+	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, _ := pass.Info.Uses[id].(*types.Var)
+		u := uses[obj]
+		if u == nil {
+			return true
+		}
+		classifyResourceUse(u, id, stack)
+		return true
+	})
+
+	for _, c := range cands {
+		u := uses[c.obj]
+		switch {
+		case u.deferred:
+			// Released on every path.
+		case u.direct:
+			// A plain release outranks a hand-off: if this function calls
+			// the release itself, it still owns the resource, and owning it
+			// without a defer is exactly the leak this check exists for.
+			pass.Reportf(c.id.Pos(), "%s %s is released only by a plain call: an early return or panic between acquisition and release leaks it; defer the release", c.kind, c.id.Name)
+		case u.escaped:
+			// Ownership moved elsewhere.
+		default:
+			pass.Reportf(c.id.Pos(), "%s %s is never released; defer the release right after acquiring it", c.kind, c.id.Name)
+		}
+	}
+}
+
+// classifyResourceUse folds one occurrence of a candidate into its use
+// record. stack holds the ancestors of id, innermost last.
+func classifyResourceUse(u *resourceUse, id *ast.Ident, stack []ast.Node) {
+	// Anything under a defer statement counts as a deferred release —
+	// defer x.Close(), defer cancel(), defer cleanup(x), and releases
+	// inside deferred closures all keep the resource safe on every path.
+	for _, anc := range stack {
+		if _, ok := anc.(*ast.DeferStmt); ok {
+			u.deferred = true
+			return
+		}
+	}
+	if len(stack) == 0 {
+		return
+	}
+	parent := stack[len(stack)-1]
+
+	// Captured by a non-deferred closure: the closure owns the release
+	// (a goroutine closing the file, a stored callback). Checked before
+	// the plain-release shapes so a close inside such a closure does not
+	// read as this function releasing the resource itself.
+	for _, anc := range stack {
+		if _, ok := anc.(*ast.FuncLit); ok {
+			u.escaped = true
+			return
+		}
+	}
+
+	// Plain releases: cancel() and x.Close()-shaped method calls.
+	if call, ok := parent.(*ast.CallExpr); ok && call.Fun == id {
+		u.direct = true
+		return
+	}
+	if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == id {
+		if len(stack) >= 2 {
+			if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == sel {
+				switch sel.Sel.Name {
+				case "Close", "Cancel", "Stop", "Shutdown":
+					u.direct = true
+					return
+				}
+			}
+		}
+		return // other method/field access: plain use
+	}
+
+	// Hand-offs that move release responsibility out of this function.
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		u.escaped = true // argument to another call
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.ValueSpec:
+		u.escaped = true
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			u.escaped = true
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range p.Rhs {
+			if rhs != id {
+				continue
+			}
+			// `_ = x` keeps the value in this function (a deliberate-leak
+			// idiom the never-released report still covers); any other
+			// re-assignment moves it.
+			for _, lhs := range p.Lhs {
+				if lid, ok := lhs.(*ast.Ident); !ok || lid.Name != "_" {
+					u.escaped = true
+				}
+			}
+		}
+	}
+}
+
+// callResults returns the result types of a call expression (one entry for
+// a single-value call, the tuple's entries otherwise).
+func callResults(info *types.Info, call *ast.CallExpr) []types.Type {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		out := make([]types.Type, tuple.Len())
+		for i := 0; i < tuple.Len(); i++ {
+			out[i] = tuple.At(i).Type()
+		}
+		return out
+	}
+	return []types.Type{tv.Type}
+}
+
+// resourceKind classifies a type as a releasable resource: a
+// context.CancelFunc, or any type carrying a niladic Close method.
+func resourceKind(from *types.Package, t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "CancelFunc" {
+			return "context cancel function", true
+		}
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, from, "Close")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 {
+		return "", false
+	}
+	return "closeable resource (" + types.TypeString(t, types.RelativeTo(from)) + ")", true
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestDeferClose(t *testing.T) {
+	RunFixture(t, DeferClose, fixturePath("deferclose"))
+}

@@ -1,4 +1,4 @@
-// Package lint is the perm repository's invariant-checking suite: five
+// Package lint is the perm repository's invariant-checking suite: six
 // analyzers over type-checked packages, run by cmd/permlint and by the
 // fixture tests in this package. The analyzers encode the concurrency,
 // cancellation and error-handling disciplines the engine relies on but the
@@ -74,6 +74,19 @@
 // function and flags plain reads or writes of the same field elsewhere in
 // the package. (Fields of type atomic.Int64 and friends are immune by
 // construction; the check matters for the plain-integer pattern.)
+//
+// # deferclose
+//
+// Sessions, HTTP bodies, CSV files and per-request timeout contexts are
+// all acquire/release pairs, and a release that is not deferred is a
+// release that an early return or panic skips. deferclose finds short
+// variable declarations whose call produces a releasable value — anything
+// with a niladic Close method, or a context.CancelFunc — and flags
+// functions that discard it, never release it (the classic
+// context.WithTimeout `_ = cancel` leak, which keeps the timer goroutine
+// alive), or release it only through a plain non-deferred call. Values
+// handed off — passed along, returned, stored, captured by a goroutine —
+// move the obligation elsewhere and are not flagged.
 //
 // # hotalloc
 //

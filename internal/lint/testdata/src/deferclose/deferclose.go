@@ -1,0 +1,135 @@
+// Package deferclose is the fixture for the deferclose analyzer.
+package deferclose
+
+import (
+	"context"
+	"os"
+	"time"
+)
+
+// deferred is the well-behaved shape: release deferred right after the
+// acquisition, so every exit path runs it.
+func deferred(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return use(f)
+}
+
+// deferredCancel threads a timeout correctly.
+func deferredCancel(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// deferredClosure releases inside a deferred closure (the error-checked
+// close idiom); still clean.
+func deferredClosure(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_ = f.Close()
+	}()
+	return use(f)
+}
+
+// cancelLeak is the canonical context.WithTimeout leak: the cancel
+// function is kept alive with a blank assignment and never called, so the
+// timeout's timer goroutine outlives the request.
+func cancelLeak(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second) // want `context cancel function cancel is never released`
+	_ = cancel
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// cancelDiscarded throws the cancel function away at the acquisition.
+func cancelDiscarded(ctx context.Context) context.Context {
+	ctx, _ = context.WithTimeout(ctx, time.Second)
+	ctx2, _ := context.WithCancel(ctx) // want `context cancel function is discarded by the blank identifier`
+	return ctx2
+}
+
+// closeNotDeferred releases only on the success path: the early return
+// between Open and Close leaks the file.
+func closeNotDeferred(path string) error {
+	f, err := os.Open(path) // want `closeable resource \(\*os\.File\) f is released only by a plain call`
+	if err != nil {
+		return err
+	}
+	if err := use(f); err != nil {
+		return err
+	}
+	f.Close()
+	return nil
+}
+
+// neverClosed acquires and forgets.
+func neverClosed(path string) string {
+	f, err := os.Open(path) // want `closeable resource \(\*os\.File\) f is never released`
+	if err != nil {
+		return ""
+	}
+	return f.Name()
+}
+
+// handedOff passes the resource to another function, which now owns the
+// release; the analyzer stays quiet.
+func handedOff(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return consume(f)
+}
+
+// returned moves ownership to the caller.
+func returned(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// stored parks the resource in a struct that outlives the call.
+func stored(path string) (*holder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &holder{f: f}, nil
+}
+
+// captured hands the resource to a goroutine closure, which owns it now.
+func captured(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	go func() {
+		_ = f.Close()
+	}()
+	return nil
+}
+
+// suppressed documents a deliberate process-lifetime resource.
+func suppressed(path string) error {
+	//permlint:ignore deferclose held open for the life of the process
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return use(f)
+}
+
+type holder struct{ f *os.File }
+
+func use(f *os.File) error     { _ = f; return nil }
+func consume(f *os.File) error { return f.Close() }

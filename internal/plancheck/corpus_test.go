@@ -1,0 +1,99 @@
+// The sweep lives in an external test package so it can drive the public
+// perm API (DB.VerifyPlan) and the fuzz generator over the real compile
+// pipeline without an import cycle.
+package plancheck_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perm"
+	"perm/internal/fuzz"
+)
+
+var sweepStrategies = []perm.Strategy{perm.Gen, perm.Left, perm.Move, perm.Unn, perm.UnnX, perm.Auto}
+
+// sweep verifies one query (plain, and SELECT PROVENANCE under every
+// strategy) at every compile stage, failing the test on any non-advisory
+// finding. Rewrite-stage errors mean the strategy is inapplicable and are
+// skipped; any other compile error on a generator-valid query is a defect.
+func sweep(t *testing.T, db *perm.DB, label, query string) {
+	t.Helper()
+	verify := func(config, q string, opts ...perm.Option) {
+		stages, err := db.VerifyPlan(q, opts...)
+		if err != nil {
+			if strings.HasPrefix(err.Error(), "rewrite: ") {
+				return
+			}
+			t.Errorf("%s [%s]: compile failed: %v", label, config, err)
+			return
+		}
+		for _, st := range stages {
+			for _, f := range st.Findings {
+				if !f.Advisory {
+					t.Errorf("%s [%s]: %s", label, config, f)
+				}
+			}
+		}
+	}
+	verify("plain", query)
+	if !strings.HasPrefix(strings.ToUpper(query), "SELECT") {
+		return
+	}
+	provQ := "SELECT PROVENANCE" + query[len("SELECT"):]
+	for _, s := range sweepStrategies {
+		verify(string(s), provQ, perm.WithStrategy(s))
+	}
+}
+
+// TestCorpusPlancheckClean asserts the checked-in fuzz corpus verifies
+// clean at every stage under every strategy — the "zero findings" contract
+// the CI gate (cmd/plancheck) enforces on every push.
+func TestCorpusPlancheckClean(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "fuzz", "testdata", "fuzz-corpus", "*.sql"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fuzz corpus found: %v", err)
+	}
+	db := fuzz.NewDB(1)
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sqlLines []string
+		skip := false
+		for _, line := range strings.Split(string(raw), "\n") {
+			trimmed := strings.TrimSpace(line)
+			if strings.HasPrefix(trimmed, "-- expect-error:") {
+				skip = true
+				break
+			}
+			if strings.HasPrefix(trimmed, "--") || trimmed == "" {
+				continue
+			}
+			sqlLines = append(sqlLines, trimmed)
+		}
+		if skip {
+			continue
+		}
+		sweep(t, db, filepath.Base(file), strings.Join(sqlLines, " "))
+	}
+}
+
+// TestGeneratedPlancheckClean sweeps generated queries through the
+// verifier: a bounded version of the long-budget fuzzer's plancheck
+// oracle, catching checker false positives and engine regressions alike.
+func TestGeneratedPlancheckClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generated sweep is the long half of the plancheck suite")
+	}
+	db := fuzz.NewDB(1)
+	g := fuzz.NewGen(1)
+	const n = 300
+	for i := 0; i < n; i++ {
+		q := g.Next()
+		sweep(t, db, q.SQL, q.SQL)
+	}
+}

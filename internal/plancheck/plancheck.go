@@ -1,0 +1,199 @@
+// Package plancheck statically verifies algebra plans between compile
+// stages. See doc.go for the check catalog and the mapping to the paper's
+// rewrite-rule invariants.
+package plancheck
+
+import (
+	"fmt"
+	"strings"
+
+	"perm/internal/algebra"
+	"perm/internal/rewrite"
+	"perm/internal/schema"
+)
+
+// Stage names for the fixed pipeline stages. Rewrite stages are derived:
+// the final plan of a strategy verifies as RewriteStage(strategy), each
+// intermediate rule application as RuleStage(rule).
+const (
+	StageTranslate = "translate"
+	StageOptimize  = "optimize"
+)
+
+// RewriteStage names the stage of a strategy's final rewritten plan.
+func RewriteStage(strategy string) string { return "rewrite/" + strategy }
+
+// RuleStage names the stage of one intermediate rewrite-rule application
+// (the rewriter's per-node hook emissions, e.g. "rule/R1/scan").
+func RuleStage(rule string) string { return "rule/" + rule }
+
+// Diagnostic is one finding of one check at one stage. Advisory findings
+// flag suspicious-but-legal shapes and never fail strict verification.
+type Diagnostic struct {
+	// Check is the reporting check's name.
+	Check string
+	// Stage is the pipeline stage the verified plan came from.
+	Stage string
+	// Path addresses the offending operator from the plan root, e.g.
+	// "Select/0:Cross/1:Scan(r)" (child index : operator, "sub" for
+	// sublink-query descent).
+	Path string
+	// Message describes the violation.
+	Message string
+	// Advisory marks the finding as informational.
+	Advisory bool
+}
+
+// String renders the diagnostic as "stage: check at path: message".
+func (d Diagnostic) String() string {
+	tier := ""
+	if d.Advisory {
+		tier = " [advisory]"
+	}
+	return fmt.Sprintf("%s: %s%s at %s: %s", d.Stage, d.Check, tier, d.Path, d.Message)
+}
+
+// StagePlan is one plan captured at one pipeline stage, together with the
+// stage metadata the checks verify against.
+type StagePlan struct {
+	// Stage names the pipeline stage (StageTranslate, RuleStage(...),
+	// RewriteStage(...), StageOptimize).
+	Stage string
+	// Plan is the plan to verify.
+	Plan algebra.Op
+	// Nested marks a plan that is not a complete query: an intermediate
+	// rewrite-rule result that may sit under enclosing operators whose
+	// schemas bind its correlated references. Reference resolution then
+	// tolerates free variables already present in Input.
+	Nested bool
+	// Input is the pre-stage plan the stage transformed (nil when unknown).
+	// For rewrite rules it is the un-rewritten operator, whose schema is the
+	// data prefix the rule must preserve.
+	Input algebra.Op
+	// Rewritten marks a plan that has been through the provenance rewrite;
+	// Original and Prov then describe the schema contract to enforce.
+	Rewritten bool
+	// Original is the data schema of the un-rewritten query (only
+	// meaningful when Rewritten).
+	Original schema.Schema
+	// Prov lists the provenance sources the rewrite reported (only
+	// meaningful when Rewritten).
+	Prov []rewrite.ProvSource
+	// Hidden counts trailing hidden sort-key columns of the data schema
+	// (Translated.Hidden); zero when unknown or absent.
+	Hidden int
+}
+
+// Check is one named plan verification.
+type Check struct {
+	// Name identifies the check in diagnostics.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Advisory marks every finding of the check as advisory.
+	Advisory bool
+	// Run verifies the pass's plan and reports findings on it.
+	Run func(*Pass)
+}
+
+// Pass carries one check's verification of one stage plan.
+type Pass struct {
+	StagePlan
+	check *Check
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at the given plan path.
+func (p *Pass) Reportf(path, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:    p.check.Name,
+		Stage:    p.Stage,
+		Path:     path,
+		Message:  fmt.Sprintf(format, args...),
+		Advisory: p.check.Advisory,
+	})
+}
+
+// Checks returns the full check catalog in reporting order.
+func Checks() []*Check {
+	return []*Check{SchemaCheck, ProvBlockCheck, DecorrelateCheck, HygieneCheck, CartesianCheck}
+}
+
+// CheckByName resolves a check by name.
+func CheckByName(name string) (*Check, bool) {
+	for _, c := range Checks() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Verify runs the full check catalog over one stage plan.
+func Verify(sp StagePlan) []Diagnostic { return VerifyChecks(sp, Checks()...) }
+
+// VerifyChecks runs the given checks over one stage plan.
+func VerifyChecks(sp StagePlan, checks ...*Check) []Diagnostic {
+	var diags []Diagnostic
+	if sp.Plan == nil {
+		return nil
+	}
+	for _, c := range checks {
+		c.Run(&Pass{StagePlan: sp, check: c, diags: &diags})
+	}
+	return diags
+}
+
+// HasErrors reports whether any finding is non-advisory.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if !d.Advisory {
+			return true
+		}
+	}
+	return false
+}
+
+// pathRoot starts a plan path at the root operator.
+func pathRoot(op algebra.Op) string { return algebra.OpName(op) }
+
+// childPath extends a plan path into the i-th child.
+func childPath(path string, i int, child algebra.Op) string {
+	return fmt.Sprintf("%s/%d:%s", path, i, algebra.OpName(child))
+}
+
+// subPath extends a plan path into the i-th sublink query of an operator.
+func subPath(path string, i int, query algebra.Op) string {
+	return fmt.Sprintf("%s/sub%d:%s", path, i, algebra.OpName(query))
+}
+
+// walkPath visits the plan in pre-order with the path of every node,
+// descending into children and into sublink queries. Return false to skip
+// a node's subtree.
+func walkPath(op algebra.Op, fn func(op algebra.Op, path string) bool) {
+	var walk func(op algebra.Op, path string)
+	walk = func(op algebra.Op, path string) {
+		if op == nil || !fn(op, path) {
+			return
+		}
+		sub := 0
+		for _, e := range algebra.OperatorExprs(op) {
+			algebra.WalkExpr(e, func(x algebra.Expr) bool {
+				if s, ok := x.(algebra.Sublink); ok {
+					walk(s.Query, subPath(path, sub, s.Query))
+					sub++
+				}
+				return true
+			})
+		}
+		for i, c := range op.Children() {
+			walk(c, childPath(path, i, c))
+		}
+	}
+	walk(op, pathRoot(op))
+}
+
+// hiddenName reports whether an attribute name is a translator-generated
+// hidden sort-key column (freshName stem "ord"; '#' is unlexable, so the
+// prefix can never collide with user identifiers).
+func hiddenName(name string) bool { return strings.HasPrefix(name, "ord#") }

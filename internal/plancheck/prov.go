@@ -1,0 +1,182 @@
+package plancheck
+
+import (
+	"perm/internal/algebra"
+	"perm/internal/schema"
+)
+
+// ProvBlockCheck enforces the paper's rewrite invariant on rewritten plans:
+// the output schema is the original data schema followed by a contiguous
+// block of provenance attributes named per P(R) (§3.1), and every
+// provenance column of a complete rewritten query traces — through
+// pass-through projections, joins and set operations — to a scan of the
+// base relation it claims to capture (or to deliberate NULL padding).
+var ProvBlockCheck = &Check{
+	Name: "provblock",
+	Doc:  "rewritten schema = original ++ contiguous P(R) block; provenance columns trace to their base-relation scans",
+	Run:  runProvBlock,
+}
+
+func runProvBlock(p *Pass) {
+	if !p.Rewritten {
+		return
+	}
+	want := p.Original
+	if p.Nested && p.Input != nil {
+		want = p.Input.Schema()
+	}
+	got := p.Plan.Schema()
+	root := pathRoot(p.Plan)
+
+	provN := 0
+	for _, src := range p.Prov {
+		provN += len(src.Attrs)
+	}
+	if got.Len() != want.Len()+provN {
+		p.Reportf(root, "rewritten schema has %d attributes, want %d data + %d provenance (%s)", got.Len(), want.Len(), provN, got)
+		return
+	}
+	for i, a := range want.Attrs {
+		if g := got.Attrs[i]; g.Name != a.Name || g.Qual != a.Qual {
+			p.Reportf(root, "data attribute %d is %s, want %s: the rewrite must preserve the original schema as a prefix", i, g, a)
+		}
+	}
+
+	// The provenance block: contiguous, correctly named, unique.
+	idx := want.Len()
+	seen := map[string]string{}
+	for _, src := range p.Prov {
+		expect := schema.ProvSchema(src.Rel, src.Base, src.Disamb)
+		if len(src.Attrs) != expect.Len() {
+			p.Reportf(root, "provenance source %s (access %d) reports %d attributes, want %d (one per base column)", src.Rel, src.Disamb, len(src.Attrs), expect.Len())
+		}
+		for j, a := range src.Attrs {
+			if j < expect.Len() && a.Name != expect.Attrs[j].Name {
+				p.Reportf(root, "provenance attribute %q of %s (access %d) should be named %q per P(R)", a.Name, src.Rel, src.Disamb, expect.Attrs[j].Name)
+			}
+			if !schema.IsProvAttr(a.Name) {
+				p.Reportf(root, "provenance attribute %q lacks the %q prefix", a.Name, schema.ProvPrefix)
+			}
+			if prev, dup := seen[a.Name]; dup {
+				p.Reportf(root, "duplicate provenance attribute %q (from %s and %s): repeated accesses must be disambiguated", a.Name, prev, src.Rel)
+			}
+			seen[a.Name] = src.Rel
+			if idx < got.Len() {
+				if g := got.Attrs[idx]; g.Name != a.Name {
+					p.Reportf(root, "schema position %d is %s, want provenance attribute %s: the provenance block must be contiguous after the data columns", idx, g, a)
+				}
+			}
+			idx++
+		}
+	}
+
+	// Origin tracing is meaningful once the whole query is rewritten;
+	// intermediate rule results may still hold un-rewritten siblings.
+	if p.Nested {
+		return
+	}
+	for _, src := range p.Prov {
+		for _, a := range src.Attrs {
+			traceOrigin(p, p.Plan, a.Qual, a.Name, src.Rel, root)
+		}
+	}
+}
+
+// traceOrigin follows one provenance column down the plan. Legal flows are
+// pass-through projection columns, either side of a join or cross product,
+// both sides of a set operation, transparent unary operators, a scan of the
+// claimed base relation, and NULL literals (padding for non-contributing
+// sides). Anything else — a computed column, a flow through an aggregation,
+// a scan of a different relation — is a finding.
+func traceOrigin(p *Pass, op algebra.Op, qual, name, rel, path string) {
+	switch o := op.(type) {
+	case *algebra.Scan:
+		idx, _ := o.Sch.Lookup(qual, name)
+		if idx < 0 {
+			p.Reportf(path, "provenance column %s vanishes: not in scan schema %s", refStr(qual, name), o.Sch)
+			return
+		}
+		if o.Name != rel {
+			p.Reportf(path, "provenance column %s traces to a scan of %q, want base relation %q", refStr(qual, name), o.Name, rel)
+		}
+	case *algebra.Values:
+		idx, ambiguous := o.Sch.Lookup(qual, name)
+		if idx < 0 || ambiguous {
+			p.Reportf(path, "provenance column %s vanishes: not in literal schema %s", refStr(qual, name), o.Sch)
+			return
+		}
+		for i, row := range o.Rows {
+			if idx >= len(row) {
+				continue
+			}
+			if c, ok := row[idx].(algebra.Const); !ok || !c.Val.IsNull() {
+				p.Reportf(path, "provenance column %s is the non-NULL literal %s in row %d; provenance comes from base scans or NULL padding only", refStr(qual, name), row[idx], i)
+				return
+			}
+		}
+	case *algebra.Project:
+		idx, ambiguous := o.Schema().Lookup(qual, name)
+		if ambiguous {
+			p.Reportf(path, "provenance column %s is ambiguous in projection output %s", refStr(qual, name), o.Schema())
+			return
+		}
+		if idx < 0 {
+			p.Reportf(path, "provenance column %s vanishes: projected away by %s", refStr(qual, name), o.Schema())
+			return
+		}
+		switch e := o.Cols[idx].E.(type) {
+		case algebra.AttrRef:
+			traceOrigin(p, o.Child, e.Qual, e.Name, rel, childPath(path, 0, o.Child))
+		case algebra.Const:
+			if !e.Val.IsNull() {
+				p.Reportf(path, "provenance column %s is the non-NULL constant %s; provenance comes from base scans or NULL padding only", refStr(qual, name), e)
+			}
+		default:
+			p.Reportf(path, "provenance column %s is computed (%s), not passed through from a scan of %s", refStr(qual, name), o.Cols[idx].E, rel)
+		}
+	case *algebra.Select:
+		traceOrigin(p, o.Child, qual, name, rel, childPath(path, 0, o.Child))
+	case *algebra.Order:
+		traceOrigin(p, o.Child, qual, name, rel, childPath(path, 0, o.Child))
+	case *algebra.Limit:
+		traceOrigin(p, o.Child, qual, name, rel, childPath(path, 0, o.Child))
+	case *algebra.Aggregate:
+		p.Reportf(path, "provenance column %s flows through an aggregation; rule R5 must re-attach provenance around the aggregate", refStr(qual, name))
+	case *algebra.SetOp:
+		traceOrigin(p, o.L, qual, name, rel, childPath(path, 0, o.L))
+		traceOrigin(p, o.R, qual, name, rel, childPath(path, 1, o.R))
+	default:
+		// Binary joins: the column lives on exactly one side.
+		var l, r algebra.Op
+		switch j := op.(type) {
+		case *algebra.Cross:
+			l, r = j.L, j.R
+		case *algebra.Join:
+			l, r = j.L, j.R
+		case *algebra.LeftJoin:
+			l, r = j.L, j.R
+		default:
+			p.Reportf(path, "provenance column %s reaches unsupported operator %s", refStr(qual, name), algebra.OpName(op))
+			return
+		}
+		li, lamb := l.Schema().Lookup(qual, name)
+		ri, ramb := r.Schema().Lookup(qual, name)
+		switch {
+		case lamb || ramb || (li >= 0 && ri >= 0):
+			p.Reportf(path, "provenance column %s is ambiguous across join inputs %s and %s", refStr(qual, name), l.Schema(), r.Schema())
+		case li >= 0:
+			traceOrigin(p, l, qual, name, rel, childPath(path, 0, l))
+		case ri >= 0:
+			traceOrigin(p, r, qual, name, rel, childPath(path, 1, r))
+		default:
+			p.Reportf(path, "provenance column %s vanishes below %s", refStr(qual, name), algebra.OpName(op))
+		}
+	}
+}
+
+func refStr(qual, name string) string {
+	if qual == "" {
+		return name
+	}
+	return qual + "." + name
+}

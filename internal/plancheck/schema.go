@@ -1,0 +1,105 @@
+package plancheck
+
+import (
+	"perm/internal/algebra"
+	"perm/internal/schema"
+)
+
+// SchemaCheck verifies that every operator's output schema is derivable
+// from its children and that every attribute reference resolves — uniquely
+// — against its operator's input schema or, inside sublink queries, against
+// an enclosing correlation scope. It also enforces set-operation arity and
+// literal-row widths.
+var SchemaCheck = &Check{
+	Name: "schema",
+	Doc:  "operator schemas derive from children; references resolve uniquely; set-op arity and literal-row widths match",
+	Run:  runSchema,
+}
+
+func runSchema(p *Pass) {
+	sc := &schemaScan{p: p}
+	sc.op(p.Plan, pathRoot(p.Plan), nil)
+}
+
+type schemaScan struct {
+	p *Pass
+}
+
+// op verifies one operator and recurses. scopes are the input schemas of
+// the enclosing operators whose expressions the current (sublink) plan is
+// nested in, innermost first.
+func (sc *schemaScan) op(op algebra.Op, path string, scopes []schema.Schema) {
+	switch o := op.(type) {
+	case *algebra.Values:
+		for i, row := range o.Rows {
+			if len(row) != o.Sch.Len() {
+				sc.p.Reportf(path, "literal row %d has %d expressions for a %d-attribute schema %s", i, len(row), o.Sch.Len(), o.Sch)
+			}
+		}
+	case *algebra.SetOp:
+		lw, rw := o.L.Schema().Len(), o.R.Schema().Len()
+		if lw != rw {
+			sc.p.Reportf(path, "%s inputs disagree on arity: %d vs %d columns (%s vs %s)", o.Kind, lw, rw, o.L.Schema(), o.R.Schema())
+		}
+		if lw == 0 {
+			sc.p.Reportf(path, "%s over zero-column inputs", o.Kind)
+		}
+	case *algebra.Project:
+		if len(o.Cols) == 0 {
+			sc.p.Reportf(path, "projection with no output columns")
+		}
+	}
+	in := algebra.ExprInputSchema(op)
+	sub := 0
+	for _, e := range algebra.OperatorExprs(op) {
+		sub = sc.expr(e, path, in, scopes, sub)
+	}
+	for i, c := range op.Children() {
+		sc.op(c, childPath(path, i, c), scopes)
+	}
+}
+
+// expr resolves the references of one operator expression, descending into
+// sublink queries with the operator's input pushed as a correlation scope.
+// It returns the updated per-operator sublink counter.
+func (sc *schemaScan) expr(e algebra.Expr, path string, in schema.Schema, scopes []schema.Schema, sub int) int {
+	algebra.WalkExpr(e, func(x algebra.Expr) bool {
+		switch v := x.(type) {
+		case algebra.AttrRef:
+			sc.resolve(v, path, in, scopes)
+		case algebra.Sublink:
+			inner := append([]schema.Schema{in}, scopes...)
+			sc.op(v.Query, subPath(path, sub, v.Query), inner)
+			sub++
+			// v.Test is visited by WalkExpr itself and resolves against in.
+		}
+		return true
+	})
+	return sub
+}
+
+// resolve checks one reference against the input schema, then the enclosing
+// correlation scopes innermost-first — the same search order the evaluator
+// uses. An ambiguous match in the direct input is always a finding; a
+// reference that matches nowhere is a finding unless the plan is a Nested
+// rule result (its residual correlations are bounded by DecorrelateCheck).
+func (sc *schemaScan) resolve(ref algebra.AttrRef, path string, in schema.Schema, scopes []schema.Schema) {
+	idx, ambiguous := in.Lookup(ref.Qual, ref.Name)
+	if ambiguous {
+		sc.p.Reportf(path, "ambiguous attribute reference %s in input %s", ref, in)
+		return
+	}
+	if idx >= 0 {
+		return
+	}
+	for _, s := range scopes {
+		idx, ambiguous = s.Lookup(ref.Qual, ref.Name)
+		if idx >= 0 || ambiguous {
+			return
+		}
+	}
+	if sc.p.Nested {
+		return
+	}
+	sc.p.Reportf(path, "attribute reference %s resolves against no input (input %s, %d enclosing scopes)", ref, in, len(scopes))
+}

@@ -1,0 +1,176 @@
+package plancheck
+
+import (
+	"perm/internal/algebra"
+)
+
+// DecorrelateCheck verifies correlation discipline: a complete plan must
+// resolve every attribute reference internally (no free variables), and an
+// intermediate rewrite-rule result must not introduce free references its
+// input did not already have — in particular, after Unn/UnnX claim
+// applicability their decorrelated join plans must be closed.
+var DecorrelateCheck = &Check{
+	Name: "decorrelate",
+	Doc:  "complete plans have no free references; rewrite rules introduce no new correlations",
+	Run:  runDecorrelate,
+}
+
+func runDecorrelate(p *Pass) {
+	free := algebra.FreeVars(p.Plan)
+	if len(free) == 0 {
+		return
+	}
+	root := pathRoot(p.Plan)
+	if !p.Nested {
+		for _, ref := range dedupRefs(free) {
+			p.Reportf(root, "free attribute reference %s: a complete plan must resolve every reference internally", ref)
+		}
+		return
+	}
+	allowed := map[algebra.AttrRef]bool{}
+	if p.Input != nil {
+		for _, ref := range algebra.FreeVars(p.Input) {
+			allowed[ref] = true
+		}
+	}
+	for _, ref := range dedupRefs(free) {
+		if !allowed[ref] {
+			p.Reportf(root, "rewrite introduced the free reference %s absent from the rule's input: a rule that claims applicability must not create new correlations", ref)
+		}
+	}
+}
+
+func dedupRefs(refs []algebra.AttrRef) []algebra.AttrRef {
+	seen := map[algebra.AttrRef]bool{}
+	var out []algebra.AttrRef
+	for _, r := range refs {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// HygieneCheck enforces structural conventions that no single operator can
+// see violated on its own: non-negative LIMIT offsets, aliased scans whose
+// attributes carry the alias, aggregate argument shape, unambiguous
+// grouping output names, and hidden ORDER-BY sort keys confined to a
+// trailing stripped block of the top-level output.
+var HygieneCheck = &Check{
+	Name: "hygiene",
+	Doc:  "offsets non-negative; scan aliases consistent; grouping names unique; hidden sort keys only as a trailing block",
+	Run:  runHygiene,
+}
+
+func runHygiene(p *Pass) {
+	walkPath(p.Plan, func(op algebra.Op, path string) bool {
+		switch o := op.(type) {
+		case *algebra.Limit:
+			if o.Offset < 0 {
+				p.Reportf(path, "negative OFFSET %d", o.Offset)
+			}
+		case *algebra.Scan:
+			if o.Alias == "" {
+				p.Reportf(path, "scan of %s carries no alias (dangling alias: attributes would be unresolvable)", o.Name)
+			}
+			for _, a := range o.Sch.Attrs {
+				if a.Qual != o.Alias {
+					p.Reportf(path, "scan attribute %s is not qualified by the scan alias %q", a, o.Alias)
+					break
+				}
+			}
+		case *algebra.Aggregate:
+			seen := map[string]bool{}
+			for _, g := range o.Group {
+				if seen[g.As] {
+					p.Reportf(path, "duplicate grouping output name %q: the post-aggregation schema would be ambiguous", g.As)
+				}
+				seen[g.As] = true
+			}
+			for _, a := range o.Aggs {
+				if a.Arg == nil && a.Fn != algebra.AggCountStar {
+					p.Reportf(path, "aggregate %s has no argument but is not count(*)", a.Fn)
+				}
+			}
+		}
+		return true
+	})
+
+	// Hidden sort-key columns: a trailing block of the data region of the
+	// top-level output, stripped at presentation — never anywhere else in
+	// the visible prefix. Intermediate rule results legitimately carry the
+	// keys as ordinary data columns (Hidden is unknown mid-rewrite), so
+	// only complete plans are held to the block layout.
+	if p.Nested {
+		return
+	}
+	sch := p.Plan.Schema()
+	dataEnd := sch.Len()
+	if p.Rewritten {
+		dataEnd = p.Original.Len()
+		if dataEnd > sch.Len() {
+			dataEnd = sch.Len()
+		}
+	}
+	root := pathRoot(p.Plan)
+	if p.Hidden > 0 {
+		if p.Hidden > dataEnd {
+			p.Reportf(root, "hidden sort-key count %d exceeds the %d-column data region of %s", p.Hidden, dataEnd, sch)
+			return
+		}
+		for i := dataEnd - p.Hidden; i < dataEnd; i++ {
+			if !hiddenName(sch.Attrs[i].Name) {
+				p.Reportf(root, "attribute %s at position %d sits in the hidden sort-key block but is not a generated key", sch.Attrs[i], i)
+			}
+		}
+	}
+	for i := 0; i < dataEnd-p.Hidden; i++ {
+		if hiddenName(sch.Attrs[i].Name) {
+			p.Reportf(root, "hidden sort-key column %s leaks into the visible output at position %d: hidden keys must form a trailing stripped block", sch.Attrs[i], i)
+		}
+	}
+}
+
+// CartesianCheck is the advisory tier: shapes that are legal but usually
+// indicate missed optimizations — cross products surviving the optimizer
+// and chains of pass-through projections. Its findings never fail strict
+// verification; the nightly inventory tracks them.
+var CartesianCheck = &Check{
+	Name:     "cartesian",
+	Doc:      "advisory: cross products surviving optimization; redundant pass-through projection chains",
+	Advisory: true,
+	Run:      runCartesian,
+}
+
+func runCartesian(p *Pass) {
+	if p.Stage != StageOptimize {
+		return
+	}
+	walkPath(p.Plan, func(op algebra.Op, path string) bool {
+		switch o := op.(type) {
+		case *algebra.Cross:
+			if _, ok := o.R.(*algebra.Values); !ok {
+				p.Reportf(path, "cross product survives optimization (no selection was pushed into a join)")
+			}
+		case *algebra.Project:
+			child, ok := o.Child.(*algebra.Project)
+			if ok && passThrough(o) && len(o.Cols) == len(child.Cols) {
+				p.Reportf(path, "pass-through projection over a projection: the chain could collapse")
+			}
+		}
+		return true
+	})
+}
+
+// passThrough reports whether every column of the projection is a plain
+// attribute reference kept under its own name.
+func passThrough(p *algebra.Project) bool {
+	for _, c := range p.Cols {
+		a, ok := c.E.(algebra.AttrRef)
+		if !ok || a.Name != c.As {
+			return false
+		}
+	}
+	return true
+}

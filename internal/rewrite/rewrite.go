@@ -48,7 +48,34 @@ func (r *Result) ProvAttrs() []schema.Attr {
 // Rewrite transforms q into q+ under the given sublink strategy. It returns
 // ErrNotApplicable (wrapped) when the strategy cannot handle a sublink in q.
 func Rewrite(q algebra.Op, strategy Strategy) (*Result, error) {
-	ctx := &rewriter{strategy: strategy, scanSeq: map[string]int{}}
+	return RewriteHooked(q, strategy, nil)
+}
+
+// Stage is one rewrite-rule application, as observed by a StageHook: the
+// rule that fired, the operator it consumed, and the rewritten plan it
+// produced, whose schema must be Input's schema followed by the attributes
+// of Prov.
+type Stage struct {
+	// Rule names the rewrite rule, e.g. "R1/scan", "G1/select",
+	// "R5/aggregate", "union".
+	Rule string
+	// Input is the un-rewritten operator the rule consumed.
+	Input algebra.Op
+	// Plan is the rewritten result.
+	Plan algebra.Op
+	// Prov lists the provenance sources of Plan.
+	Prov []ProvSource
+}
+
+// StageHook observes every rewrite-rule application, bottom-up. Hooks must
+// not retain or mutate the plans (algebra trees are shared).
+type StageHook func(Stage)
+
+// RewriteHooked is Rewrite with a hook invoked after every rule
+// application — the per-stage observation point of the plancheck verifier.
+// A nil hook behaves exactly like Rewrite.
+func RewriteHooked(q algebra.Op, strategy Strategy, hook StageHook) (*Result, error) {
+	ctx := &rewriter{strategy: strategy, scanSeq: map[string]int{}, hook: hook}
 	plan, prov, err := ctx.rewrite(q)
 	if err != nil {
 		return nil, err
@@ -57,11 +84,13 @@ func Rewrite(q algebra.Op, strategy Strategy) (*Result, error) {
 }
 
 // rewriter carries rewrite-wide state: the strategy, per-relation access
-// counters for P(R) disambiguation, and a fresh-name counter.
+// counters for P(R) disambiguation, a fresh-name counter, and the optional
+// per-rule observation hook.
 type rewriter struct {
 	strategy Strategy
 	scanSeq  map[string]int
 	fresh    int
+	hook     StageHook
 }
 
 // freshName returns a new name that cannot collide with user attributes or
@@ -72,38 +101,71 @@ func (rw *rewriter) freshName(stem string) string {
 }
 
 // rewrite dispatches on the operator, returning the rewritten plan and its
-// provenance sources. Invariant: plus.Schema() == op.Schema() ++ prov attrs.
-func (rw *rewriter) rewrite(op algebra.Op) (plus algebra.Op, prov []ProvSource, err error) {
+// provenance sources, and reports the applied rule to the hook. Invariant:
+// plus.Schema() == op.Schema() ++ prov attrs.
+func (rw *rewriter) rewrite(op algebra.Op) (algebra.Op, []ProvSource, error) {
+	plus, prov, rule, err := rw.rewriteRule(op)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rw.hook != nil && rule != "" {
+		rw.hook(Stage{Rule: rule, Input: op, Plan: plus, Prov: prov})
+	}
+	return plus, prov, nil
+}
+
+// rewriteRule applies the rule for one operator and names it.
+func (rw *rewriter) rewriteRule(op algebra.Op) (algebra.Op, []ProvSource, string, error) {
 	switch o := op.(type) {
 	case *algebra.Scan:
-		return rw.rewriteScan(o)
+		plus, prov, err := rw.rewriteScan(o)
+		return plus, prov, "R1/scan", err
 	case *algebra.Select:
 		return rw.rewriteSelect(o)
 	case *algebra.Project:
 		return rw.rewriteProject(o)
 	case *algebra.Cross:
-		return rw.rewriteCross(o)
+		plus, prov, err := rw.rewriteCross(o)
+		return plus, prov, "R4/cross", err
 	case *algebra.Join:
-		return rw.rewriteJoin(o)
+		plus, prov, err := rw.rewriteJoin(o)
+		return plus, prov, "R4/join", err
 	case *algebra.LeftJoin:
-		return rw.rewriteLeftJoin(o)
+		plus, prov, err := rw.rewriteLeftJoin(o)
+		return plus, prov, "R4/leftjoin", err
 	case *algebra.Aggregate:
-		return rw.rewriteAggregate(o)
+		plus, prov, err := rw.rewriteAggregate(o)
+		return plus, prov, "R5/aggregate", err
 	case *algebra.SetOp:
-		return rw.rewriteSetOp(o)
+		plus, prov, err := rw.rewriteSetOp(o)
+		return plus, prov, setOpRule(o.Kind), err
 	case *algebra.Order:
 		child, prov, err := rw.rewrite(o.Child)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, "", err
 		}
-		return &algebra.Order{Child: child, Keys: o.Keys}, prov, nil
+		return &algebra.Order{Child: child, Keys: o.Keys}, prov, "order", nil
 	case *algebra.Limit:
-		return nil, nil, fmt.Errorf("rewrite: LIMIT queries have no provenance semantics in the paper; remove the limit before asking for provenance")
+		return nil, nil, "", fmt.Errorf("rewrite: LIMIT queries have no provenance semantics in the paper; remove the limit before asking for provenance")
 	case *algebra.Values:
-		// Literal relations contribute no base provenance.
-		return o, nil, nil
+		// Literal relations contribute no base provenance (and no stage
+		// worth observing).
+		return o, nil, "", nil
 	default:
-		return nil, nil, fmt.Errorf("rewrite: unsupported operator %T", op)
+		return nil, nil, "", fmt.Errorf("rewrite: unsupported operator %T", op)
+	}
+}
+
+func setOpRule(k algebra.SetOpKind) string {
+	switch k {
+	case algebra.Union:
+		return "union"
+	case algebra.Intersect:
+		return "intersect"
+	case algebra.Except:
+		return "except"
+	default:
+		return "setop"
 	}
 }
 
@@ -126,35 +188,40 @@ func (rw *rewriter) rewriteScan(s *algebra.Scan) (algebra.Op, []ProvSource, erro
 
 // rewriteSelect is rule R3 for sublink-free conditions and dispatches to the
 // strategy rules (G1, L1, T1, U1/U2) otherwise.
-func (rw *rewriter) rewriteSelect(s *algebra.Select) (algebra.Op, []ProvSource, error) {
+func (rw *rewriter) rewriteSelect(s *algebra.Select) (algebra.Op, []ProvSource, string, error) {
 	if !algebra.HasSublink(s.Cond) {
 		child, prov, err := rw.rewrite(s.Child)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, "", err
 		}
-		return &algebra.Select{Child: child, Cond: s.Cond}, prov, nil
+		return &algebra.Select{Child: child, Cond: s.Cond}, prov, "R3/select", nil
 	}
 	switch rw.strategy {
 	case Gen:
-		return rw.genSelect(s)
+		plus, prov, err := rw.genSelect(s)
+		return plus, prov, "G1/select", err
 	case Left:
-		return rw.leftSelect(s)
+		plus, prov, err := rw.leftSelect(s)
+		return plus, prov, "L1/select", err
 	case Move:
-		return rw.moveSelect(s)
+		plus, prov, err := rw.moveSelect(s)
+		return plus, prov, "T1/select", err
 	case Unn:
-		return rw.unnSelect(s)
+		plus, prov, err := rw.unnSelect(s)
+		return plus, prov, "U/select", err
 	case UnnX:
-		return rw.unnxSelect(s)
+		plus, prov, err := rw.unnxSelect(s)
+		return plus, prov, "X/select", err
 	case Auto:
 		return rw.autoSelect(s)
 	default:
-		return nil, nil, fmt.Errorf("rewrite: unknown strategy %v", rw.strategy)
+		return nil, nil, "", fmt.Errorf("rewrite: unknown strategy %v", rw.strategy)
 	}
 }
 
 // rewriteProject is rule R2 for sublink-free projections and dispatches to
 // the strategy rules (G2, L2, T2) otherwise.
-func (rw *rewriter) rewriteProject(p *algebra.Project) (algebra.Op, []ProvSource, error) {
+func (rw *rewriter) rewriteProject(p *algebra.Project) (algebra.Op, []ProvSource, string, error) {
 	has := false
 	for _, c := range p.Cols {
 		if algebra.HasSublink(c.E) {
@@ -165,25 +232,28 @@ func (rw *rewriter) rewriteProject(p *algebra.Project) (algebra.Op, []ProvSource
 	if !has {
 		child, prov, err := rw.rewrite(p.Child)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, "", err
 		}
 		cols := append([]algebra.ProjExpr{}, p.Cols...)
 		cols = append(cols, provCols(prov)...)
-		return &algebra.Project{Child: child, Cols: cols, Distinct: p.Distinct}, prov, nil
+		return &algebra.Project{Child: child, Cols: cols, Distinct: p.Distinct}, prov, "R2/project", nil
 	}
 	switch rw.strategy {
 	case Gen:
-		return rw.genProject(p)
+		plus, prov, err := rw.genProject(p)
+		return plus, prov, "G2/project", err
 	case Left:
-		return rw.leftProject(p)
+		plus, prov, err := rw.leftProject(p)
+		return plus, prov, "L2/project", err
 	case Move:
-		return rw.moveProject(p)
+		plus, prov, err := rw.moveProject(p)
+		return plus, prov, "T2/project", err
 	case Unn, UnnX:
-		return nil, nil, fmt.Errorf("%w: %v has no rewrite rule for sublinks in projections", ErrNotApplicable, rw.strategy)
+		return nil, nil, "", fmt.Errorf("%w: %v has no rewrite rule for sublinks in projections", ErrNotApplicable, rw.strategy)
 	case Auto:
 		return rw.autoProject(p)
 	default:
-		return nil, nil, fmt.Errorf("rewrite: unknown strategy %v", rw.strategy)
+		return nil, nil, "", fmt.Errorf("rewrite: unknown strategy %v", rw.strategy)
 	}
 }
 

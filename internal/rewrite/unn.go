@@ -106,39 +106,44 @@ func flattenAnd(e algebra.Expr) []algebra.Expr {
 // sublinks, then Gen (which always applies). This mirrors how the paper
 // positions the strategies — specialized ≫ outer-join ≫ general — with the
 // reproduction's extension slotted between.
-func (rw *rewriter) autoSelect(s *algebra.Select) (algebra.Op, []ProvSource, error) {
+func (rw *rewriter) autoSelect(s *algebra.Select) (algebra.Op, []ProvSource, string, error) {
 	if unnApplicable(s.Cond) {
-		return rw.unnSelect(s)
+		plus, prov, err := rw.unnSelect(s)
+		return plus, prov, "U/select", err
 	}
 	if unnxApplicable(s.Cond) {
 		out, prov, err := rw.unnxSelect(s)
 		if err == nil {
-			return out, prov, nil
+			return out, prov, "X/select", nil
 		}
 		// unnxApplicable is a structural pre-check; the rewrite proper may
 		// still refuse (e.g. a correlation escaping to a higher scope).
 		// Fall through to the general strategies in that case.
 		if !errors.Is(err, ErrNotApplicable) {
-			return nil, nil, err
+			return nil, nil, "", err
 		}
 	}
 	if allUncorrelated(algebra.CollectSublinks(s.Cond)) {
-		return rw.moveSelect(s)
+		plus, prov, err := rw.moveSelect(s)
+		return plus, prov, "T1/select", err
 	}
-	return rw.genSelect(s)
+	plus, prov, err := rw.genSelect(s)
+	return plus, prov, "G1/select", err
 }
 
 // autoProject picks Move for uncorrelated projection sublinks and Gen
 // otherwise (Unn has no projection rules).
-func (rw *rewriter) autoProject(p *algebra.Project) (algebra.Op, []ProvSource, error) {
+func (rw *rewriter) autoProject(p *algebra.Project) (algebra.Op, []ProvSource, string, error) {
 	var sublinks []algebra.Sublink
 	for _, c := range p.Cols {
 		sublinks = append(sublinks, algebra.CollectSublinks(c.E)...)
 	}
 	if allUncorrelated(sublinks) {
-		return rw.moveProject(p)
+		plus, prov, err := rw.moveProject(p)
+		return plus, prov, "T2/project", err
 	}
-	return rw.genProject(p)
+	plus, prov, err := rw.genProject(p)
+	return plus, prov, "G2/project", err
 }
 
 func allUncorrelated(sublinks []algebra.Sublink) bool {

@@ -34,6 +34,11 @@ type Config struct {
 	// MaxParallelism caps the per-request worker parallelism. Default
 	// GOMAXPROCS.
 	MaxParallelism int
+
+	// PlanCheck is the per-stage plan verification mode applied to every
+	// statement (see perm.WithPlanCheck). Default off; strict turns a
+	// structural plan violation into a request error of class "plancheck".
+	PlanCheck perm.PlanCheckMode
 }
 
 func (c Config) withDefaults() Config {

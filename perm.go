@@ -32,7 +32,6 @@ import (
 	"perm/internal/algebra"
 	"perm/internal/catalog"
 	"perm/internal/eval"
-	"perm/internal/opt"
 	"perm/internal/rel"
 	"perm/internal/rewrite"
 	"perm/internal/schema"
@@ -332,6 +331,7 @@ type queryConfig struct {
 	noOptimize  bool
 	parallelism int
 	materialize bool
+	planCheck   PlanCheckMode
 }
 
 // WithStrategy selects the sublink rewrite strategy for PROVENANCE queries
@@ -397,6 +397,9 @@ type Result struct {
 	// query (see eval.Stats) — the service layer's /stats endpoint
 	// aggregates it.
 	PeakRows int64
+	// PlanFindings are the per-stage plan-verifier findings recorded under
+	// WithPlanCheck(PlanCheckLog); empty when verification is off or clean.
+	PlanFindings []PlanFinding
 }
 
 // snapshot is one consistent (catalog, views) state that a single
@@ -418,7 +421,7 @@ func newQueryConfig(opts []Option) queryConfig {
 	// cfg.ctx stays nil unless WithContext supplies one: a bare Query call
 	// is not cancelable, and the evaluator treats a nil context as "never
 	// canceled" rather than minting a root context here.
-	cfg := queryConfig{strategy: Auto}
+	cfg := queryConfig{strategy: Auto, planCheck: DefaultPlanCheck}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -445,22 +448,13 @@ func (db *DB) ExecContext(ctx context.Context, statement string, opts ...Option)
 
 // query runs the full pipeline against one snapshot.
 func (sn snapshot) query(query string, cfg queryConfig) (*Result, error) {
-	tr, err := sql.CompileEnv(sn.env(), query)
+	p, err := sn.compile(query, cfg)
 	if err != nil {
 		return nil, err
 	}
-	plan := tr.Plan
-	out := &Result{}
-	if tr.Provenance {
-		strat, err := cfg.strategy.internal()
-		if err != nil {
-			return nil, err
-		}
-		res, err := rewrite.Rewrite(plan, strat)
-		if err != nil {
-			return nil, err
-		}
-		plan = res.Plan
+	tr, plan := p.tr, p.plan
+	out := &Result{PlanFindings: p.findings}
+	if res := p.res; res != nil {
 		out.DataColumns = res.Original.Len() - tr.Hidden
 		for _, p := range res.Prov {
 			g := ProvGroup{Relation: p.Rel}
@@ -469,9 +463,6 @@ func (sn snapshot) query(query string, cfg queryConfig) (*Result, error) {
 			}
 			out.Provenance = append(out.Provenance, g)
 		}
-	}
-	if !cfg.noOptimize {
-		plan = opt.Optimize(plan)
 	}
 	ev := eval.New(sn.src)
 	if cfg.ctx != nil {
@@ -572,26 +563,11 @@ func (db *DB) Explain(query string, opts ...Option) (string, error) {
 }
 
 func (sn snapshot) explain(query string, cfg queryConfig) (string, error) {
-	tr, err := sql.CompileEnv(sn.env(), query)
+	p, err := sn.compile(query, cfg)
 	if err != nil {
 		return "", err
 	}
-	plan := tr.Plan
-	if tr.Provenance {
-		strat, err := cfg.strategy.internal()
-		if err != nil {
-			return "", err
-		}
-		res, err := rewrite.Rewrite(plan, strat)
-		if err != nil {
-			return "", err
-		}
-		plan = res.Plan
-	}
-	if !cfg.noOptimize {
-		plan = opt.Optimize(plan)
-	}
-	return algebra.Indent(plan), nil
+	return algebra.Indent(p.plan), nil
 }
 
 // orderedTuples respects the query's ORDER BY; otherwise it returns the

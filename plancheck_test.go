@@ -1,0 +1,123 @@
+package perm
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMain turns per-stage plan verification strict for the whole root
+// test suite: every query of the regression, differential, view and
+// example tests now fails if any compile stage produces a structurally
+// invalid plan, making the entire suite a plancheck fixture for free.
+func TestMain(m *testing.M) {
+	DefaultPlanCheck = PlanCheckStrict
+	os.Exit(m.Run())
+}
+
+func TestPlanCheckModeFlagRoundTrip(t *testing.T) {
+	for _, mode := range []PlanCheckMode{PlanCheckOff, PlanCheckLog, PlanCheckStrict} {
+		got, err := ParsePlanCheckMode(mode.String())
+		if err != nil || got != mode {
+			t.Fatalf("ParsePlanCheckMode(%q) = %v, %v", mode.String(), got, err)
+		}
+	}
+	if _, err := ParsePlanCheckMode("nope"); err == nil {
+		t.Fatal("ParsePlanCheckMode accepted an unknown spelling")
+	}
+}
+
+func TestPlanCheckStrictCleanQuery(t *testing.T) {
+	db := openFigure3(t)
+	res, err := db.Query("SELECT PROVENANCE a, b FROM r WHERE a = ANY (SELECT c FROM s)",
+		WithPlanCheck(PlanCheckStrict))
+	if err != nil {
+		t.Fatalf("strict plancheck rejected a clean query: %v", err)
+	}
+	for _, f := range res.PlanFindings {
+		if !f.Advisory {
+			t.Errorf("clean query carries finding: %s", f)
+		}
+	}
+}
+
+func TestVerifyPlanStages(t *testing.T) {
+	db := openFigure3(t)
+	stages, err := db.VerifyPlan("SELECT PROVENANCE a, b FROM r WHERE a = ANY (SELECT c FROM s)",
+		WithStrategy(Gen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) < 3 {
+		t.Fatalf("want translate + rules + rewrite + optimize, got %d stages: %+v", len(stages), stages)
+	}
+	if stages[0].Stage != "translate" {
+		t.Errorf("first stage = %q, want translate", stages[0].Stage)
+	}
+	if last := stages[len(stages)-1].Stage; last != "optimize" {
+		t.Errorf("last stage = %q, want optimize", last)
+	}
+	var sawRule, sawRewrite bool
+	for _, st := range stages {
+		if strings.HasPrefix(st.Stage, "rule/") {
+			sawRule = true
+		}
+		if st.Stage == "rewrite/Gen" {
+			sawRewrite = true
+		}
+		for _, f := range st.Findings {
+			if !f.Advisory {
+				t.Errorf("%s: %s", st.Stage, f)
+			}
+		}
+	}
+	if !sawRule || !sawRewrite {
+		t.Errorf("stage list misses rule/rewrite stages: %+v", stages)
+	}
+}
+
+func TestVerifyPlanPlainQuery(t *testing.T) {
+	db := openFigure3(t)
+	stages, err := db.VerifyPlan("SELECT a FROM r ORDER BY b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"translate", "optimize"}
+	if len(stages) != len(want) {
+		t.Fatalf("stages = %+v, want %v", stages, want)
+	}
+	for i, st := range stages {
+		if st.Stage != want[i] {
+			t.Errorf("stage %d = %q, want %q", i, st.Stage, want[i])
+		}
+		if len(st.Findings) != 0 {
+			t.Errorf("%s: findings on a clean plain query: %+v", st.Stage, st.Findings)
+		}
+	}
+}
+
+func TestVerifyPlanSessionView(t *testing.T) {
+	db := openFigure3(t)
+	s := db.NewSession()
+	if _, err := s.Exec("CREATE VIEW big AS SELECT a, b FROM r WHERE a >= 2"); err != nil {
+		t.Fatal(err)
+	}
+	stages, err := s.VerifyPlan("SELECT PROVENANCE a FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range stages {
+		for _, f := range st.Findings {
+			if !f.Advisory {
+				t.Errorf("%s: %s", st.Stage, f)
+			}
+		}
+	}
+}
+
+func TestPlanFindingString(t *testing.T) {
+	f := PlanFinding{Stage: "translate", Check: "schema", Path: "Scan(r)", Message: "boom"}
+	if got, want := f.String(), "translate: schema at Scan(r): boom"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
