@@ -7,25 +7,37 @@
 // By default every analyzer runs and any non-advisory finding makes the
 // process exit 1. The hotalloc analyzer's findings are advisory — they form
 // the allocation inventory for the vectorized-executor work — and are
-// printed without affecting the exit status unless -strict-hot is set.
+// printed without affecting the exit status unless -strict-hot is set, in
+// which case the inventory is diffed against a checked-in baseline and only
+// NEW allocations fail (the burn-down may shrink, never grow).
+//
+// -checks lockorder -graph emits the whole-program lock-acquisition-order
+// graph in Graphviz DOT form instead of findings.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"perm/internal/lint"
 )
 
 func main() {
 	var (
-		checks    = flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
-		listFlag  = flag.Bool("list", false, "list the available analyzers and exit")
-		strictHot = flag.Bool("strict-hot", false, "count advisory (hotalloc) findings against the exit status")
-		inventory = flag.Bool("inventory", false, "print only advisory findings (the hot-path allocation inventory) and exit 0")
-		dir       = flag.String("C", ".", "change to this directory before loading packages")
+		checks      = flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+		listFlag    = flag.Bool("list", false, "list the available analyzers and exit")
+		strictHot   = flag.Bool("strict-hot", false, "fail on hotalloc findings missing from the -hot-baseline file")
+		inventory   = flag.Bool("inventory", false, "print only advisory findings (the hot-path allocation inventory) and exit 0")
+		graphFlag   = flag.Bool("graph", false, "emit the whole-program lock-acquisition-order graph as Graphviz DOT and exit")
+		verbose     = flag.Bool("v", false, "report load and per-analyzer wall time on stderr")
+		hotBaseline = flag.String("hot-baseline", "internal/lint/testdata/hotalloc-baseline.txt", "baseline the -strict-hot inventory diff compares against")
+		writeHot    = flag.Bool("write-hot-baseline", false, "rewrite the -hot-baseline file from the current inventory and exit")
+		dir         = flag.String("C", ".", "change to this directory before loading packages")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: permlint [flags] [packages]\n\n")
@@ -67,16 +79,43 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
+	loadStart := time.Now()
 	pkgs, err := lint.NewLoader().Load(*dir, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "permlint: %v\n", err)
 		os.Exit(2)
 	}
+	loadTime := time.Since(loadStart)
 
-	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if *graphFlag {
+		fmt.Print(lint.LockOrderDOT(pkgs))
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "permlint: load %v (%d packages)\n", loadTime.Round(time.Millisecond), len(pkgs))
+		}
+		return
+	}
+
+	diags, timings, err := lint.RunAnalyzersTimed(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "permlint: %v\n", err)
 		os.Exit(2)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "permlint: load %v (%d packages)\n", loadTime.Round(time.Millisecond), len(pkgs))
+		var analyze time.Duration
+		for _, tm := range timings {
+			analyze += tm.Duration
+			fmt.Fprintf(os.Stderr, "permlint: %-12s %v\n", tm.Name, tm.Duration.Round(time.Millisecond))
+		}
+		fmt.Fprintf(os.Stderr, "permlint: analyze %v total\n", analyze.Round(time.Millisecond))
+	}
+
+	if *writeHot {
+		if err := writeBaseline(*hotBaseline, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "permlint: %v\n", err)
+			os.Exit(2)
+		}
+		return
 	}
 
 	failing := 0
@@ -93,10 +132,78 @@ func main() {
 		return
 	}
 	if *strictHot {
-		failing = len(diags)
+		regressions, err := diffBaseline(*hotBaseline, diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "permlint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, r := range regressions {
+			fmt.Printf("%s [not in %s: new hot-path allocation]\n", r, filepath.Base(*hotBaseline))
+		}
+		failing += len(regressions)
 	}
 	if failing > 0 {
 		fmt.Fprintf(os.Stderr, "permlint: %d finding(s)\n", failing)
 		os.Exit(1)
 	}
+}
+
+// baselineKey normalizes an advisory finding for baseline comparison: the
+// file's base name plus the message, deliberately dropping line numbers so
+// unrelated edits moving a hot function do not churn the baseline.
+func baselineKey(d lint.Diagnostic) string {
+	return filepath.Base(d.Pos.Filename) + ": " + d.Message
+}
+
+// writeBaseline records the current advisory inventory, one normalized
+// finding per line, sorted, duplicates preserved (two appends in one
+// function are two entries).
+func writeBaseline(path string, diags []lint.Diagnostic) error {
+	var keys []string
+	for _, d := range diags {
+		if d.Info {
+			keys = append(keys, baselineKey(d))
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# hotalloc baseline: the accepted per-row allocation inventory in perm:hot functions.\n")
+	b.WriteString("# permlint -strict-hot fails on findings absent from this file.\n")
+	b.WriteString("# Regenerate with: go run ./cmd/permlint -write-hot-baseline ./...\n")
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// diffBaseline returns the advisory findings not covered by the baseline
+// multiset: brand-new allocations, or more occurrences of a known one than
+// the baseline admits.
+func diffBaseline(path string, diags []lint.Diagnostic) ([]lint.Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading -hot-baseline (generate with -write-hot-baseline): %w", err)
+	}
+	allowed := map[string]int{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		allowed[line]++
+	}
+	var regressions []lint.Diagnostic
+	for _, d := range diags {
+		if !d.Info {
+			continue
+		}
+		k := baselineKey(d)
+		if allowed[k] > 0 {
+			allowed[k]--
+			continue
+		}
+		regressions = append(regressions, d)
+	}
+	return regressions, nil
 }

@@ -8,6 +8,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer checks one invariant over a type-checked package. The shape
@@ -51,6 +52,11 @@ type Pass struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// Cache is the run-wide shared state (call graph, per-function CFGs,
+	// whole-program analyzer artifacts), built once per RunAnalyzers call
+	// and reused by every (analyzer, package) pass.
+	Cache *RunCache
 
 	diags   *[]Diagnostic
 	ignores map[ignoreKey]bool
@@ -121,17 +127,42 @@ func buildIgnores(pkg *Package) map[ignoreKey]bool {
 	return out
 }
 
+// A Timing records one analyzer's wall-clock cost over the whole run,
+// reported by cmd/permlint -v.
+type Timing struct {
+	Name     string
+	Duration time.Duration
+}
+
 // RunAnalyzers applies the analyzers to each package and returns the
 // findings sorted by position. Standard-library packages in pkgs are
 // skipped: they are loaded only as type-checking context.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAnalyzersTimed(pkgs, analyzers)
+	return diags, err
+}
+
+// RunAnalyzersTimed is RunAnalyzers with per-analyzer wall-time. All
+// analyzers share one RunCache, so the call graph and the per-function
+// CFGs are built once for the run regardless of how many analyzers need
+// them; each analyzer's Timing therefore charges shared-artifact
+// construction to the first analyzer that demands it.
+func RunAnalyzersTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing, error) {
 	var diags []Diagnostic
+	cache := newRunCache(pkgs)
+	ignores := map[*Package]map[ignoreKey]bool{}
 	for _, pkg := range pkgs {
-		if pkg.Standard {
-			continue
+		if !pkg.Standard {
+			ignores[pkg] = buildIgnores(pkg)
 		}
-		ignores := buildIgnores(pkg)
-		for _, a := range analyzers {
+	}
+	var timings []Timing
+	for _, a := range analyzers {
+		start := time.Now()
+		for _, pkg := range pkgs {
+			if pkg.Standard {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Pkg:      pkg,
@@ -139,13 +170,15 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Files:    pkg.Files,
 				Types:    pkg.Types,
 				Info:     pkg.Info,
+				Cache:    cache,
 				diags:    &diags,
-				ignores:  ignores,
+				ignores:  ignores[pkg],
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+				return nil, nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
+		timings = append(timings, Timing{Name: a.Name, Duration: time.Since(start)})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -160,12 +193,12 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	return diags, timings, nil
 }
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{CtxFlow, LockCheck, ErrClass, AtomicField, DeferClose, HotAlloc}
+	return []*Analyzer{CtxFlow, LockCheck, LockOrder, GoroLeak, ChanLife, ErrClass, AtomicField, DeferClose, HotAlloc}
 }
 
 // AnalyzerByName resolves one analyzer.

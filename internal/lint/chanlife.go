@@ -1,0 +1,575 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanLife tracks each local channel variable's lifecycle through the CFG
+// with a three-bit abstract state {open, closed, nil} joined bitwise at
+// merge points:
+//
+//   - close of a definitely-closed channel panics at run time; close of a
+//     maybe-closed channel (closed on some path in) is flagged as a latent
+//     panic;
+//   - close of a receive-only channel is named explicitly (the compiler
+//     rejects it too; the analyzer keeps the check so partially-broken
+//     trees under analysis still get a precise message);
+//   - a send reachable after a close on the same channel panics;
+//   - sends and receives on a definitely-nil channel block forever (except
+//     as select comms, where a nil channel is the idiomatic "disable this
+//     arm");
+//   - a send on an unbuffered channel that never escapes the function and
+//     is never touched by another goroutine blocks forever.
+//
+// Channels are tracked per variable object; a variable whose state the
+// analyzer has not seen (parameters, fields, globals) is assumed open.
+// Range rebinding (`for _, ch := range chans`) resets the loop variable to
+// open on each iteration, so closing each element of a slice of channels
+// is not a double close.
+var ChanLife = &Analyzer{
+	Name: "chanlife",
+	Doc: "per-channel lifecycle dataflow: double-close, close of receive-only " +
+		"channels, send-after-close, and unbuffered sends no goroutine can receive",
+	Run: runChanLife,
+}
+
+// Abstract channel state bits.
+const (
+	bitOpen   uint8 = 1 << iota // created / unknown-but-usable
+	bitClosed                   // close(ch) executed
+	bitNil                      // declared without make, or assigned nil
+)
+
+// chanFact maps channel variables to their abstract state at a program
+// point. Absent means "never observed": treated as open.
+type chanFact map[*types.Var]uint8
+
+func (f chanFact) clone() chanFact {
+	out := make(chanFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func joinChanFacts(a, b chanFact) chanFact {
+	out := a.clone()
+	for k, v := range b {
+		if cur, ok := out[k]; ok {
+			out[k] = cur | v
+		} else {
+			out[k] = v | bitOpen
+		}
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			out[k] |= bitOpen
+		}
+	}
+	return out
+}
+
+func equalChanFacts(a, b chanFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func runChanLife(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cl := &chanLifeChecker{pass: pass, visited: map[*ast.FuncLit]bool{}}
+			cl.checkFunc(fd, fd.Body)
+			cl.checkUnbuffered(fd.Body)
+			// Closures run at unknown times relative to the enclosing flow;
+			// each body is its own flow problem with a fresh (all-open) fact.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok && !cl.visited[lit] {
+					cl.visited[lit] = true
+					cl.checkFunc(lit, lit.Body)
+					cl.checkUnbuffered(lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+type chanLifeChecker struct {
+	pass    *Pass
+	visited map[*ast.FuncLit]bool
+}
+
+// checkFunc solves the channel-state dataflow over fn's CFG and replays the
+// solution to report lifecycle violations.
+func (cl *chanLifeChecker) checkFunc(fn ast.Node, body *ast.BlockStmt) {
+	cfg := cl.pass.Cache.FuncCFG(fn, cl.pass.Info)
+	commNodes := selectCommNodes(body)
+
+	flow := &Flow[chanFact]{
+		CFG:      cfg,
+		Init:     chanFact{},
+		Join:     joinChanFacts,
+		Equal:    equalChanFacts,
+		Transfer: func(n ast.Node, fact chanFact) chanFact { return cl.transferNode(fact, n, commNodes, nil) },
+	}
+	entry := flow.Solve()
+
+	// Replay with reporting enabled.
+	report := func(pos token.Pos, format string, args ...any) {
+		cl.pass.Reportf(pos, format, args...)
+	}
+	exitFact := chanFact{}
+	exitSeen := false
+	for _, b := range cfg.Blocks {
+		in, reached := entry[b]
+		if !reached {
+			continue
+		}
+		fact := in.clone()
+		for _, n := range b.Nodes {
+			fact = cl.transferNode(fact, n, commNodes, report)
+		}
+		for _, succ := range b.Succs {
+			if succ == cfg.Exit && !b.PanicExit {
+				if exitSeen {
+					exitFact = joinChanFacts(exitFact, fact)
+				} else {
+					exitFact, exitSeen = fact.clone(), true
+				}
+			}
+		}
+	}
+	// Deferred closes run at exit, in reverse order; double close between
+	// two defers of the same channel is still a panic.
+	for i := len(cfg.Defers) - 1; i >= 0; i-- {
+		d := cfg.Defers[i]
+		if call, ok := directCloseCall(cl.pass.Info, d.Call); ok {
+			exitFact = cl.applyClose(exitFact, call, report)
+		}
+	}
+}
+
+// transferNode advances fact across one CFG node. report is nil during the
+// fixpoint solve and live during replay.
+func (cl *chanLifeChecker) transferNode(fact chanFact, n ast.Node, commNodes map[ast.Node]bool, report func(token.Pos, string, ...any)) chanFact {
+	inSelect := commNodes[n]
+	switch n := n.(type) {
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return fact
+		}
+		fact = fact.clone()
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				vr := cl.chanVarDef(name)
+				if vr == nil {
+					continue
+				}
+				if len(vs.Values) == 0 {
+					fact[vr] = bitNil // var ch chan T
+				} else if i < len(vs.Values) {
+					fact[vr] = cl.rhsState(vs.Values[i])
+				}
+			}
+		}
+		return fact
+	case *ast.AssignStmt:
+		fact = fact.clone()
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				vr := cl.chanVarRef(id)
+				if vr == nil {
+					continue
+				}
+				fact[vr] = cl.rhsState(n.Rhs[i])
+			}
+		} else {
+			// Multi-value RHS (ch, ok := f()): conservatively open.
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if vr := cl.chanVarRef(id); vr != nil {
+						fact[vr] = bitOpen
+					}
+				}
+			}
+		}
+		// A receive on the RHS (v, ok := <-ch) is handled by the
+		// UnaryExpr check below via the caller's walk — but CFG nodes are
+		// whole statements, so check receives embedded here.
+		fact = cl.checkEmbeddedReceives(fact, n, inSelect, report)
+		return fact
+	case *ast.RangeStmt:
+		// Rebinding: each iteration yields a fresh element; a channel-typed
+		// range value resets to open. Ranging over a nil channel blocks.
+		fact = fact.clone()
+		if report != nil {
+			if vr := cl.chanVarExpr(n.X); vr != nil && fact.state(vr) == bitNil {
+				report(n.Pos(), "range over nil channel %s blocks forever", exprString(n.X))
+			}
+		}
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if vr := cl.chanVarDef(id); vr != nil {
+					fact[vr] = bitOpen
+				}
+			}
+		}
+		return fact
+	case *ast.SendStmt:
+		if vr := cl.chanVarExpr(n.Chan); vr != nil {
+			st := fact.state(vr)
+			if report != nil {
+				name := exprString(n.Chan)
+				switch {
+				case st == bitClosed:
+					report(n.Pos(), "send on %s after close (panics at run time)", name)
+				case st&bitClosed != 0 && st&bitOpen != 0:
+					report(n.Pos(), "send on %s is reachable after close on some path", name)
+				case st == bitNil && !inSelect:
+					report(n.Pos(), "send on nil channel %s blocks forever", name)
+				}
+			}
+		}
+		return cl.checkEmbeddedReceives(fact, n.Value, inSelect, report)
+	case *ast.ExprStmt:
+		if call, ok := directCloseCall(cl.pass.Info, n.X); ok {
+			return cl.applyClose(fact, call, report)
+		}
+		return cl.checkEmbeddedReceives(fact, n, inSelect, report)
+	default:
+		if e, ok := n.(ast.Stmt); ok {
+			return cl.checkEmbeddedReceives(fact, e, inSelect, report)
+		}
+		if e, ok := n.(ast.Expr); ok {
+			return cl.checkEmbeddedReceives(fact, e, inSelect, report)
+		}
+	}
+	return fact
+}
+
+// applyClose transitions ch's state through close(ch), reporting double
+// closes and closes of receive-only channels.
+func (cl *chanLifeChecker) applyClose(fact chanFact, call *ast.CallExpr, report func(token.Pos, string, ...any)) chanFact {
+	arg := call.Args[0]
+	if report != nil {
+		if t := cl.pass.Info.Types[arg].Type; t != nil {
+			if ch, ok := t.Underlying().(*types.Chan); ok && ch.Dir() == types.RecvOnly {
+				report(call.Pos(), "close of receive-only channel %s", exprString(arg))
+			}
+		}
+	}
+	vr := cl.chanVarExpr(arg)
+	if vr == nil {
+		return fact
+	}
+	st := fact.state(vr)
+	if report != nil {
+		name := exprString(arg)
+		switch {
+		case st == bitClosed:
+			report(call.Pos(), "close of %s: already closed on every path here (panics at run time)", name)
+		case st&bitClosed != 0:
+			report(call.Pos(), "close of %s: may already be closed on some path here", name)
+		case st == bitNil:
+			report(call.Pos(), "close of nil channel %s (panics at run time)", name)
+		}
+	}
+	fact = fact.clone()
+	fact[vr] = bitClosed
+	return fact
+}
+
+// checkEmbeddedReceives reports receives from definitely-nil channels found
+// anywhere inside n (skipping nested function literals and selects, which
+// get their own treatment).
+func (cl *chanLifeChecker) checkEmbeddedReceives(fact chanFact, n ast.Node, inSelect bool, report func(token.Pos, string, ...any)) chanFact {
+	if n == nil || report == nil || inSelect {
+		return fact
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit, *ast.SelectStmt:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op != token.ARROW {
+				return true
+			}
+			if vr := cl.chanVarExpr(x.X); vr != nil && fact.state(vr) == bitNil {
+				report(x.Pos(), "receive on nil channel %s blocks forever", exprString(x.X))
+			}
+		}
+		return true
+	})
+	return fact
+}
+
+// state returns the abstract bits for vr, defaulting to open for channels
+// the analyzer has not observed being created (parameters, fields).
+func (f chanFact) state(vr *types.Var) uint8 {
+	if st, ok := f[vr]; ok {
+		return st
+	}
+	return bitOpen
+}
+
+// rhsState classifies an initializer: make() is open, nil is nil, anything
+// else (a call, another variable) is open.
+func (cl *chanLifeChecker) rhsState(e ast.Expr) uint8 {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok && id.Name == "nil" {
+		if _, isNil := cl.pass.Info.Uses[id].(*types.Nil); isNil {
+			return bitNil
+		}
+	}
+	return bitOpen
+}
+
+// chanVarDef resolves a defining identifier to its channel-typed variable.
+func (cl *chanLifeChecker) chanVarDef(id *ast.Ident) *types.Var {
+	obj := cl.pass.Info.Defs[id]
+	if obj == nil {
+		obj = cl.pass.Info.Uses[id] // `=` rebinding in range, plain assign
+	}
+	return asChanVar(obj)
+}
+
+// chanVarRef resolves a used identifier to its channel-typed variable.
+func (cl *chanLifeChecker) chanVarRef(id *ast.Ident) *types.Var {
+	obj := cl.pass.Info.Uses[id]
+	if obj == nil {
+		obj = cl.pass.Info.Defs[id] // := definitions
+	}
+	return asChanVar(obj)
+}
+
+// chanVarExpr resolves a channel expression to a tracked variable: plain
+// identifiers only — selectors, indexes and calls are shared state this
+// per-function analysis does not model.
+func (cl *chanLifeChecker) chanVarExpr(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return cl.chanVarRef(id)
+}
+
+func asChanVar(obj types.Object) *types.Var {
+	vr, ok := obj.(*types.Var)
+	if !ok || vr.Type() == nil {
+		return nil
+	}
+	if _, ok := vr.Type().Underlying().(*types.Chan); !ok {
+		return nil
+	}
+	return vr
+}
+
+// directCloseCall matches `close(x)` as an expression.
+func directCloseCall(info *types.Info, e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil, false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	if !ok || b.Name() != "close" {
+		return nil, false
+	}
+	return call, true
+}
+
+// selectCommNodes collects every select comm statement in body, so nil-
+// channel operations inside selects are exempt (a nil arm just never
+// fires).
+func selectCommNodes(body *ast.BlockStmt) map[ast.Node]bool {
+	comms := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, s := range sel.Body.List {
+			if cc, ok := s.(*ast.CommClause); ok && cc.Comm != nil {
+				comms[cc.Comm] = true
+			}
+		}
+		return true
+	})
+	return comms
+}
+
+// checkUnbuffered flags sends on unbuffered channels that never leave the
+// function: with no other goroutine holding the receive end, the send can
+// never complete.
+func (cl *chanLifeChecker) checkUnbuffered(body *ast.BlockStmt) {
+	info := cl.pass.Info
+
+	// Candidate channels: ch := make(chan T) with no buffer argument.
+	candidates := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true // make with buffer arg has len(Args) == 2
+		}
+		fid, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := info.Uses[fid].(*types.Builtin); !ok || b.Name() != "make" {
+			return true
+		}
+		if vr := asChanVar(info.Defs[id]); vr != nil {
+			candidates[vr] = true
+		}
+		return true
+	})
+	if len(candidates) == 0 {
+		return
+	}
+
+	// Disqualify channels that escape: passed to a call, captured by a
+	// closure or go statement, returned, stored, aliased.
+	type sendSite struct {
+		pos      token.Pos
+		vr       *types.Var
+		inSelect bool
+	}
+	var sends []sendSite
+	commNodes := selectCommNodes(body)
+	selectHasDefault := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, s := range sel.Body.List {
+			if cc, ok := s.(*ast.CommClause); ok {
+				if cc.Comm == nil {
+					for _, ss := range sel.Body.List {
+						if c2, ok := ss.(*ast.CommClause); ok && c2.Comm != nil {
+							selectHasDefault[c2.Comm] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		vr := asChanVar(info.Uses[id])
+		if vr == nil || !candidates[vr] {
+			return true
+		}
+		// Walk up: what role does this use play?
+		parent := stack[len(stack)-1]
+		escaped := false
+		for _, anc := range stack {
+			if _, ok := anc.(*ast.FuncLit); ok {
+				escaped = true // another goroutine (or later caller) may receive
+				break
+			}
+			if _, ok := anc.(*ast.GoStmt); ok {
+				escaped = true
+				break
+			}
+			if _, ok := anc.(*ast.DeferStmt); ok {
+				escaped = true
+				break
+			}
+			if _, ok := anc.(*ast.ReturnStmt); ok {
+				escaped = true
+				break
+			}
+		}
+		if !escaped {
+			switch p := parent.(type) {
+			case *ast.SendStmt:
+				if p.Chan == id {
+					sends = append(sends, sendSite{pos: p.Pos(), vr: vr, inSelect: commNodes[p] && selectHasDefault[p]})
+					return true
+				}
+				escaped = true // ch sent as a value on another channel
+			case *ast.UnaryExpr:
+				if p.Op != token.ARROW {
+					escaped = true // &ch
+				}
+			case *ast.RangeStmt:
+				if p.X != id {
+					escaped = true
+				}
+			case *ast.CallExpr:
+				// close(ch)/len/cap are fine; anything else hands the
+				// channel to code that may receive.
+				if fid, ok := p.Fun.(*ast.Ident); ok {
+					if b, ok := info.Uses[fid].(*types.Builtin); ok {
+						switch b.Name() {
+						case "close", "len", "cap":
+							return true
+						}
+					}
+				}
+				escaped = true
+			case *ast.AssignStmt:
+				for _, rhs := range p.Rhs {
+					if rhs == id {
+						escaped = true // aliased
+					}
+				}
+			case *ast.BinaryExpr:
+				// comparisons (ch == nil) are fine
+			default:
+				escaped = true
+			}
+		}
+		if escaped {
+			delete(candidates, vr)
+		}
+		return true
+	})
+
+	for _, s := range sends {
+		if !candidates[s.vr] || s.inSelect {
+			continue
+		}
+		cl.pass.Reportf(s.pos, "send on unbuffered channel %s blocks forever: the channel never leaves this function, so no goroutine can receive", s.vr.Name())
+	}
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestChanLife(t *testing.T) {
+	RunFixture(t, ChanLife, fixturePath("chanlife"))
+}

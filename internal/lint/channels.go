@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// closeIndex is a whole-run index of channel close and send sites, used by
+// goroleak (is this receive bounded by a producer or a close somewhere?)
+// and built once per run.
+//
+// Channel identity is resolved to a "root" object where possible: the
+// variable or struct field the channel lives in, unwrapping parentheses,
+// index expressions (chans[i] roots at chans) and range rebinding
+// (`for _, ch := range chans { close(ch) }` roots ch's close at chans).
+// When no root resolves, matching falls back to comparing channel element
+// types — coarse, but it errs toward missing a leak rather than inventing
+// one.
+type closeIndex struct {
+	closeObjs map[types.Object]bool
+	closeElem []types.Type
+	sendObjs  map[types.Object]bool
+	sendElem  []types.Type
+
+	// rangeOrigin maps a range-statement key/value variable to the
+	// expression it ranges over, for root resolution.
+	rangeOrigin map[types.Object]ast.Expr
+	info        map[types.Object]*types.Info
+}
+
+// CloseIndex returns the run's channel close/send index, building it on
+// first use.
+func (c *RunCache) CloseIndex() *closeIndex {
+	if c.closeSites == nil {
+		c.closeSites = buildCloseIndex(c.analyzedPackages())
+	}
+	return c.closeSites
+}
+
+func buildCloseIndex(pkgs []*Package) *closeIndex {
+	idx := &closeIndex{
+		closeObjs:   map[types.Object]bool{},
+		sendObjs:    map[types.Object]bool{},
+		rangeOrigin: map[types.Object]ast.Expr{},
+		info:        map[types.Object]*types.Info{},
+	}
+	// First pass: range rebindings, so close roots can chase them.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				for _, e := range []ast.Expr{rs.Key, rs.Value} {
+					id, ok := e.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if obj := pkg.Info.Defs[id]; obj != nil {
+						idx.rangeOrigin[obj] = rs.X
+						idx.info[obj] = pkg.Info
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, pkg := range pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if id, ok := n.Fun.(*ast.Ident); ok && len(n.Args) == 1 {
+						if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+							if obj := idx.rootChanObject(info, n.Args[0]); obj != nil {
+								idx.closeObjs[obj] = true
+							}
+							if el := chanElem(info, n.Args[0]); el != nil {
+								idx.closeElem = append(idx.closeElem, el)
+							}
+						}
+					}
+				case *ast.SendStmt:
+					if obj := idx.rootChanObject(info, n.Chan); obj != nil {
+						idx.sendObjs[obj] = true
+					}
+					if el := chanElem(info, n.Chan); el != nil {
+						idx.sendElem = append(idx.sendElem, el)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return idx
+}
+
+// rootChanObject resolves a channel expression to its root variable or
+// field object, or nil when the root is dynamic.
+func (idx *closeIndex) rootChanObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			if obj == nil {
+				return nil
+			}
+			// Chase range rebinding: ch in `for _, ch := range chans`
+			// roots at chans.
+			if origin, ok := idx.rangeOrigin[obj]; ok {
+				e = origin
+				info = idx.info[obj]
+				continue
+			}
+			return obj
+		case *ast.SelectorExpr:
+			return info.Uses[x.Sel]
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// chanElem returns the channel element type of e, or nil.
+func chanElem(info *types.Info, e ast.Expr) types.Type {
+	t := info.Types[e].Type
+	if t == nil {
+		return nil
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return nil
+	}
+	return ch.Elem()
+}
+
+func (idx *closeIndex) closeTracked(info *types.Info, e ast.Expr) bool {
+	if obj := idx.rootChanObject(info, e); obj != nil && idx.closeObjs[obj] {
+		return true
+	}
+	return matchElem(idx.closeElem, chanElem(info, e))
+}
+
+func (idx *closeIndex) sendTracked(info *types.Info, e ast.Expr) bool {
+	if obj := idx.rootChanObject(info, e); obj != nil && idx.sendObjs[obj] {
+		return true
+	}
+	return matchElem(idx.sendElem, chanElem(info, e))
+}
+
+func matchElem(have []types.Type, want types.Type) bool {
+	if want == nil {
+		return false
+	}
+	for _, t := range have {
+		if types.Identical(t, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders an expression for diagnostics.
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}

@@ -1,4 +1,4 @@
-// Package lint is the perm repository's invariant-checking suite: six
+// Package lint is the perm repository's invariant-checking suite: nine
 // analyzers over type-checked packages, run by cmd/permlint and by the
 // fixture tests in this package. The analyzers encode the concurrency,
 // cancellation and error-handling disciplines the engine relies on but the
@@ -13,6 +13,20 @@
 // plus its standard-library closure from source with go/parser and
 // go/types. `go list` never lists _test.go files, so test code is never
 // analyzed — which is exactly the exemption ctxflow wants.
+//
+// On top of the per-package passes sits a flow-sensitive tier (cfg.go): a
+// dependency-free control-flow graph over function bodies — basic blocks
+// for if/for/range/switch/select/goto, a virtual exit block, panic-path
+// marking, recorded defers — and a generic forward-dataflow worklist
+// solver (Flow[F]) parameterized by an analyzer's fact lattice. Analyzers
+// never report during the fixpoint; they re-play the solved block-entry
+// facts deterministically and report on the replay. A run-wide cache
+// (callgraph.go) shares the expensive artifacts across analyzers within
+// one permlint invocation: the static call graph (Ident/Selector calls
+// only; calls through function values and interfaces stay unresolved),
+// memoized per-function CFGs, the lock-order graph and the channel
+// close/send index. cmd/permlint -v reports the load and per-analyzer
+// wall time this caching buys.
 //
 // Findings are suppressed line by line with
 //
@@ -45,14 +59,75 @@
 //	// guarded-by: mu
 //	views map[string]*sql.ViewDef
 //
-// lockcheck flags any access to an annotated field from a function that
-// neither locks the guard (a `x.mu.Lock()` or `x.mu.RLock()` call on the
-// same receiver type) nor declares, via `// permlint:held mu` in its doc
-// comment, that its callers hold it (the *Locked naming convention made
-// checkable). Composite-literal initialization is exempt: the value is not
-// shared yet. The check is lexical and flow-insensitive by design — it
-// catches the common mistake (a new method reading a guarded map lock-free)
-// without simulating control flow.
+// lockcheck is flow-sensitive: it solves a per-function dataflow problem
+// over the hold state of each lock (not held < maybe held < held, per
+// write/read side) and requires every access to an annotated field to sit
+// at a program point where the guard is held on ALL incoming paths — a
+// lock held on only some paths ("Lock under if") is its own finding, as
+// is a Lock/Unlock imbalance on any path to return, an Unlock without a
+// matching hold, and a write-Lock taken while already held
+// (self-deadlock). Deferred unlocks are credited on every exit path;
+// panic-only paths are exempt from balance (deferred releases run during
+// unwinding). `// permlint:held mu` still declares the caller-holds
+// convention (the *Locked naming made checkable), and composite-literal
+// initialization is exempt (the value is not shared yet). Known
+// approximations: lock identities conflate instances per receiver type;
+// closures inherit every lock their creator acquires anywhere (sink
+// closures run synchronously under the creator's locks, and the analysis
+// cannot see call time), so their bodies are checked leniently.
+//
+// # lockorder
+//
+// lockcheck proves each function's locking is locally sane; lockorder
+// proves the functions compose. It derives the whole-program
+// lock-acquisition-order graph — an edge A -> B wherever some function
+// acquires B (directly, or transitively through statically resolvable
+// calls) at a point where the flow analysis proves A is held — and
+// reports every cycle as a potential deadlock: two goroutines taking
+// {A then B} and {B then A} deadlock under the right interleaving without
+// either path being wrong in isolation, which is exactly the bug class
+// -race cannot see until it fires in production. Re-acquiring a lock
+// already held (directly or via a callee) is a self-deadlock finding,
+// except read-under-read, which RWMutex permits. Acquisitions inside go
+// statements are excluded (a goroutine does not hold its creator's
+// locks). cmd/permlint -checks lockorder -graph renders the graph as
+// Graphviz DOT, cycles highlighted; the nightly CI job archives it.
+// Approximations: instance conflation can produce false cycles for
+// deliberate same-type ordering (address order, parent before child) —
+// such sites carry a //permlint:ignore with the ordering argument — and
+// calls through function values or interfaces do not propagate.
+//
+// # goroleak
+//
+// Every `go` statement's goroutine must have a bounded exit: a worker
+// that can never terminate holds its stack, its captured references and
+// (in the executor's pools) a semaphore token forever, invisibly to
+// -race. goroleak requires the goroutine body's CFG to reach the function
+// exit, and requires each potentially unbounded blocking construct to be
+// externally signalable: `for range ch` needs a close site for ch
+// somewhere in the analyzed packages, a bare `<-ch` needs a send or close
+// site or must be a ctx.Done() channel, and a body that selects on a
+// cancellation signal is trusted throughout. Channel identity resolves
+// through the variable or field object where possible — including
+// `for _, ch := range chans` rebinding back to chans — and falls back to
+// element-type matching, which errs toward missing a leak rather than
+// inventing one. Calls made by the goroutine body are not followed.
+//
+// # chanlife
+//
+// chanlife tracks each local channel variable's lifecycle through the CFG
+// as a three-bit abstract state {open, closed, nil} joined bitwise at
+// merges: close of a definitely-closed channel panics, close of a
+// maybe-closed channel is a latent panic, a send reachable after a close
+// panics, and sends/receives on definitely-nil channels block forever —
+// except as select comms, where a nil channel idiomatically disables the
+// arm. Range rebinding resets the loop variable each iteration, so
+// closing every element of a slice of channels is clean. A separate
+// escape check flags sends on unbuffered channels that never leave the
+// function: with no other goroutine holding the receive end, the send can
+// never complete. Shared state (fields, globals, parameters) is assumed
+// open — cross-function channel lifecycles are goroleak's and the close
+// index's business.
 //
 // # errclass
 //
@@ -95,6 +170,9 @@
 // hotalloc inventories make/new/append calls, composite literals, closure
 // creations and interface boxing (a types.Value stored into an any) inside
 // those functions. Its findings are advisory: they do not fail permlint
-// (pass -strict-hot to make them fail, -inventory to print only them) but
-// form the measured burn-down list for the planned vectorized executor.
+// (-inventory prints only them) but form the measured burn-down list for
+// the planned vectorized executor. -strict-hot diffs the inventory against
+// the checked-in baseline (internal/lint/testdata/hotalloc-baseline.txt,
+// regenerated with -write-hot-baseline): the burn-down may shrink, but a
+// new hot-path allocation fails CI.
 package lint

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroLeak requires every `go` statement's goroutine to have a bounded
+// exit: the worker must be able to terminate once its work or its owner is
+// done, or it leaks — holding its stack, its captured references and
+// (for the engine's worker pools) a semaphore token, invisible to -race
+// and visible to runtime.NumGoroutine only after the damage is done.
+//
+// A goroutine body passes when its CFG can reach the function exit AND
+// every potentially unbounded blocking construct is externally signalable:
+//
+//   - a `for` / `for true` loop must be able to break or return (exit
+//     reachability covers this);
+//   - `for range ch` requires ch to have a close site somewhere in the
+//     analyzed packages (the producer hangs up, the worker drains out);
+//   - a bare `<-ch` receive outside a select requires ch to have a send
+//     or close site in the analyzed packages, or to be a ctx.Done()
+//     channel (cancellation is a bounded exit by definition).
+//
+// A body that selects on ctx.Done() (or any close-tracked channel) is
+// considered signalable throughout: its other channel arms are that
+// select's business, not a leak.
+//
+// Approximations: channel identity resolves through the variable or field
+// object when it can (including `for _, ch := range chans` rebinding back
+// to chans) and falls back to matching the channel's type against the
+// close-site index; calls made by the goroutine body are not followed.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "every go statement's goroutine must have a bounded exit path " +
+		"(a ctx.Done() select arm, a close-tracked channel receive, or a finite body)",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) error {
+	idx := pass.Cache.CloseIndex()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoroutine(pass, idx, g)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoroutine(pass *Pass, idx *closeIndex, g *ast.GoStmt) {
+	var fn ast.Node
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		fn, body = fun, fun.Body
+	default:
+		callee := calleeOf(pass.Info, g.Call)
+		if callee == nil {
+			return
+		}
+		fi := pass.Cache.CallGraph().Funcs[callee]
+		if fi == nil || fi.Decl.Body == nil {
+			return
+		}
+		fn, body = fi.Decl, fi.Decl.Body
+	}
+
+	cfg := pass.Cache.FuncCFG(fn, pass.Info)
+	if !cfg.ExitReachable() {
+		pass.Reportf(g.Pos(), "goroutine never terminates: no path from its body reaches return; add a ctx.Done() select arm or a terminating condition")
+		return
+	}
+
+	// A body that can see a cancellation signal is trusted: its loops and
+	// receives are the signal's consumers.
+	if bodySelectsOnSignal(pass, idx, body) {
+		return
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a nested goroutine is its own go statement
+		case *ast.RangeStmt:
+			t := pass.Info.Types[n.X].Type
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Chan); !ok {
+				return true
+			}
+			if !idx.closeTracked(pass.Info, n.X) {
+				pass.Reportf(n.Pos(), "goroutine ranges over channel %s with no close site in the analyzed packages: the worker can never drain out", exprString(n.X))
+			}
+		case *ast.UnaryExpr:
+			// A bare blocking receive; receives that appear as a select
+			// comm are skipped via the SelectStmt case below.
+			if n.Op.String() != "<-" {
+				return true
+			}
+			if isDoneChannel(pass.Info, n.X) {
+				return true
+			}
+			if !idx.closeTracked(pass.Info, n.X) && !idx.sendTracked(pass.Info, n.X) {
+				pass.Reportf(n.Pos(), "goroutine blocks on receive from %s, which has no send or close site in the analyzed packages", exprString(n.X))
+			}
+		case *ast.SelectStmt:
+			// Arms of a select without a Done arm are still individually
+			// checked only when the select has a single arm and no
+			// default (then it is just a receive in disguise).
+			if len(n.Body.List) == 1 {
+				if cc, ok := n.Body.List[0].(*ast.CommClause); ok && cc.Comm != nil {
+					return true // fall through into the comm via Inspect
+				}
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// bodySelectsOnSignal reports whether the body receives — anywhere, in a
+// select arm or bare — from a ctx.Done() channel or a close-tracked
+// channel used as a done signal.
+func bodySelectsOnSignal(pass *Pass, idx *closeIndex, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ue, ok := n.(*ast.UnaryExpr)
+		if !ok || ue.Op.String() != "<-" {
+			return true
+		}
+		if isDoneChannel(pass.Info, ue.X) {
+			found = true
+			return false
+		}
+		// A receive from a close-tracked channel counts as a signal only
+		// inside a select (a bare receive from it is a drain, which the
+		// close also bounds — both are fine).
+		if idx.closeTracked(pass.Info, ue.X) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isDoneChannel recognizes `ctx.Done()` (any method named Done returning
+// <-chan struct{} on a context.Context value) and values assigned from it.
+func isDoneChannel(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if ok {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if ok && sel.Sel.Name == "Done" {
+			if t := info.Types[sel.X].Type; t != nil && isContextType(t) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

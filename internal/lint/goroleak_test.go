@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestGoroLeak(t *testing.T) {
+	RunFixture(t, GoroLeak, fixturePath("goroleak"))
+}

@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Shared lock-identity machinery for the flow-sensitive lockcheck and the
+// whole-program lockorder analyzers.
+//
+// A lock identity conflates instances: every value of type Session holds
+// "the" Session.mu. That is the standard static-analysis approximation —
+// it can produce false cycles when two instances of one type are locked in
+// a deliberate global order (address order, parent-before-child), and such
+// sites must carry a //permlint:ignore with the ordering argument.
+
+// lockOp classifies one sync.Mutex / sync.RWMutex method call.
+type lockOp uint8
+
+const (
+	opNone lockOp = iota
+	opLock
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+func (op lockOp) String() string {
+	switch op {
+	case opLock:
+		return "Lock"
+	case opRLock:
+		return "RLock"
+	case opUnlock:
+		return "Unlock"
+	case opRUnlock:
+		return "RUnlock"
+	}
+	return "?"
+}
+
+// acquires reports whether the op takes the lock.
+func (op lockOp) acquires() bool { return op == opLock || op == opRLock }
+
+// lockID identifies one lock for analysis purposes. Exactly one of the two
+// shapes is set:
+//
+//   - a mutex field: recv is the owning named type (instances conflated),
+//     guard the field name — the shape `// guarded-by:` annotations use;
+//   - a mutex variable: vr is the variable object (package-level vars are
+//     shared program-wide; locals and parameters are per-function).
+type lockID struct {
+	recv  types.Type
+	guard string
+	vr    *types.Var
+}
+
+// String renders a stable, human-readable lock name for diagnostics and
+// the DOT graph: pkg.Type.field or pkg.var.
+func (id lockID) String() string {
+	if id.vr != nil {
+		if p := id.vr.Pkg(); p != nil {
+			return p.Name() + "." + id.vr.Name()
+		}
+		return id.vr.Name()
+	}
+	recv := id.recv
+	if named, ok := recv.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			return fmt.Sprintf("%s.%s.%s", obj.Pkg().Name(), obj.Name(), id.guard)
+		}
+		return obj.Name() + "." + id.guard
+	}
+	return fmt.Sprintf("%s.%s", recv, id.guard)
+}
+
+// isSyncLockMethod reports whether the selector resolves to a Lock-family
+// method of sync.Mutex or sync.RWMutex (not any type that merely has a
+// method of that name).
+func isSyncLockMethod(info *types.Info, sel *ast.SelectorExpr) (lockOp, bool) {
+	var op lockOp
+	switch sel.Sel.Name {
+	case "Lock":
+		op = opLock
+	case "RLock":
+		op = opRLock
+	case "Unlock":
+		op = opUnlock
+	case "RUnlock":
+		op = opRUnlock
+	default:
+		return opNone, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return opNone, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return opNone, false
+	}
+	named, ok := derefNamed(sig.Recv().Type()).(*types.Named)
+	if !ok {
+		return opNone, false
+	}
+	name := named.Obj().Name()
+	if name != "Mutex" && name != "RWMutex" {
+		return opNone, false
+	}
+	return op, true
+}
+
+// classifyLockCall resolves a call to (lock identity, operation). ok is
+// false for calls that are not sync lock operations or whose lock identity
+// cannot be named (an element of a slice of mutexes, say).
+func classifyLockCall(info *types.Info, call *ast.CallExpr) (lockID, lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockID{}, opNone, false
+	}
+	op, ok := isSyncLockMethod(info, sel)
+	if !ok {
+		return lockID{}, opNone, false
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		// base.guard.Lock(): a mutex field of base's type.
+		baseType := info.Types[x.X].Type
+		if baseType == nil {
+			return lockID{}, opNone, false
+		}
+		return lockID{recv: derefNamed(baseType), guard: x.Sel.Name}, op, true
+	case *ast.Ident:
+		// mu.Lock(): a mutex variable (package-level, local or parameter).
+		vr, ok := info.Uses[x].(*types.Var)
+		if !ok {
+			return lockID{}, opNone, false
+		}
+		if vr.IsField() {
+			// An embedded-receiver method promoted call; name by the
+			// field's owning struct if resolvable, else give up.
+			return lockID{}, opNone, false
+		}
+		return lockID{vr: vr}, op, true
+	}
+	return lockID{}, opNone, false
+}
+
+// forEachLockCall walks node in evaluation (pre-)order and invokes fn for
+// every classified lock call, skipping nested function literals (their
+// bodies run at call time, not here), deferred calls (they run at function
+// exit) and go statements (they run concurrently).
+func forEachLockCall(info *types.Info, node ast.Node, fn func(call *ast.CallExpr, id lockID, op lockOp)) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if id, op, ok := classifyLockCall(info, n); ok {
+				fn(n, id, op)
+			}
+		}
+		return true
+	})
+}
+
+// deferredLockCalls collects the lock operations a defer statement performs
+// at function exit: the deferred call itself, or — for `defer func() {...}()`
+// — every lock call in the literal's body.
+func deferredLockCalls(info *types.Info, d *ast.DeferStmt, fn func(call *ast.CallExpr, id lockID, op lockOp)) {
+	if id, op, ok := classifyLockCall(info, d.Call); ok {
+		fn(d.Call, id, op)
+		return
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		forEachLockCall(info, lit.Body, fn)
+	}
+}

@@ -1,0 +1,139 @@
+// Package chanlife is the fixture for the chanlife analyzer.
+package chanlife
+
+var sink int
+
+// double closes twice on the only path: a guaranteed panic.
+func double() {
+	ch := make(chan int, 1)
+	close(ch)
+	close(ch) // want `close of ch: already closed on every path here \(panics at run time\)`
+}
+
+// maybeDouble closes on one branch and then unconditionally: a latent panic
+// the branchy path makes real.
+func maybeDouble(cond bool) {
+	ch := make(chan int, 1)
+	if cond {
+		close(ch)
+	}
+	close(ch) // want `close of ch: may already be closed on some path here`
+}
+
+// reopened is fine: the variable is rebound to a fresh channel between the
+// closes.
+func reopened() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch = make(chan int, 1)
+	close(ch)
+}
+
+// sendAfterClose panics at run time.
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want `send on ch after close \(panics at run time\)`
+}
+
+// maybeSendAfterClose: the close happens on one path in.
+func maybeSendAfterClose(cond bool) {
+	ch := make(chan int, 1)
+	if cond {
+		close(ch)
+	}
+	ch <- 1 // want `send on ch is reachable after close on some path`
+}
+
+// deferredDouble: a deferred close over an already-closed channel still
+// panics when the function returns.
+func deferredDouble() {
+	ch := make(chan int, 1)
+	defer close(ch) // want `close of ch: already closed on every path here \(panics at run time\)`
+	close(ch)
+}
+
+// deferredOK is the produce-then-hang-up idiom.
+func deferredOK() {
+	ch := make(chan int, 1)
+	defer close(ch)
+	ch <- 1
+}
+
+// closeEach closes every element of a slice of channels: range rebinding
+// resets the loop variable each iteration, so this is NOT a double close.
+func closeEach(chans []chan int) {
+	for _, ch := range chans {
+		close(ch)
+	}
+}
+
+// nilSend blocks forever: the channel was declared but never made.
+func nilSend() {
+	var ch chan int
+	ch <- 1 // want `send on nil channel ch blocks forever`
+}
+
+// nilRecv blocks forever.
+func nilRecv() {
+	var ch chan int
+	sink += <-ch // want `receive on nil channel ch blocks forever`
+}
+
+// nilRange blocks forever.
+func nilRange() {
+	var ch chan int
+	for v := range ch { // want `range over nil channel ch blocks forever`
+		sink += v
+	}
+}
+
+// nilArm is the idiomatic select use of a nil channel: the arm simply never
+// fires, so no finding.
+func nilArm(live chan int) {
+	var muted chan int
+	for i := 0; i < 2; i++ {
+		select {
+		case v := <-muted:
+			sink += v
+		case muted <- 1:
+		case v := <-live:
+			sink += v
+			muted = nil
+		}
+	}
+}
+
+// unbufferedStuck sends on an unbuffered channel that never escapes this
+// function: no goroutine can ever receive, so the send blocks forever.
+func unbufferedStuck() {
+	ch := make(chan int)
+	ch <- 1 // want `send on unbuffered channel ch blocks forever`
+	sink += <-ch
+}
+
+// unbufferedHandoff passes the channel to a goroutine first: fine.
+func unbufferedHandoff() {
+	ch := make(chan int)
+	go func() {
+		sink += <-ch
+	}()
+	ch <- 1
+}
+
+// buffered sends within capacity: fine.
+func buffered() {
+	ch := make(chan int, 1)
+	ch <- 1
+	sink += <-ch
+}
+
+// trysend uses a select with default: a full (or receiverless) channel is
+// skipped, not blocked on.
+func trySend() {
+	ch := make(chan int)
+	select {
+	case ch <- 1:
+	default:
+	}
+}

@@ -1,0 +1,89 @@
+// Package goroleak is the fixture for the goroleak analyzer. Channel
+// element types are deliberately distinct per case: the analyzer's
+// type-fallback matching would otherwise let one case's close site excuse
+// another case's leak.
+package goroleak
+
+import "context"
+
+var sink int
+
+// spin never terminates: its CFG has no path to exit.
+func spin() {
+	go func() { // want `goroutine never terminates`
+		for {
+		}
+	}()
+}
+
+// worker is launched by name below; same finding through the call graph.
+func worker() {
+	for {
+	}
+}
+
+func launch() {
+	go worker() // want `goroutine never terminates`
+}
+
+// bounded selects on ctx.Done(): cancellation is its exit.
+func bounded(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				sink += v
+			}
+		}
+	}()
+}
+
+// drain ranges over a channel the producer closes: the close bounds it.
+func drain() {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			sink += v
+		}
+	}()
+	ch <- 1
+	close(ch)
+}
+
+// leakyRange ranges over a channel with no close site anywhere in the
+// analyzed packages: the worker never drains out.
+func leakyRange(in chan string) {
+	go func() {
+		for v := range in { // want `ranges over channel in with no close site`
+			sink += len(v)
+		}
+	}()
+}
+
+// leakyRecv blocks forever: nothing sends to or closes wait.
+func leakyRecv() {
+	wait := make(chan float64)
+	go func() {
+		<-wait // want `blocks on receive from wait, which has no send or close site`
+	}()
+}
+
+// waiter receives from a channel that is closed: bounded.
+func waiter() {
+	done := make(chan struct{})
+	go func() {
+		<-done
+	}()
+	close(done)
+}
+
+// fed receives from a channel with a send site: bounded by the producer.
+func fed() {
+	results := make(chan uint32, 1)
+	go func() {
+		sink += int(<-results)
+	}()
+	results <- 7
+}

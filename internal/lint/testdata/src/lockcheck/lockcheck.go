@@ -69,3 +69,66 @@ func (r *registry) size() int {
 	defer r.mu.Unlock()
 	return r.sizeLocked()
 }
+
+// earlyOK returns early under a deferred unlock: every path is balanced.
+func (r *registry) earlyOK(name string) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if v, ok := r.views[name]; ok {
+		return v, true
+	}
+	return 0, false
+}
+
+// loop locks and unlocks per iteration: balanced across the back edge.
+func (r *registry) loop(names []string) int {
+	total := 0
+	for _, n := range names {
+		r.mu.RLock()
+		total += r.views[n]
+		r.mu.RUnlock()
+	}
+	return total
+}
+
+// branchy holds the lock on only one of the two paths reaching the access.
+// The conditional release below is invisible to a path-insensitive join, so
+// the balance check also (rightly, for this analysis) flags the RLock.
+func (r *registry) branchy(cond bool, name string) int {
+	if cond {
+		r.mu.RLock() // want `lockcheck\.registry\.mu\.RLock\(\) is not released on some path to return`
+	}
+	v := r.views[name] // want `access to "views" \(guarded-by: mu\) holds mu on some paths only`
+	if cond {
+		r.mu.RUnlock()
+	}
+	return v
+}
+
+// leakyLock forgets to unlock on the early return.
+func (r *registry) leakyLock(cond bool) int {
+	r.mu.Lock() // want `lockcheck\.registry\.mu\.Lock\(\) is not released on some path to return`
+	if cond {
+		return 0
+	}
+	r.mu.Unlock()
+	return 1
+}
+
+// hold never releases at all.
+func (r *registry) hold(name string) int {
+	r.mu.Lock() // want `lockcheck\.registry\.mu\.Lock\(\) is not released on any path to return`
+	return r.views[name]
+}
+
+// relock re-acquires the write lock it already holds: self-deadlock.
+func (r *registry) relock() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mu.Lock() // want `lockcheck\.registry\.mu\.Lock\(\) while the write lock is already held`
+}
+
+// stray unlocks a lock this path never took.
+func (r *registry) stray() {
+	r.mu.Unlock() // want `lockcheck\.registry\.mu\.Unlock\(\) without holding the lock on this path`
+}
