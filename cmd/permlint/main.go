@@ -5,11 +5,13 @@
 //	go run ./cmd/permlint ./...
 //
 // By default every analyzer runs and any non-advisory finding makes the
-// process exit 1. The hotalloc analyzer's findings are advisory — they form
-// the allocation inventory for the vectorized-executor work — and are
-// printed without affecting the exit status unless -strict-hot is set, in
-// which case the inventory is diffed against a checked-in baseline and only
-// NEW allocations fail (the burn-down may shrink, never grow).
+// process exit 1. Advisory findings — the hotalloc allocation inventory and
+// the purityinv classification inventory — never affect the exit status and
+// are printed only when their analyzer is explicitly selected with -checks
+// or when -inventory asks for them, so the default run reports failures
+// alone. -strict-hot diffs the hotalloc inventory against a checked-in
+// baseline and fails on NEW allocations only (the burn-down may shrink,
+// never grow). -json emits the findings as a JSON array instead of text.
 //
 // -checks lockorder -graph emits the whole-program lock-acquisition-order
 // graph in Graphviz DOT form instead of findings.
@@ -32,7 +34,8 @@ func main() {
 		checks      = flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
 		listFlag    = flag.Bool("list", false, "list the available analyzers and exit")
 		strictHot   = flag.Bool("strict-hot", false, "fail on hotalloc findings missing from the -hot-baseline file")
-		inventory   = flag.Bool("inventory", false, "print only advisory findings (the hot-path allocation inventory) and exit 0")
+		inventory   = flag.Bool("inventory", false, "print only advisory findings (the hotalloc and purityinv inventories) and exit 0")
+		jsonFlag    = flag.Bool("json", false, "emit findings as a JSON array (file/line/col/analyzer/message/severity)")
 		graphFlag   = flag.Bool("graph", false, "emit the whole-program lock-acquisition-order graph as Graphviz DOT and exit")
 		verbose     = flag.Bool("v", false, "report load and per-analyzer wall time on stderr")
 		hotBaseline = flag.String("hot-baseline", "internal/lint/testdata/hotalloc-baseline.txt", "baseline the -strict-hot inventory diff compares against")
@@ -118,15 +121,33 @@ func main() {
 		return
 	}
 
+	// Advisory findings are inventories, not failures: shown when asked
+	// for (-inventory) or when their analyzer was named in -checks, kept
+	// out of the default run's output.
+	printInfo := *inventory || *checks != ""
 	failing := 0
+	var shown []lint.Diagnostic
 	for _, d := range diags {
-		if *inventory && !d.Info {
-			continue
-		}
 		if !d.Info {
 			failing++
+			if !*inventory {
+				shown = append(shown, d)
+			}
+			continue
 		}
-		fmt.Println(d)
+		if printInfo {
+			shown = append(shown, d)
+		}
+	}
+	if *jsonFlag {
+		if err := lint.WriteJSON(os.Stdout, shown); err != nil {
+			fmt.Fprintf(os.Stderr, "permlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range shown {
+			fmt.Println(d)
+		}
 	}
 	if *inventory {
 		return
@@ -148,6 +169,13 @@ func main() {
 	}
 }
 
+// baselineDiag reports whether a finding belongs in the hotalloc baseline:
+// only the hotalloc inventory does — other advisory findings (purityinv)
+// have their own artifact and must not churn the burn-down file.
+func baselineDiag(d lint.Diagnostic) bool {
+	return d.Info && d.Analyzer == "hotalloc"
+}
+
 // baselineKey normalizes an advisory finding for baseline comparison: the
 // file's base name plus the message, deliberately dropping line numbers so
 // unrelated edits moving a hot function do not churn the baseline.
@@ -161,7 +189,7 @@ func baselineKey(d lint.Diagnostic) string {
 func writeBaseline(path string, diags []lint.Diagnostic) error {
 	var keys []string
 	for _, d := range diags {
-		if d.Info {
+		if baselineDiag(d) {
 			keys = append(keys, baselineKey(d))
 		}
 	}
@@ -195,7 +223,7 @@ func diffBaseline(path string, diags []lint.Diagnostic) ([]lint.Diagnostic, erro
 	}
 	var regressions []lint.Diagnostic
 	for _, d := range diags {
-		if !d.Info {
+		if !baselineDiag(d) {
 			continue
 		}
 		k := baselineKey(d)

@@ -5,8 +5,16 @@
 // may appear in selection, projection and join conditions and may be
 // correlated with and nested inside enclosing queries.
 //
+// # The frozen-plan invariant
+//
 // Trees are immutable once constructed: rewrites build new nodes and may
-// freely share subtrees.
+// freely share subtrees, and the planned plan cache will share whole
+// plans across sessions. The invariant is checked statically — every node
+// and expression type is annotated `// perm:frozen`, and the immutcheck
+// analyzer (internal/lint) rejects any field store, element write or
+// in-place append into a plan value after it may have been published.
+// Constructors may mutate freely while their node is provably private;
+// everything after publication is copy-on-write.
 package algebra
 
 import (
@@ -19,6 +27,8 @@ import (
 // Expr is a scalar expression over attributes, constants, functions and
 // sublinks. Expressions evaluate to a types.Value; conditions are
 // expressions of boolean result interpreted under three-valued logic.
+//
+// perm:frozen
 type Expr interface {
 	fmt.Stringer
 	exprNode()

@@ -59,6 +59,8 @@ func NewOverlay(base Source) *Overlay {
 // Snapshot is an immutable point-in-time view of an Overlay. It implements
 // Source; queries compile and execute against one Snapshot so they observe
 // exactly one catalog state end to end.
+//
+// perm:frozen
 type Snapshot struct {
 	base    Source
 	rels    map[string]*rel.Relation

@@ -119,6 +119,7 @@ func (e *Evaluator) sublinkMemoKey(q algebra.Op, scope []frame) (string, bool) {
 // caching the verdict (not the partial bag) per parameter binding.
 //
 // perm:hot
+// perm:memoized
 func (e *Evaluator) probeExists(q algebra.Op, scope []frame) (types.Value, error) {
 	key, cache := e.sublinkMemoKey(q, scope)
 	if cache {
@@ -152,6 +153,7 @@ func (e *Evaluator) probeExists(q algebra.Op, scope []frame) (types.Value, error
 // already an error), and caches the scalar value per parameter binding.
 //
 // perm:hot
+// perm:memoized
 func (e *Evaluator) probeScalar(q algebra.Op, scope []frame) (types.Value, error) {
 	if q.Schema().Len() != 1 {
 		return types.Null(), fmt.Errorf("eval: scalar sublink produced %d attributes, want 1", q.Schema().Len())
@@ -194,6 +196,7 @@ func (e *Evaluator) probeScalar(q algebra.Op, scope []frame) (types.Value, error
 // decides ALL.
 //
 // perm:hot
+// perm:memoized
 func (e *Evaluator) probeQuantified(s algebra.Sublink, a types.Value, scope []frame) (types.Value, error) {
 	if s.Query.Schema().Len() != 1 {
 		return types.Null(), fmt.Errorf("eval: %s sublink query produced %d attributes, want 1", s.Kind, s.Query.Schema().Len())
@@ -346,6 +349,8 @@ func (e *Evaluator) hashedAny(s algebra.Sublink, a types.Value, sub *rel.Relatio
 // one evaluation instead of re-executing the subplan O(outer) times.
 // DisableSublinkMemo restores the strict PostgreSQL SubPlan behaviour of
 // re-evaluating per outer tuple.
+//
+// perm:memoized
 func (e *Evaluator) evalSubplan(q algebra.Op, scope []frame) (*rel.Relation, error) {
 	fv := e.freeVars(q)
 	if len(fv) == 0 {

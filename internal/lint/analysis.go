@@ -198,7 +198,7 @@ func RunAnalyzersTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{CtxFlow, LockCheck, LockOrder, GoroLeak, ChanLife, ErrClass, AtomicField, DeferClose, HotAlloc}
+	return []*Analyzer{CtxFlow, LockCheck, LockOrder, GoroLeak, ChanLife, ErrClass, AtomicField, DeferClose, HotAlloc, ImmutCheck, Purity, PurityInv}
 }
 
 // AnalyzerByName resolves one analyzer.

@@ -119,6 +119,10 @@ type RunCache struct {
 
 	// closeTracked memoizes the chanlife/goroleak close-site index.
 	closeSites *closeIndex
+
+	// storeAlias memoizes the store/alias tier's whole-program effects and
+	// summaries (immutcheck, purity, interprocedural hotalloc).
+	storeAlias *storeAliasIndex
 }
 
 func newRunCache(pkgs []*Package) *RunCache {

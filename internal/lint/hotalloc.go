@@ -14,14 +14,22 @@ import (
 //     vectorized executor removes, and
 //   - per-row allocations: make/new/append, composite literals, closures.
 //
+// The check is interprocedural: a hot function calling a callee that
+// transitively allocates (through statically resolvable calls) is a
+// finding too, attributed with the call chain down to the allocation —
+// the lexical inventory alone misses every allocation hidden one helper
+// away. Callees without a summary (stdlib, function values, interface
+// methods) are not followed, and callees that are themselves `// perm:hot`
+// are skipped: their allocations are already their own inventory entries.
+//
 // The findings are advisory (an inventory, not failures): the multichecker
 // prints them but exits 0 unless run with -strict-hot. The nightly CI job
 // uploads the inventory so the vectorization work can track the count
 // burning down.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc: "inventory interface boxing and per-row allocations in `// perm:hot` " +
-		"functions (advisory; the vectorized-executor burn-down list)",
+	Doc: "inventory interface boxing and per-row allocations — direct and via " +
+		"transitively-allocating callees — in `// perm:hot` functions (advisory)",
 	Run: runHotAlloc,
 }
 
@@ -36,9 +44,40 @@ func runHotAlloc(pass *Pass) error {
 				continue
 			}
 			checkHotFunc(pass, fd)
+			checkHotCalls(pass, fd)
 		}
 	}
 	return nil
+}
+
+// checkHotCalls flags call sites in a hot function whose resolvable callee
+// transitively allocates, with the chain down to the allocation.
+func checkHotCalls(pass *Pass, fd *ast.FuncDecl) {
+	idx := pass.Cache.StoreAlias()
+	cg := pass.Cache.CallGraph()
+	self, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(pass.Info, call)
+		if callee == nil || callee == self {
+			return true
+		}
+		fi := cg.Funcs[callee]
+		if fi == nil {
+			return true // stdlib or unresolved: not followed
+		}
+		if _, hot := commentDirective(fi.Decl.Doc, "perm:hot"); hot {
+			return true // the callee's own inventory covers it
+		}
+		if chain := idx.AllocChain(callee); chain != "" {
+			pass.ReportInfof(call.Pos(), "transitive alloc in hot function %s: call to %s allocates (%s)", name, callee.Name(), chain)
+		}
+		return true
+	})
 }
 
 func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {

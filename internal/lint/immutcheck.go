@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+)
+
+// ImmutCheck enforces the frozen-plan invariant the plan cache needs:
+// types annotated `// perm:frozen` (algebra plan nodes, catalog snapshots,
+// sql.Translated, analyzed ASTs) must never receive field stores, slice
+// element or map writes, or aliasing in-place appends once the value may
+// be shared. The store/alias tier proves a value private while it is a
+// local allocation whose containment graph has not been published
+// (returned, stored into shared memory, sent, captured); constructors
+// therefore build freely, and helper functions that mutate their frozen
+// parameters are checked at every call site instead — passing anything
+// but provably-fresh memory to one is a finding, closed over the static
+// call graph.
+var ImmutCheck = &Analyzer{
+	Name: "immutcheck",
+	Doc: "`// perm:frozen` values must not be mutated after publication " +
+		"(field/element writes, map writes, in-place append), interprocedurally",
+	Run: runImmutCheck,
+}
+
+func runImmutCheck(pass *Pass) error {
+	idx := pass.Cache.StoreAlias()
+	for _, eff := range idx.sortedEffects(pass.Pkg) {
+		poss := make([]token.Pos, 0, len(eff.frozenWrites))
+		for p := range eff.frozenWrites {
+			poss = append(poss, p)
+		}
+		sort.Slice(poss, func(i, j int) bool { return poss[i] < poss[j] })
+		for _, p := range poss {
+			pass.Reportf(p, "%s", eff.frozenWrites[p].message())
+		}
+	}
+	return nil
+}

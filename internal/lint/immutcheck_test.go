@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestImmutCheck(t *testing.T) {
+	RunFixture(t, ImmutCheck, fixturePath("immutcheck"))
+}

@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestPurity(t *testing.T) {
+	RunFixture(t, Purity, fixturePath("purity"))
+}
+
+func TestPurityInv(t *testing.T) {
+	RunFixture(t, PurityInv, fixturePath("purityinv"))
+}

@@ -1,0 +1,488 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Expression evaluation for the store/alias analysis: what abstract values
+// an expression may produce, with call, allocation and publication effects
+// applied along the way. Evaluating the same expression twice is safe —
+// every effect record is keyed by position or is a monotone bit.
+
+func (a *funcFresh) expr(e ast.Expr, f *freshFact) valSet {
+	switch e := e.(type) {
+	case nil:
+		return valSet{}
+	case *ast.Ident:
+		return a.ident(e, f)
+	case *ast.ParenExpr:
+		return a.expr(e.X, f)
+	case *ast.SelectorExpr:
+		return a.selector(e, f)
+	case *ast.IndexExpr:
+		if tv, ok := a.info.Types[e]; ok && tv.IsType() {
+			return valSet{} // generic instantiation
+		}
+		if tv, ok := a.info.Types[e.X]; ok && tv.Type != nil {
+			if _, ok := tv.Type.Underlying().(*types.Signature); ok {
+				return valSet{} // instantiated function value
+			}
+		}
+		base := a.expr(e.X, f)
+		a.expr(e.Index, f)
+		return a.elementsOf(base, f)
+	case *ast.IndexListExpr:
+		return valSet{}
+	case *ast.SliceExpr:
+		base := a.expr(e.X, f)
+		a.expr(e.Low, f)
+		a.expr(e.High, f)
+		a.expr(e.Max, f)
+		return base // a reslice aliases the same backing array
+	case *ast.StarExpr:
+		a.expr(e.X, f)
+		return topSet // a dereferenced copy may alias anything the target held
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			if lit, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+				return a.composite(lit, f)
+			}
+			a.expr(e.X, f)
+			return topSet // address of a plain variable: untracked aliasing
+		}
+		a.expr(e.X, f)
+		if e.Op.String() == "<-" {
+			return topSet // received values come from another goroutine
+		}
+		return valSet{}
+	case *ast.BinaryExpr:
+		a.expr(e.X, f)
+		a.expr(e.Y, f)
+		return valSet{}
+	case *ast.CallExpr:
+		res := a.call(e, f)
+		if len(res) > 0 {
+			return res[0]
+		}
+		return valSet{}
+	case *ast.TypeAssertExpr:
+		return a.expr(e.X, f)
+	case *ast.CompositeLit:
+		return a.composite(e, f)
+	case *ast.FuncLit:
+		a.eff.allocs[e.Pos()] = "closure"
+		a.funcLit(e, f)
+		return valSet{}
+	case *ast.BasicLit, *ast.ArrayType, *ast.MapType, *ast.StructType,
+		*ast.InterfaceType, *ast.ChanType, *ast.FuncType, *ast.Ellipsis:
+		return valSet{}
+	}
+	return topSet
+}
+
+func (a *funcFresh) ident(e *ast.Ident, f *freshFact) valSet {
+	obj := a.info.Uses[e]
+	if obj == nil {
+		obj = a.info.Defs[e]
+	}
+	switch o := obj.(type) {
+	case *types.Var:
+		if isPackageLevel(o) {
+			a.eff.readsGlobal = true
+			return topSet
+		}
+		if vs, ok := f.env[o]; ok {
+			return vs
+		}
+		if trackedType(o.Type()) {
+			// Outer-scope capture (analyzing a literal) or a path the
+			// binder missed: shared.
+			return topSet
+		}
+	}
+	return valSet{}
+}
+
+func (a *funcFresh) selector(e *ast.SelectorExpr, f *freshFact) valSet {
+	if id, ok := e.X.(*ast.Ident); ok {
+		if _, isPkg := a.info.Uses[id].(*types.PkgName); isPkg {
+			if v, ok := a.info.Uses[e.Sel].(*types.Var); ok && isPackageLevel(v) {
+				a.eff.readsGlobal = true
+				return topSet
+			}
+			return valSet{}
+		}
+	}
+	if _, isFn := a.info.Uses[e.Sel].(*types.Func); isFn {
+		// Method value: the bound receiver escapes with the closure.
+		a.publish(a.expr(e.X, f), f)
+		return valSet{}
+	}
+	base := a.expr(e.X, f)
+	if base.top {
+		return topSet
+	}
+	out := valSet{}
+	for v := range base.vals {
+		out = unionVals(out, a.loadField(v, e.Sel.Name, f))
+	}
+	return out
+}
+
+func (a *funcFresh) composite(e *ast.CompositeLit, f *freshFact) valSet {
+	v := absVal{site: e}
+	delete(f.pub, v)
+	a.eff.allocs[e.Pos()] = "composite literal"
+	var st *types.Struct
+	if t := a.info.Types[e].Type; t != nil {
+		st, _ = t.Underlying().(*types.Struct)
+	}
+	for i, elt := range e.Elts {
+		switch el := elt.(type) {
+		case *ast.KeyValueExpr:
+			key := "[]"
+			if st != nil {
+				if kid, ok := el.Key.(*ast.Ident); ok {
+					key = kid.Name
+				}
+			} else {
+				a.addField(v, "[]", a.expr(el.Key, f))
+			}
+			a.addField(v, key, a.expr(el.Value, f))
+		default:
+			key := "[]"
+			if st != nil && i < st.NumFields() {
+				key = st.Field(i).Name()
+			}
+			a.addField(v, key, a.expr(elt, f))
+		}
+	}
+	return oneVal(v)
+}
+
+// funcLit analyzes a nested literal once and folds its shared-state
+// effects into the enclosing function; tracked captures are published at
+// the creation point (the closure may run, and alias them, at any time).
+func (a *funcFresh) funcLit(lit *ast.FuncLit, f *freshFact) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := a.info.Uses[id]; obj != nil {
+			if vs, ok := f.env[obj]; ok {
+				a.publish(vs, f)
+			}
+		}
+		return true
+	})
+	if a.litDone == nil {
+		a.litDone = map[*ast.FuncLit]*funcEffects{}
+	}
+	sub, ok := a.litDone[lit]
+	if !ok {
+		subA := &funcFresh{
+			pkg: a.pkg, info: a.info, cache: a.cache, sums: a.sums, frozen: a.frozen,
+			params:  paramVars(a.info, nil, lit.Type.Params),
+			fields:  map[absVal]map[string]valSet{},
+			dirty:   map[absVal]bool{},
+			deepExt: map[absVal]bool{},
+			eff:     newFuncEffects(a.eff.fn, a.eff.decl, a.pkg),
+		}
+		subA.solve(lit.Body, lit)
+		sub = subA.eff
+		a.litDone[lit] = sub
+	}
+	// Shared-state effects happen on the enclosing function's behalf; the
+	// literal's own parameter effects are dropped (calls through function
+	// values are unresolved, so no call site could check them).
+	a.eff.mutShared = a.eff.mutShared || sub.mutShared
+	a.eff.readsGlobal = a.eff.readsGlobal || sub.readsGlobal
+	a.eff.callsUnknown = a.eff.callsUnknown || sub.callsUnknown
+	a.eff.sends = a.eff.sends || sub.sends
+	for pos, k := range sub.allocs {
+		a.eff.allocs[pos] = k
+	}
+	for pos, w := range sub.frozenWrites {
+		a.eff.frozenWrites[pos] = w
+	}
+}
+
+// --- calls ---
+
+func (a *funcFresh) call(e *ast.CallExpr, f *freshFact) []valSet {
+	if tv, ok := a.info.Types[e.Fun]; ok && tv.IsType() {
+		// Conversion: alias-preserving for reference kinds.
+		if len(e.Args) == 1 {
+			return []valSet{a.expr(e.Args[0], f)}
+		}
+		return nil
+	}
+	fun := ast.Unparen(e.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := a.info.Uses[id].(*types.Builtin); ok {
+			return []valSet{a.builtin(e, b.Name(), f)}
+		}
+	}
+
+	// Assemble the abstract arguments, receiver first for method calls.
+	var argVS []valSet
+	var argPos []ast.Expr
+	switch fn := fun.(type) {
+	case *ast.SelectorExpr:
+		if fnObj, ok := a.info.Uses[fn.Sel].(*types.Func); ok {
+			if sig, ok := fnObj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				argVS = append(argVS, a.expr(fn.X, f))
+				argPos = append(argPos, fn.X)
+			}
+		} else {
+			a.expr(fn, f) // func-typed field: evaluate for effects
+		}
+	case *ast.Ident:
+		// Plain function name: no value to evaluate.
+	default:
+		a.expr(fun, f) // call through a function value expression
+	}
+	for _, arg := range e.Args {
+		argVS = append(argVS, a.expr(arg, f))
+		argPos = append(argPos, arg)
+	}
+
+	nres := 0
+	if tv, ok := a.info.Types[e.Fun]; ok && tv.Type != nil {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			nres = sig.Results().Len()
+		}
+	}
+
+	callee := calleeOf(a.info, e)
+	if callee != nil {
+		if sum := a.sums[callee]; sum != nil {
+			return a.applySummary(e, callee, sum, argVS, argPos, f, nres)
+		}
+		if pkg := callee.Pkg(); pkg != nil && readonlyStdlib[pkg.Path()] {
+			// Trusted read-only stdlib: no mutation, no escape.
+			return tops(nres)
+		}
+	}
+	a.eff.callsUnknown = true
+	return tops(nres)
+}
+
+func tops(n int) []valSet {
+	out := make([]valSet, n)
+	for i := range out {
+		out[i] = topSet
+	}
+	return out
+}
+
+// applySummary applies a known callee's summary at one call site: frozen
+// and general parameter mutations check the arguments' freshness (fresh →
+// the constructor pattern, fine; parameter → the effect propagates to this
+// function's summary; shared → an immutcheck finding), escapes publish,
+// and shared-state bits fold in transitively.
+func (a *funcFresh) applySummary(e *ast.CallExpr, callee *types.Func, sum *FuncSummary,
+	argVS []valSet, argPos []ast.Expr, f *freshFact, nres int) []valSet {
+
+	a.eff.mutShared = a.eff.mutShared || sum.MutShared
+	a.eff.readsGlobal = a.eff.readsGlobal || sum.ReadsGlobal
+	a.eff.callsUnknown = a.eff.callsUnknown || sum.CallsUnknown
+	a.eff.sends = a.eff.sends || sum.Sends
+
+	for i, vs := range argVS {
+		pi := i
+		if sum.Variadic && pi >= sum.NParams-1 {
+			pi = sum.NParams - 1
+		}
+		if pi >= sum.NParams {
+			break
+		}
+		if need, ok := sum.MutFrozen[pi]; ok {
+			a.frozenArg(e, callee, sum, pi, need, vs, argPos[i], f)
+		} else if sum.MutParams[pi] {
+			a.mutatedArg(vs, f)
+		}
+		if sum.EscParams[pi] {
+			a.publish(vs, f)
+		}
+	}
+
+	out := make([]valSet, nres)
+	for j := range out {
+		if j < len(sum.ResultFresh) && sum.ResultFresh[j] >= freshShallow {
+			v := absVal{site: e, res: j}
+			if sum.ResultFresh[j] == freshDeep {
+				a.deepExt[v] = true
+			}
+			out[j] = a.freshGen(v, f)
+		} else {
+			out[j] = topSet
+		}
+	}
+	return out
+}
+
+// frozenArg checks one argument passed where the callee mutates frozen
+// memory reachable from the parameter.
+func (a *funcFresh) frozenArg(e *ast.CallExpr, callee *types.Func, sum *FuncSummary,
+	pi int, need int8, vs valSet, pos ast.Expr, f *freshFact) {
+
+	if a.freshLevel(vs, f) >= need {
+		// Constructor pattern: the callee builds into still-private memory.
+		// Its writes make the contents unknown from here on.
+		for v := range vs.vals {
+			if !v.isParam() {
+				a.dirty[v] = true
+			}
+		}
+		return
+	}
+	onlyParams := !vs.top && len(vs.vals) > 0
+	for v := range vs.vals {
+		if !v.isParam() {
+			if !f.pub[v] {
+				continue
+			}
+			onlyParams = false
+			continue
+		}
+		a.eff.mutParams[v.param] = true
+		pneed := need
+		if v.viaField {
+			pneed = freshDeep
+		}
+		if cur, ok := a.eff.mutFrozen[v.param]; !ok || pneed > cur {
+			a.eff.mutFrozen[v.param] = pneed
+		}
+	}
+	if onlyParams {
+		return
+	}
+	a.eff.mutShared = true
+	p := pos.Pos()
+	a.eff.frozenWrites[p] = frozenWrite{
+		pos: p, typ: sum.FrozenParamType[pi], how: "call", call: callee.Name(),
+	}
+}
+
+// mutatedArg handles a known callee writing through a non-frozen
+// parameter: fresh arguments lose their deep guarantee, parameter
+// arguments propagate the effect, shared arguments make this function
+// mutating.
+func (a *funcFresh) mutatedArg(vs valSet, f *freshFact) {
+	if a.allFresh(vs, f) {
+		for v := range vs.vals {
+			a.dirty[v] = true
+		}
+		return
+	}
+	if vs.top {
+		a.eff.mutShared = true
+		return
+	}
+	for v := range vs.vals {
+		if v.isParam() {
+			a.eff.mutParams[v.param] = true
+		} else if f.pub[v] {
+			a.eff.mutShared = true
+		}
+	}
+}
+
+func (a *funcFresh) goCall(call *ast.CallExpr, f *freshFact) {
+	a.call(call, f)
+	a.eff.sends = true
+	// Everything handed to the goroutine escapes this frame.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		a.publish(a.expr(sel.X, f), f)
+	}
+	for _, arg := range call.Args {
+		a.publish(a.expr(arg, f), f)
+	}
+}
+
+// --- builtins ---
+
+func (a *funcFresh) builtin(e *ast.CallExpr, name string, f *freshFact) valSet {
+	switch name {
+	case "new", "make":
+		for _, arg := range e.Args[1:] {
+			a.expr(arg, f)
+		}
+		a.eff.allocs[e.Pos()] = name
+		return a.freshGen(absVal{site: e}, f)
+	case "append":
+		return a.appendCall(e, f)
+	case "delete", "clear":
+		if len(e.Args) == 0 {
+			return valSet{}
+		}
+		ownerVS := a.expr(e.Args[0], f)
+		for _, arg := range e.Args[1:] {
+			a.expr(arg, f)
+		}
+		frozenName, frozen := a.frozenChain(e.Args[0])
+		a.applyMutation(e.Pos(), ownerVS, valSet{}, f, frozen, frozenName, name, "[]")
+		return valSet{}
+	case "copy":
+		if len(e.Args) != 2 {
+			return valSet{}
+		}
+		dst := a.expr(e.Args[0], f)
+		src := a.elementsOf(a.expr(e.Args[1], f), f)
+		frozenName, frozen := a.frozenChain(e.Args[0])
+		a.applyMutation(e.Pos(), dst, src, f, frozen, frozenName, "copy into", "[]")
+		return valSet{}
+	default:
+		for _, arg := range e.Args {
+			a.expr(arg, f)
+		}
+		return valSet{}
+	}
+}
+
+// appendCall models append's aliasing: appending to a fresh slice keeps
+// it fresh (the elements join its containment), appending to nil builds a
+// fresh one, and appending in place to a shared or parameter slice is a
+// mutation of its backing array — unless the full-slice form s[:i:i]
+// forces a copy, which yields a fresh (shallow) result.
+func (a *funcFresh) appendCall(e *ast.CallExpr, f *freshFact) valSet {
+	if len(e.Args) == 0 {
+		return valSet{}
+	}
+	a.eff.allocs[e.Pos()] = "append"
+	base := e.Args[0]
+	baseVS := a.expr(base, f)
+	elems := valSet{}
+	for _, arg := range e.Args[1:] {
+		elems = unionVals(elems, a.expr(arg, f))
+	}
+	threeIdx := false
+	if se, ok := ast.Unparen(base).(*ast.SliceExpr); ok && se.Max != nil {
+		threeIdx = true
+	}
+	if baseVS.empty() {
+		v := absVal{site: e}
+		a.addField(v, "[]", elems)
+		return a.freshGen(v, f)
+	}
+	if a.allFresh(baseVS, f) {
+		for v := range baseVS.vals {
+			a.addField(v, "[]", elems)
+		}
+		return baseVS
+	}
+	if threeIdx {
+		// Capped reslice: growth must reallocate, so the result is a fresh
+		// backing array holding shared elements.
+		a.publish(elems, f)
+		v := absVal{site: e}
+		a.addField(v, "[]", topSet)
+		return a.freshGen(v, f)
+	}
+	frozenName, frozen := a.frozenChain(base)
+	a.applyMutation(e.Pos(), baseVS, elems, f, frozen, frozenName, "in-place append", "[]")
+	return baseVS
+}

@@ -1,0 +1,314 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Whole-program side of the store/alias tier: per-function summaries, the
+// fixpoint that makes them interprocedural, the // perm:frozen type set,
+// and the transitive-allocation chains the interprocedural hotalloc
+// reports.
+
+// A FuncSummary abstracts one function for its callers.
+type FuncSummary struct {
+	Fn *types.Func
+
+	// MutFrozen maps parameter index (receiver first) to the freshness
+	// level an argument must have for the call not to mutate shared frozen
+	// memory; FrozenParamType names the frozen type for the finding.
+	MutFrozen       map[int]int8
+	FrozenParamType map[int]string
+	// MutParams/EscParams: parameters whose reachable memory the function
+	// writes / publishes.
+	MutParams map[int]bool
+	EscParams map[int]bool
+
+	MutShared    bool // writes globals or shared memory
+	ReadsGlobal  bool
+	CallsUnknown bool // calls something without a summary (stdlib, func value, interface)
+	Sends        bool // channel sends or goroutine launches
+
+	// ResultFresh grades each result: freshDeep when the whole reachable
+	// graph is newly allocated (a constructor), freshShallow when only the
+	// root is, freshNone otherwise.
+	ResultFresh []int8
+
+	// Allocates names the first direct allocation kind ("" when the body
+	// allocates nothing), for the hotalloc chains.
+	Allocates string
+
+	NParams  int
+	Variadic bool
+}
+
+// PurityClass places the function on the purity lattice
+// pure < read-only < mutating < escaping. Escaping dominates: a function
+// that leaks references is the hardest to reason about. The classification
+// for this inventory is conservative the other way around from immutcheck:
+// an unresolved callee makes the caller mutating.
+func (s *FuncSummary) PurityClass() string {
+	switch {
+	case len(s.EscParams) > 0 || s.Sends:
+		return "escaping"
+	case s.MutShared || len(s.MutParams) > 0 || s.CallsUnknown:
+		return "mutating"
+	case s.ReadsGlobal:
+		return "read-only"
+	default:
+		return "pure"
+	}
+}
+
+// readonlyStdlib lists standard-library packages trusted not to mutate or
+// retain their arguments; calling into them does not forfeit purity. The
+// exceptions (sort.Slice mutates, fmt.Fprintf writes its writer) are
+// deliberately left out of the trusted set.
+var readonlyStdlib = map[string]bool{
+	"errors": true, "math": true, "math/bits": true, "strconv": true,
+	"strings": true, "unicode": true, "unicode/utf8": true, "hash/fnv": true,
+}
+
+// storeAliasIndex is the run-wide product: effects and summaries for every
+// declared function, the frozen type set, and the hotalloc chains.
+type storeAliasIndex struct {
+	Frozen  map[*types.TypeName]bool
+	Effects map[*types.Func]*funcEffects
+	Sums    map[*types.Func]*FuncSummary
+
+	chains map[*types.Func]string
+}
+
+// StoreAlias builds (once per run) the store/alias effects and summaries
+// for every function in the analyzed packages, iterating the summary
+// fixpoint until the call-graph-wide facts stabilize.
+func (c *RunCache) StoreAlias() *storeAliasIndex {
+	if c.storeAlias != nil {
+		return c.storeAlias
+	}
+	pkgs := c.analyzedPackages()
+	idx := &storeAliasIndex{
+		Frozen: collectFrozen(pkgs),
+		Sums:   map[*types.Func]*FuncSummary{},
+	}
+	cg := c.CallGraph()
+	funcs := cg.SortedFuncs()
+	const maxIter = 10
+	for iter := 0; iter < maxIter; iter++ {
+		effects := make(map[*types.Func]*funcEffects, len(funcs))
+		changed := false
+		for _, fi := range funcs {
+			eff := analyzeFunc(c, fi.Pkg, fi.Fn, fi.Decl, idx.Sums, idx.Frozen)
+			effects[fi.Fn] = eff
+			s := summarize(eff, idx.Frozen)
+			if !summaryEqual(idx.Sums[fi.Fn], s) {
+				changed = true
+			}
+			idx.Sums[fi.Fn] = s
+		}
+		idx.Effects = effects
+		if !changed {
+			break
+		}
+	}
+	idx.chains = buildAllocChains(cg, idx.Effects)
+	c.storeAlias = idx
+	return idx
+}
+
+// collectFrozen gathers the type names annotated // perm:frozen, on the
+// type declaration group or on the individual spec.
+func collectFrozen(pkgs []*Package) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				_, groupFrozen := commentDirective(gd.Doc, "perm:frozen")
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					frozen := groupFrozen
+					if !frozen {
+						_, frozen = commentDirective(ts.Doc, "perm:frozen")
+					}
+					if !frozen {
+						_, frozen = commentDirective(ts.Comment, "perm:frozen")
+					}
+					if !frozen {
+						continue
+					}
+					if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+						out[tn] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// summarize condenses one function's effects into its caller-facing
+// summary.
+func summarize(eff *funcEffects, frozen map[*types.TypeName]bool) *FuncSummary {
+	s := &FuncSummary{
+		Fn:              eff.fn,
+		MutFrozen:       map[int]int8{},
+		FrozenParamType: map[int]string{},
+		MutParams:       map[int]bool{},
+		EscParams:       map[int]bool{},
+		MutShared:       eff.mutShared,
+		ReadsGlobal:     eff.readsGlobal,
+		CallsUnknown:    eff.callsUnknown,
+		Sends:           eff.sends,
+		ResultFresh:     append([]int8(nil), eff.resultFresh...),
+	}
+	sig, ok := eff.fn.Type().(*types.Signature)
+	if !ok {
+		return s
+	}
+	var paramTypes []types.Type
+	if sig.Recv() != nil {
+		paramTypes = append(paramTypes, sig.Recv().Type())
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		paramTypes = append(paramTypes, sig.Params().At(i).Type())
+	}
+	s.NParams = len(paramTypes)
+	s.Variadic = sig.Variadic()
+	for i, need := range eff.mutFrozen {
+		s.MutFrozen[i] = need
+		if i < len(paramTypes) {
+			if name, ok := frozenTypeName(paramTypes[i], frozen); ok {
+				s.FrozenParamType[i] = name
+			} else {
+				s.FrozenParamType[i] = paramTypes[i].String()
+			}
+		}
+	}
+	for i := range eff.mutParams {
+		s.MutParams[i] = true
+	}
+	for i := range eff.escParams {
+		s.EscParams[i] = true
+	}
+	if len(eff.allocs) > 0 {
+		s.Allocates = firstAlloc(eff.allocs)
+	}
+	return s
+}
+
+func firstAlloc(allocs map[token.Pos]string) string {
+	best := token.Pos(-1)
+	kind := ""
+	for pos, k := range allocs {
+		if best < 0 || pos < best {
+			best, kind = pos, k
+		}
+	}
+	return kind
+}
+
+func summaryEqual(a, b *FuncSummary) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.MutShared != b.MutShared || a.ReadsGlobal != b.ReadsGlobal ||
+		a.CallsUnknown != b.CallsUnknown || a.Sends != b.Sends ||
+		a.Allocates != b.Allocates ||
+		len(a.MutFrozen) != len(b.MutFrozen) || len(a.MutParams) != len(b.MutParams) ||
+		len(a.EscParams) != len(b.EscParams) || len(a.ResultFresh) != len(b.ResultFresh) {
+		return false
+	}
+	for i, v := range a.MutFrozen {
+		if b.MutFrozen[i] != v {
+			return false
+		}
+	}
+	for i := range a.MutParams {
+		if !b.MutParams[i] {
+			return false
+		}
+	}
+	for i := range a.EscParams {
+		if !b.EscParams[i] {
+			return false
+		}
+	}
+	for i, v := range a.ResultFresh {
+		if b.ResultFresh[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// --- transitive allocation chains (interprocedural hotalloc) ---
+
+// buildAllocChains renders, for every function that transitively
+// allocates, a deterministic call chain ending at a direct allocation:
+// "g -> h: make". Callees without a summary (stdlib, interface methods)
+// are not followed — the documented call-graph approximation.
+func buildAllocChains(cg *CallGraph, effects map[*types.Func]*funcEffects) map[*types.Func]string {
+	chains := map[*types.Func]string{}
+	state := map[*types.Func]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(fn *types.Func) string
+	visit = func(fn *types.Func) string {
+		if state[fn] == 1 {
+			return "" // cycle: resolved by another path or not at all
+		}
+		if state[fn] == 2 {
+			return chains[fn]
+		}
+		state[fn] = 1
+		defer func() { state[fn] = 2 }()
+		fi := cg.Funcs[fn]
+		if fi == nil {
+			return ""
+		}
+		if eff := effects[fn]; eff != nil && len(eff.allocs) > 0 {
+			chains[fn] = fn.Name() + ": " + firstAlloc(eff.allocs)
+			return chains[fn]
+		}
+		for _, callee := range fi.Callees {
+			if callee == fn {
+				continue
+			}
+			if sub := visit(callee); sub != "" {
+				chains[fn] = fn.Name() + " -> " + sub
+				return chains[fn]
+			}
+		}
+		return ""
+	}
+	for _, fi := range cg.SortedFuncs() {
+		visit(fi.Fn)
+	}
+	return chains
+}
+
+// AllocChain returns the rendered transitive-allocation chain for fn, or
+// "" when fn provably allocates nothing through summarized calls.
+func (idx *storeAliasIndex) AllocChain(fn *types.Func) string {
+	return idx.chains[fn]
+}
+
+// sortedEffects returns the index's effects for one package in source
+// order, for deterministic reports.
+func (idx *storeAliasIndex) sortedEffects(pkg *Package) []*funcEffects {
+	var out []*funcEffects
+	for _, eff := range idx.Effects {
+		if eff.pkg == pkg {
+			out = append(out, eff)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].decl.Pos() < out[j].decl.Pos() })
+	return out
+}

@@ -36,3 +36,41 @@ func emitCold(in row) row {
 	sink(in[0])
 	return append(out, value{})
 }
+
+// helperAlloc allocates on behalf of its caller.
+func helperAlloc(n int) row {
+	return make(row, n)
+}
+
+// helperDeep allocates two hops away from any hot caller.
+func helperDeep(n int) row {
+	return helperAlloc(n)
+}
+
+// pureHelper never allocates: calling it from a hot function is free.
+func pureHelper(a, b int) int {
+	return a + b
+}
+
+// hotNested allocates indirectly only; its own inventory covers it, so a
+// hot caller is not charged again for calling it.
+//
+// perm:hot
+func hotNested(n int) row {
+	return helperAlloc(n) // want `transitive alloc in hot function hotNested: call to helperAlloc allocates \(helperAlloc: make\)`
+}
+
+// viaHelper is hot and allocates only through helpers: the lexical
+// inventory sees nothing, the interprocedural one attributes the chain.
+//
+// perm:hot
+func viaHelper(in row) row {
+	n := pureHelper(len(in), 0)
+	out := helperAlloc(n) // want `transitive alloc in hot function viaHelper: call to helperAlloc allocates \(helperAlloc: make\)`
+	two := helperDeep(n)  // want `transitive alloc in hot function viaHelper: call to helperDeep allocates \(helperDeep -> helperAlloc: make\)`
+	three := hotNested(n) // hot callee: its own inventory covers it
+	copy(out, in)
+	_ = two
+	_ = three
+	return out
+}

@@ -1,0 +1,78 @@
+// Package immutcheck is the fixture for the immutcheck analyzer.
+package immutcheck
+
+// Node is a plan node, immutable once published.
+//
+// perm:frozen
+type Node struct {
+	Name string
+	Kids []*Node
+}
+
+// Col is a value-typed projection column.
+//
+// perm:frozen
+type Col struct {
+	Name string
+}
+
+var shared *Node
+
+var cols []Col
+
+var registry = map[string]*Node{}
+
+// build is the constructor pattern: every write lands in memory that is
+// still private to this frame, so nothing is reported.
+func build(name string) *Node {
+	n := &Node{Name: name}
+	n.Name = name + "!"
+	n.Kids = append(n.Kids, &Node{Name: "kid"})
+	return n
+}
+
+// rename writes through its parameter; callers must pass fresh memory.
+func rename(n *Node, s string) {
+	n.Name = s
+}
+
+func mutateGlobal() {
+	shared.Name = "x" // want `field write to frozen Node value after it may have been published`
+}
+
+func mutateViaCall() {
+	rename(shared, "x") // want `call to rename mutates frozen Node value that may be shared`
+}
+
+// renameFresh passes provably-fresh memory to the mutating helper: fine.
+func renameFresh() *Node {
+	n := build("a")
+	rename(n, "b")
+	return n
+}
+
+func appendShared(extra *Node) {
+	shared.Kids = append(shared.Kids, extra) // want `field write to frozen Node value` `in-place append to frozen Node value`
+}
+
+func overwriteElem(i int) {
+	cols[i] = Col{Name: "x"} // want `element write to frozen Col value after it may have been published`
+}
+
+// register replaces a pointer slot: the map mutates, no Node does.
+func register(name string, n *Node) {
+	registry[name] = n
+}
+
+// copyOnWrite extends a column list the frozen-safe way: fresh backing
+// array, shared elements.
+func copyOnWrite(in []Col, c Col) []Col {
+	out := make([]Col, 0, len(in)+1)
+	out = append(out, in...)
+	out = append(out, c)
+	return out
+}
+
+func suppressed() {
+	shared.Name = "y" //permlint:ignore immutcheck fixture-justified
+}

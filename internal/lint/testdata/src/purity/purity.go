@@ -1,0 +1,56 @@
+// Package purity is the fixture for the purity analyzer.
+package purity
+
+// Plan is a frozen input type: memoized computations over one must be
+// read-only.
+//
+// perm:frozen
+type Plan struct {
+	Cost  int
+	Cards []int
+}
+
+type engine struct {
+	memo map[string]int
+}
+
+// goodProbe reads the plan and writes only its own memo state: caching
+// its result is sound.
+//
+// perm:memoized
+func (e *engine) goodProbe(p *Plan) int {
+	if v, ok := e.memo["k"]; ok {
+		return v
+	}
+	v := p.Cost * 2
+	e.memo["k"] = v
+	return v
+}
+
+// badProbe mutates its frozen input while computing the cached result.
+//
+// perm:memoized
+func (e *engine) badProbe(p *Plan) int { // want `memoized function badProbe mutates memory reachable from its frozen parameter p`
+	p.Cost++
+	return p.Cost
+}
+
+// bump writes through its parameter.
+func bump(p *Plan) {
+	p.Cost++
+}
+
+// badTransitive launders the mutation through a helper; the summary
+// carries it back to the memoization site.
+//
+// perm:memoized
+func badTransitive(p *Plan) int { // want `memoized function badTransitive mutates memory reachable from its frozen parameter p`
+	bump(p)
+	return p.Cost
+}
+
+// unannotated mutates its frozen parameter but is not memoized, so this
+// analyzer stays silent (immutcheck owns that class at call sites).
+func unannotated(p *Plan) {
+	p.Cost++
+}

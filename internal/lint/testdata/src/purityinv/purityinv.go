@@ -1,0 +1,37 @@
+// Package purityinv is the fixture for the purityinv inventory.
+package purityinv
+
+var counter int
+
+var sink []*int
+
+// add touches nothing outside its frame.
+func add(a, b int) int { // want `purity of add: pure`
+	return a + b
+}
+
+// readGlobal reads package state without writing it.
+func readGlobal() int { // want `purity of readGlobal: read-only`
+	return counter
+}
+
+// bumpGlobal writes package state.
+func bumpGlobal() { // want `purity of bumpGlobal: mutating`
+	counter++
+}
+
+// leak publishes its parameter into shared memory.
+func leak(p *int) { // want `purity of leak: escaping`
+	sink = append(sink, p)
+}
+
+// sendOnly blocks forever conceptually, but for classification the send
+// alone makes it escaping.
+func sendOnly(ch chan int, v int) { // want `purity of sendOnly: escaping`
+	ch <- v
+}
+
+// callsUnknown calls through a function value: conservatively mutating.
+func callsUnknown(f func() int) int { // want `purity of callsUnknown: mutating`
+	return f()
+}

@@ -169,14 +169,14 @@ func substituteSublinkSets(cond algebra.Expr, sublinks []algebra.Sublink, sets [
 
 // valuesOf converts a materialized relation into a Values literal.
 func valuesOf(r *rel.Relation) *algebra.Values {
-	v := &algebra.Values{Sch: unqualified(r.Schema)}
+	var rows []algebra.Row
 	_ = r.Each(func(t rel.Tuple, n int) error {
 		for ; n > 0; n-- {
-			v.Rows = append(v.Rows, constRow(t))
+			rows = append(rows, constRow(t))
 		}
 		return nil
 	})
-	return v
+	return &algebra.Values{Sch: unqualified(r.Schema), Rows: rows}
 }
 
 // unqualified strips qualifiers so literal relations cannot capture

@@ -10,6 +10,8 @@ import (
 )
 
 // Translated is the result of lowering a statement to algebra.
+//
+// perm:frozen
 type Translated struct {
 	// Plan is the algebra tree of the query (not provenance-rewritten).
 	Plan algebra.Op
@@ -293,6 +295,7 @@ func (tr *translator) selectStmt(sel *SelectStmt, top bool) (algebra.Op, error) 
 	// evaluate it; the hidden columns are stripped after the sort (below for
 	// nested blocks, by the result presentation for the top-level one).
 	hidden := 0
+	var hiddenCols []algebra.ProjExpr
 	if len(orderKeys) > 0 {
 		for i := range orderKeys {
 			// A bare name that directly names an output column is that
@@ -321,9 +324,20 @@ func (tr *translator) selectStmt(sel *SelectStmt, top bool) (algebra.Op, error) 
 				return nil, fmt.Errorf("sql: for SELECT DISTINCT, ORDER BY expressions must appear in the select list")
 			}
 			name := tr.freshName("ord")
-			proj.Cols = append(proj.Cols, algebra.Col(orderKeys[i].E, name))
+			hiddenCols = append(hiddenCols, algebra.Col(orderKeys[i].E, name))
 			orderKeys[i].E = algebra.Attr(name)
 			hidden++
+		}
+		if len(hiddenCols) > 0 {
+			// Copy-on-write: proj's column slice aliases outCols, which the
+			// alias-resolution helpers above may share, and plan nodes are
+			// frozen once published. Build the extended projection as a
+			// fresh node instead of appending in place.
+			cols := make([]algebra.ProjExpr, 0, len(proj.Cols)+len(hiddenCols))
+			cols = append(cols, proj.Cols...)
+			cols = append(cols, hiddenCols...)
+			proj = &algebra.Project{Child: proj.Child, Cols: cols, Distinct: proj.Distinct}
+			plan = proj
 		}
 		plan = &algebra.Order{Child: plan, Keys: orderKeys}
 	}

@@ -27,6 +27,8 @@ type Statement struct {
 }
 
 // ViewDef is a named stored query.
+//
+// perm:frozen
 type ViewDef struct {
 	Name string
 	Body *Stmt
